@@ -1,0 +1,55 @@
+//! # irma-bench — benchmark harness
+//!
+//! Criterion benches (`benches/`) cover the paper's performance claims
+//! (P1: FP-Growth vs Apriori vs Eclat, P2: parallel scaling) and per-stage
+//! costs (preprocessing, pruning), plus one bench per paper table/figure
+//! (`paper_artifacts`). The `experiments` binary
+//! (`cargo run -p irma-bench --bin experiments --release`) regenerates the
+//! rendered tables and figures themselves.
+//!
+//! Shared fixtures live here so every bench measures the same workloads.
+
+use irma_core::{pai_spec, philly_spec, supercloud_spec};
+use irma_mine::TransactionDb;
+use irma_prep::{encode, Encoded, EncoderSpec};
+use irma_synth::{pai, philly, supercloud, TraceBundle, TraceConfig};
+
+/// Deterministic seed shared by all benches.
+pub const BENCH_SEED: u64 = 0xbe7c;
+
+/// Generates a trace bundle for benching (monitor samples capped low; the
+/// reductions are statistically converged well before the cap).
+pub fn bench_bundle(name: &str, n_jobs: usize) -> TraceBundle {
+    let config = TraceConfig {
+        n_jobs,
+        seed: BENCH_SEED,
+        max_monitor_samples: 64,
+    };
+    match name {
+        "pai" => pai(&config),
+        "supercloud" => supercloud(&config),
+        "philly" => philly(&config),
+        other => panic!("unknown trace `{other}`"),
+    }
+}
+
+/// The encoder spec for a trace name.
+pub fn bench_spec(name: &str) -> EncoderSpec {
+    match name {
+        "pai" => pai_spec(),
+        "supercloud" => supercloud_spec(),
+        "philly" => philly_spec(),
+        other => panic!("unknown trace `{other}`"),
+    }
+}
+
+/// Generates and encodes a trace in one step.
+pub fn bench_encoded(name: &str, n_jobs: usize) -> Encoded {
+    let bundle = bench_bundle(name, n_jobs);
+    encode(&bundle.merged(), &bench_spec(name))
+}
+
+/// The encoded PAI transaction database (the paper's largest workload).
+pub fn bench_db(n_jobs: usize) -> TransactionDb {
+    bench_encoded("pai", n_jobs).db
+}

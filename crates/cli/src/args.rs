@@ -1,0 +1,315 @@
+//! Hand-rolled argument parsing for the `irma` binary.
+//!
+//! Kept dependency-free (no clap) per the workspace's from-scratch policy;
+//! the grammar is small enough that a flag map suffices.
+
+use std::collections::HashMap;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `irma generate <trace> [--jobs N] [--seed S] [--out DIR]`
+    Generate {
+        /// Trace profile name.
+        trace: String,
+        /// Jobs to generate.
+        jobs: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Output directory for the CSV pair.
+        out: String,
+    },
+    /// `irma analyze <trace> [--keyword K] [--jobs N] [--seed S] [--top N]
+    ///  [--dir DIR]` — `--dir` re-reads CSVs written by `generate`.
+    Analyze {
+        /// Trace profile name.
+        trace: String,
+        /// Analysis keyword (item label).
+        keyword: String,
+        /// Jobs to generate when `--dir` is absent.
+        jobs: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Rows per table section.
+        top: usize,
+        /// Optional directory holding `<trace>_scheduler.csv` etc.
+        dir: Option<String>,
+        /// Also print natural-language insights.
+        insights: bool,
+    },
+    /// `irma experiments [--pai N] [--supercloud N] [--philly N] [--seed S]
+    ///  [--export DIR]`
+    Experiments {
+        /// PAI job count.
+        pai: usize,
+        /// SuperCloud job count.
+        supercloud: usize,
+        /// Philly job count.
+        philly: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Optional directory for per-artifact CSV export.
+        export: Option<String>,
+    },
+    /// `irma predict <trace> [--jobs N] [--threshold T] [--seed S]`
+    Predict {
+        /// Trace profile name.
+        trace: String,
+        /// Training job count (held-out gets half).
+        jobs: usize,
+        /// Positive-prediction confidence threshold.
+        threshold: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `irma help` or no/unknown arguments.
+    Help,
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+const TRACES: [&str; 3] = ["pai", "supercloud", "philly"];
+
+/// Splits `args` into positionals and `--flag value` pairs.
+fn split_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), ParseError> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| ParseError(format!("flag --{name} needs a value")))?;
+            flags.insert(name.to_string(), value.clone());
+            i += 2;
+        } else {
+            positional.push(arg.clone());
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn get_parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, ParseError> {
+    match flags.get(name) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| ParseError(format!("invalid value for --{name}: `{raw}`"))),
+        None => Ok(default),
+    }
+}
+
+fn known_flags(flags: &HashMap<String, String>, allowed: &[&str]) -> Result<(), ParseError> {
+    for key in flags.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ParseError(format!("unknown flag --{key}")));
+        }
+    }
+    Ok(())
+}
+
+fn trace_arg(positional: &[String]) -> Result<String, ParseError> {
+    let trace = positional
+        .first()
+        .ok_or_else(|| ParseError("missing trace name (pai|supercloud|philly)".to_string()))?;
+    if !TRACES.contains(&trace.as_str()) {
+        return Err(ParseError(format!(
+            "unknown trace `{trace}` (expected pai|supercloud|philly)"
+        )));
+    }
+    Ok(trace.clone())
+}
+
+/// Parses the full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(subcommand) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match subcommand.as_str() {
+        "generate" => {
+            let (positional, flags) = split_flags(rest)?;
+            known_flags(&flags, &["jobs", "seed", "out"])?;
+            Ok(Command::Generate {
+                trace: trace_arg(&positional)?,
+                jobs: get_parse(&flags, "jobs", 20_000)?,
+                seed: get_parse(&flags, "seed", 0xdcc0)?,
+                out: flags.get("out").cloned().unwrap_or_else(|| ".".to_string()),
+            })
+        }
+        "analyze" => {
+            let (positional, flags) = split_flags(rest)?;
+            known_flags(&flags, &["keyword", "jobs", "seed", "top", "dir", "insights"])?;
+            Ok(Command::Analyze {
+                trace: trace_arg(&positional)?,
+                keyword: flags
+                    .get("keyword")
+                    .cloned()
+                    .unwrap_or_else(|| "SM Util = 0%".to_string()),
+                jobs: get_parse(&flags, "jobs", 20_000)?,
+                seed: get_parse(&flags, "seed", 0xdcc0)?,
+                top: get_parse(&flags, "top", 6)?,
+                dir: flags.get("dir").cloned(),
+                insights: get_parse(&flags, "insights", false)?,
+            })
+        }
+        "experiments" => {
+            let (positional, flags) = split_flags(rest)?;
+            if !positional.is_empty() {
+                return Err(ParseError(format!(
+                    "unexpected argument `{}`",
+                    positional[0]
+                )));
+            }
+            known_flags(&flags, &["pai", "supercloud", "philly", "seed", "export"])?;
+            Ok(Command::Experiments {
+                pai: get_parse(&flags, "pai", 40_000)?,
+                supercloud: get_parse(&flags, "supercloud", 8_000)?,
+                philly: get_parse(&flags, "philly", 8_000)?,
+                seed: get_parse(&flags, "seed", 0xdcc0)?,
+                export: flags.get("export").cloned(),
+            })
+        }
+        "predict" => {
+            let (positional, flags) = split_flags(rest)?;
+            known_flags(&flags, &["jobs", "threshold", "seed"])?;
+            Ok(Command::Predict {
+                trace: trace_arg(&positional)?,
+                jobs: get_parse(&flags, "jobs", 20_000)?,
+                threshold: get_parse(&flags, "threshold", 0.8)?,
+                seed: get_parse(&flags, "seed", 0xdcc0)?,
+            })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+/// The help text.
+pub const USAGE: &str = "\
+irma — interpretable rule mining for GPU cluster traces (IPPS'24 reproduction)
+
+USAGE:
+  irma generate <trace> [--jobs N] [--seed S] [--out DIR]
+      Generate a synthetic trace and write its scheduler/monitoring CSVs.
+  irma analyze <trace> [--keyword K] [--jobs N] [--seed S] [--top N]
+               [--dir DIR] [--insights true]
+      Run the full workflow and print the keyword's cause/characteristic
+      rules. With --dir, read CSVs previously written by `generate`.
+  irma experiments [--pai N] [--supercloud N] [--philly N] [--seed S]
+                   [--export DIR]
+      Regenerate every paper table and figure (optionally exporting the
+      underlying data as CSVs).
+  irma predict <trace> [--jobs N] [--threshold T] [--seed S]
+      Train the rule-list failure classifier and evaluate it held-out.
+  irma help
+      Show this message.
+
+Traces: pai | supercloud | philly
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse(&argv("generate pai --jobs 500 --seed 7 --out /tmp/x")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                trace: "pai".to_string(),
+                jobs: 500,
+                seed: 7,
+                out: "/tmp/x".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_analyze_with_defaults() {
+        let cmd = parse(&argv("analyze supercloud")).unwrap();
+        match cmd {
+            Command::Analyze {
+                trace,
+                keyword,
+                top,
+                dir,
+                insights,
+                ..
+            } => {
+                assert_eq!(trace, "supercloud");
+                assert_eq!(keyword, "SM Util = 0%");
+                assert_eq!(top, 6);
+                assert_eq!(dir, None);
+                assert!(!insights);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keyword_with_spaces_survives() {
+        let args = vec![
+            "analyze".to_string(),
+            "philly".to_string(),
+            "--keyword".to_string(),
+            "Job Killed".to_string(),
+        ];
+        match parse(&args).unwrap() {
+            Command::Analyze { keyword, .. } => assert_eq!(keyword, "Job Killed"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_trace_and_flags() {
+        assert!(parse(&argv("generate helios")).is_err());
+        assert!(parse(&argv("generate pai --bogus 1")).is_err());
+        assert!(parse(&argv("generate pai --jobs")).is_err());
+        assert!(parse(&argv("generate pai --jobs abc")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_experiments_and_predict() {
+        let cmd = parse(&argv("experiments --pai 100 --export /tmp/e")).unwrap();
+        match cmd {
+            Command::Experiments { pai, export, .. } => {
+                assert_eq!(pai, 100);
+                assert_eq!(export.as_deref(), Some("/tmp/e"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&argv("predict pai --threshold 0.6")).unwrap();
+        match cmd {
+            Command::Predict { threshold, .. } => assert!((threshold - 0.6).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("experiments stray")).is_err());
+    }
+}

@@ -1,0 +1,6 @@
+//! # irma-cli — library surface of the `irma` binary
+//!
+//! The argument grammar lives here so it can be unit-tested; the binary
+//! (`src/main.rs`) only dispatches parsed [`args::Command`]s.
+
+pub mod args;

@@ -1,0 +1,155 @@
+//! `irma` — the command-line front end of the IRMA workflow.
+//!
+//! See [`args::USAGE`] (or run `irma help`) for the grammar. Every
+//! subcommand is deterministic per `--seed`.
+
+mod args;
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use args::{parse, Command, USAGE};
+use irma_core::experiments::run_all;
+use irma_core::export::export_all;
+use irma_core::insights::insight_report;
+use irma_core::{
+    analyze, failure_prediction, pai_spec, philly_spec, prepare, prepare_all, supercloud_spec,
+    AnalysisConfig, ExperimentScale,
+};
+use irma_synth::{pai, philly, read_merged_csv_dir, supercloud, TraceConfig};
+
+fn spec_for(trace: &str) -> irma_prep::EncoderSpec {
+    match trace {
+        "pai" => pai_spec(),
+        "supercloud" => supercloud_spec(),
+        "philly" => philly_spec(),
+        other => unreachable!("trace validated by parser: {other}"),
+    }
+}
+
+fn generate_bundle(trace: &str, jobs: usize, seed: u64) -> irma_synth::TraceBundle {
+    let config = TraceConfig {
+        n_jobs: jobs,
+        seed,
+        max_monitor_samples: 128,
+    };
+    match trace {
+        "pai" => pai(&config),
+        "supercloud" => supercloud(&config),
+        "philly" => philly(&config),
+        other => unreachable!("trace validated by parser: {other}"),
+    }
+}
+
+fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::Help => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Command::Generate {
+            trace,
+            jobs,
+            seed,
+            out,
+        } => {
+            let bundle = generate_bundle(&trace, jobs, seed);
+            let (sched, mon) = bundle
+                .write_csv_dir(Path::new(&out))
+                .map_err(|e| e.to_string())?;
+            println!("wrote {}", sched.display());
+            println!("wrote {}", mon.display());
+            Ok(())
+        }
+        Command::Analyze {
+            trace,
+            keyword,
+            jobs,
+            seed,
+            top,
+            dir,
+            insights,
+        } => {
+            let merged = match dir {
+                Some(dir) => read_merged_csv_dir(Path::new(&dir), &trace)
+                    .map_err(|e| format!("reading trace CSVs: {e}"))?,
+                None => generate_bundle(&trace, jobs, seed).merged(),
+            };
+            let analysis = analyze(&merged, &spec_for(&trace), &AnalysisConfig::default());
+            eprintln!("{}", analysis.summary());
+            print!("{}", analysis.render_keyword(&keyword, top));
+            if insights {
+                print!("{}", insight_report(&analysis, &keyword, top));
+            }
+            Ok(())
+        }
+        Command::Experiments {
+            pai,
+            supercloud,
+            philly,
+            seed,
+            export,
+        } => {
+            let scale = ExperimentScale {
+                pai_jobs: pai,
+                supercloud_jobs: supercloud,
+                philly_jobs: philly,
+                seed,
+            };
+            let traces = prepare_all(&scale, &AnalysisConfig::default());
+            println!("{}", run_all(&traces));
+            if let Some(dir) = export {
+                let files =
+                    export_all(&traces, Path::new(&dir)).map_err(|e| e.to_string())?;
+                eprintln!("exported {} CSV files to {dir}", files.len());
+            }
+            Ok(())
+        }
+        Command::Predict {
+            trace,
+            jobs,
+            threshold,
+            seed,
+        } => {
+            let t = prepare(
+                &trace,
+                &TraceConfig {
+                    n_jobs: jobs,
+                    seed,
+                    max_monitor_samples: 128,
+                },
+                &AnalysisConfig::default(),
+            );
+            let result = failure_prediction(&t, jobs / 2, seed ^ 0xfeed, threshold);
+            let e = &result.eval;
+            println!(
+                "{trace}: {} rules @ conf>={threshold:.2} | precision={:.3} recall={:.3} f1={:.3} accuracy={:.3} (base rate {:.3})",
+                result.n_rules,
+                e.precision(),
+                e.recall(),
+                e.f1(),
+                e.accuracy(),
+                e.base_rate()
+            );
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&argv) {
+        Ok(command) => match run(command) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(err) => {
+            eprintln!("error: {err}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # irma-core — the IRMA analysis workflow
+//!
+//! End-to-end reproduction of the paper's interpretable-analysis pipeline:
+//! generate (or load) a trace, merge its collection-level files, encode
+//! transactions ([`irma_prep`]), mine frequent itemsets ([`irma_mine`]),
+//! generate and prune rules ([`irma_rules`]), and render the case-study
+//! tables.
+//!
+//! * [`workflow`] — [`AnalysisConfig`] / [`analyze`] / [`Analysis`], the
+//!   single-call pipeline with the paper's default thresholds;
+//! * [`specs`] — the per-trace §III-E feature specifications;
+//! * [`traces`] — one-call trace preparation ([`prepare`], [`prepare_all`]);
+//! * [`experiments`] — one function per paper table and figure;
+//! * [`stats`] / [`report`] — CDFs, box stats, and text rendering.
+//!
+//! ```no_run
+//! use irma_core::{analyze, pai_spec, AnalysisConfig};
+//! use irma_synth::{pai, TraceConfig};
+//!
+//! let bundle = pai(&TraceConfig::with_jobs(50_000));
+//! let analysis = analyze(&bundle.merged(), &pai_spec(), &AnalysisConfig::default());
+//! println!("{}", analysis.render_keyword("SM Util = 0%", 5));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod export;
+pub mod insights;
+pub mod predict;
+pub mod report;
+pub mod specs;
+pub mod stats;
+pub mod traces;
+pub mod workflow;
+
+pub use specs::{
+    pai_spec, philly_spec, supercloud_spec, KW_FAILED, KW_KILLED, KW_MULTI_GPU, KW_SM_ZERO,
+};
+pub use predict::{failure_prediction, prediction_experiment, PredictionExperiment, PredictionResult};
+pub use traces::{prepare, prepare_all, ExperimentScale, TraceAnalysis};
+pub use workflow::{analyze, Analysis, AnalysisConfig};

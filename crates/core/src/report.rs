@@ -1,0 +1,208 @@
+//! Plain-text rendering: aligned tables and small ASCII charts.
+//!
+//! The experiments binary prints every reproduced table and figure as
+//! text; this module keeps that formatting in one place.
+
+use crate::stats::{BoxStats, Cdf};
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(header: I) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header arity.
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders with column alignment and a separator under the header.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, &w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", parts.join(" | "))
+        };
+        let sep = format!(
+            "|{}|",
+            widths
+                .iter()
+                .map(|&w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a labelled horizontal bar chart (values in `[0, 1]`).
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    for (label, value) in rows {
+        let filled = ((value.clamp(0.0, 1.0)) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$} |{}{}| {:5.1}%\n",
+            "#".repeat(filled),
+            " ".repeat(width - filled),
+            value * 100.0
+        ));
+    }
+    out
+}
+
+/// Renders an ASCII box-plot line on a fixed axis `[lo, hi]`.
+pub fn box_line(stats: &BoxStats, lo: f64, hi: f64, width: usize) -> String {
+    assert!(hi > lo && width >= 10);
+    let pos = |v: f64| {
+        let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        (frac * (width - 1) as f64).round() as usize
+    };
+    let mut line: Vec<char> = vec![' '; width];
+    let (w1, q1, med, q3, w2) = (
+        pos(stats.min),
+        pos(stats.q1),
+        pos(stats.median),
+        pos(stats.q3),
+        pos(stats.max),
+    );
+    for cell in line.iter_mut().take(w2 + 1).skip(w1) {
+        *cell = '-';
+    }
+    for cell in line.iter_mut().take(q3 + 1).skip(q1) {
+        *cell = '=';
+    }
+    line[w1] = '|';
+    line[w2] = '|';
+    line[med] = 'M';
+    line.into_iter().collect()
+}
+
+/// Renders a CDF as a fixed-size ASCII sketch plus headline quantiles.
+pub fn cdf_sketch(cdf: &Cdf, label: &str) -> String {
+    if cdf.is_empty() {
+        return format!("{label}: (no data)\n");
+    }
+    let pts = cdf.points(20);
+    let mut out = format!(
+        "{label}: n={} p0={:.1} p25={:.1} p50={:.1} p75={:.1} p100={:.1}\n  ",
+        cdf.len(),
+        cdf.quantile(0.0),
+        cdf.quantile(0.25),
+        cdf.quantile(0.5),
+        cdf.quantile(0.75),
+        cdf.quantile(1.0),
+    );
+    for (_, f) in pts {
+        let c = match (f * 8.0) as usize {
+            0 => ' ',
+            1 => '.',
+            2 | 3 => ':',
+            4 | 5 => '+',
+            6 | 7 => '*',
+            _ => '#',
+        };
+        out.push(c);
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(["Rule", "Lift"]);
+        t.row(["{a} => {b}", "1.50"]);
+        t.row(["{longer antecedent} => {x}", "12.00"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "{text}");
+        assert!(text.contains("| Rule"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_ragged_row() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn bar_chart_scales() {
+        let rows = vec![("pass".to_string(), 0.5), ("fail".to_string(), 1.0)];
+        let text = bar_chart(&rows, 10);
+        assert!(text.contains("|#####     |  50.0%"), "{text}");
+        assert!(text.contains("|##########| 100.0%"), "{text}");
+    }
+
+    #[test]
+    fn box_line_markers() {
+        let stats = BoxStats {
+            min: 0.0,
+            q1: 2.5,
+            median: 5.0,
+            q3: 7.5,
+            max: 10.0,
+            mean: 5.0,
+            n: 100,
+        };
+        let line = box_line(&stats, 0.0, 10.0, 21);
+        assert_eq!(line.len(), 21);
+        assert_eq!(line.chars().next(), Some('|'));
+        assert_eq!(line.chars().last(), Some('|'));
+        assert_eq!(line.chars().nth(10), Some('M'));
+    }
+
+    #[test]
+    fn cdf_sketch_nonempty() {
+        let cdf = Cdf::new(&(0..100).map(f64::from).collect::<Vec<_>>());
+        let text = cdf_sketch(&cdf, "runtime");
+        assert!(text.starts_with("runtime: n=100"));
+        assert!(text.lines().count() == 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-trace encoder specifications.
+//!
+//! These are the data-engineering decisions of §III-E made concrete for
+//! each trace: which columns are analysed, which get zero/spike bins,
+//! which categorical values are aggregated, and which id columns get
+//! frequency classes. Keyword label constants used throughout the case
+//! studies are exported alongside.
+
+use irma_prep::{EncoderSpec, FeatureSpec, SpikeBin, ZeroBin};
+
+/// Keyword: jobs with ~0% mean SM utilization (§IV-B).
+pub const KW_SM_ZERO: &str = "SM Util = 0%";
+/// Keyword: failed jobs (§IV-C).
+pub const KW_FAILED: &str = "Failed";
+/// Keyword: user-killed jobs (Table VIII CIR1).
+pub const KW_KILLED: &str = "Job Killed";
+/// Keyword: multi-GPU jobs (Table VII / VIII).
+pub const KW_MULTI_GPU: &str = "Multi-GPU";
+
+/// Bare-label categorical helper (status-style items).
+fn bare_categorical<const N: usize>(column: &str, pairs: [(&str, &str); N]) -> FeatureSpec {
+    FeatureSpec::categorical_remap(column, "", pairs)
+}
+
+/// Encoder spec for the PAI profile (columns of
+/// [`irma_synth::pai`]'s merged frame).
+pub fn pai_spec() -> EncoderSpec {
+    EncoderSpec::new(vec![
+        FeatureSpec::numeric_zero("sm_util", "SM Util", ZeroBin::percent()),
+        FeatureSpec::numeric_zero("gmem_used_gb", "GMem Used", ZeroBin::gigabytes()),
+        FeatureSpec::numeric_zero("cpu_util", "CPU Util", ZeroBin::percent()),
+        FeatureSpec::numeric("mem_used_gb", "Memory Used"),
+        FeatureSpec::numeric("runtime_s", "Runtime"),
+        FeatureSpec::numeric("queue_s", "Queue"),
+        FeatureSpec::numeric("gpu_request", "GPU Request"),
+        FeatureSpec::Numeric {
+            column: "cpu_request".to_string(),
+            display: "CPU Request".to_string(),
+            n_bins: 4,
+            scheme: Default::default(),
+            zero: None,
+            spike: Some(SpikeBin::default()),
+        },
+        FeatureSpec::Numeric {
+            column: "mem_request_gb".to_string(),
+            display: "Mem Request".to_string(),
+            n_bins: 4,
+            scheme: Default::default(),
+            zero: None,
+            spike: Some(SpikeBin::default()),
+        },
+        // P100/V100 have low individual support; the paper aggregates them
+        // as "non-T4".
+        FeatureSpec::categorical_remap(
+            "gpu_type_req",
+            "GPU Type",
+            [("P100", "NonT4"), ("V100", "NonT4")],
+        ),
+        FeatureSpec::categorical_remap(
+            "framework",
+            "",
+            [
+                ("tensorflow", "Tensorflow"),
+                ("pytorch", "PyTorch"),
+                ("xdl", "XDL"),
+                ("graphlearn", "GraphLearn"),
+            ],
+        ),
+        FeatureSpec::categorical_remap(
+            "model",
+            "Model",
+            [
+                ("resnet", "CV"),
+                ("vgg", "CV"),
+                ("inception", "CV"),
+                ("bert", "NLP"),
+                ("nmt", "NLP"),
+                ("xlnet", "NLP"),
+                ("din", "RecSys"),
+                ("dien", "RecSys"),
+                ("deepfm", "RecSys"),
+            ],
+        ),
+        bare_categorical("status", [("Failed", "Failed"), ("Terminated", "Terminated")]),
+        FeatureSpec::frequency("user", "Freq User", "New User"),
+        FeatureSpec::frequency("group", "Freq Group", "Rare Group"),
+        FeatureSpec::flag("num_inst", "Multiple Tasks", 1.0),
+    ])
+}
+
+/// Encoder spec for the SuperCloud profile.
+pub fn supercloud_spec() -> EncoderSpec {
+    EncoderSpec::new(vec![
+        FeatureSpec::numeric_zero("sm_util", "SM Util", ZeroBin::percent()),
+        FeatureSpec::numeric("sm_util_var", "SM Util Var"),
+        FeatureSpec::numeric("gmem_util", "GMem Util"),
+        FeatureSpec::numeric("gmem_util_var", "GMem Util Var"),
+        FeatureSpec::numeric("gmem_used_gb", "GMem Used"),
+        FeatureSpec::numeric("gpu_power_w", "GPU Power"),
+        FeatureSpec::numeric("cpu_util", "CPU Util"),
+        FeatureSpec::numeric("mem_used_gb", "Memory Used"),
+        FeatureSpec::numeric("runtime_s", "Runtime"),
+        FeatureSpec::numeric("cpus", "CPU Request"),
+        bare_categorical(
+            "status",
+            [
+                ("failed", "Failed"),
+                ("killed", "Job Killed"),
+                ("completed", "Completed"),
+            ],
+        ),
+        FeatureSpec::frequency("user", "Freq User", "New User"),
+        FeatureSpec::flag("gpus", "Multi-GPU", 1.0),
+    ])
+}
+
+/// Encoder spec for the Philly profile.
+pub fn philly_spec() -> EncoderSpec {
+    EncoderSpec::new(vec![
+        FeatureSpec::numeric_zero("sm_util", "SM Util", ZeroBin::percent()),
+        FeatureSpec::numeric_zero(
+            "sm_util_min",
+            "Min SM Util",
+            ZeroBin {
+                threshold: 0.5,
+                label: "0%".to_string(),
+            },
+        ),
+        FeatureSpec::numeric("sm_util_max", "Max SM Util"),
+        FeatureSpec::numeric("cpu_util", "CPU Util"),
+        FeatureSpec::numeric("mem_used_gb", "Memory Used"),
+        FeatureSpec::numeric("runtime_s", "Runtime"),
+        bare_categorical(
+            "status",
+            [
+                ("Failed", "Failed"),
+                ("Killed", "Job Killed"),
+                ("Pass", "Pass"),
+            ],
+        ),
+        FeatureSpec::frequency("user", "Freq User", "New User"),
+        FeatureSpec::categorical("vc", "VC"),
+        FeatureSpec::flag("gpus", "Multi-GPU", 1.0),
+        FeatureSpec::flag("attempts", "Num Attempts > 1", 1.0),
+        FeatureSpec::flag("gpu_mem_gb", "GPU 24GB Mem", 12.0),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_cover_expected_columns() {
+        let pai = pai_spec();
+        let cols: Vec<&str> = pai.features.iter().map(|f| f.column()).collect();
+        for col in ["sm_util", "gmem_used_gb", "cpu_request", "gpu_type_req", "user", "group"] {
+            assert!(cols.contains(&col), "pai spec missing {col}");
+        }
+        let sc = supercloud_spec();
+        let cols: Vec<&str> = sc.features.iter().map(|f| f.column()).collect();
+        for col in ["sm_util_var", "gmem_util", "gpu_power_w"] {
+            assert!(cols.contains(&col), "supercloud spec missing {col}");
+        }
+        let ph = philly_spec();
+        let cols: Vec<&str> = ph.features.iter().map(|f| f.column()).collect();
+        for col in ["sm_util_min", "attempts", "gpu_mem_gb"] {
+            assert!(cols.contains(&col), "philly spec missing {col}");
+        }
+    }
+}

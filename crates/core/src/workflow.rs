@@ -1,0 +1,278 @@
+//! The end-to-end analysis workflow (§III).
+//!
+//! `merged frame -> encode -> mine -> rules` in one call, with the paper's
+//! defaults (5% support, max itemset length 5, lift >= 1.5,
+//! `C_lift = C_supp = 1.5`) baked into [`AnalysisConfig::default`]; keyword
+//! analyses are then cheap queries against the shared rule set, exactly the
+//! "all high-quality rules in a single execution" design §V highlights.
+
+use irma_data::Frame;
+use irma_mine::{Algorithm, FrequentItemsets, ItemId, MinerConfig};
+use irma_prep::{encode, Encoded, EncoderSpec};
+use irma_rules::{generate_rules, KeywordAnalysis, PruneParams, Rule, RuleConfig};
+
+/// Every knob of the paper's workflow.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnalysisConfig {
+    /// Which frequent-itemset miner to run (FP-Growth by default).
+    pub algorithm: Algorithm,
+    /// Support threshold and itemset-length cap.
+    pub miner: MinerConfig,
+    /// Lift (and optional confidence/support) floors for rule generation.
+    pub rules: RuleConfig,
+    /// The four pruning conditions' relaxation margins.
+    pub prune: PruneParams,
+}
+
+/// The output of one full workflow run over a merged trace frame.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Encoded transactions + item catalog + preprocessing report.
+    pub encoded: Encoded,
+    /// Mined frequent-itemset family.
+    pub frequent: FrequentItemsets,
+    /// All rules passing the generation thresholds (pre-pruning).
+    pub rules: Vec<Rule>,
+    /// The configuration that produced this analysis.
+    pub config: AnalysisConfig,
+}
+
+/// Runs encode -> mine -> generate over a merged per-job frame.
+pub fn analyze(frame: &Frame, spec: &EncoderSpec, config: &AnalysisConfig) -> Analysis {
+    let encoded = encode(frame, spec);
+    let frequent = config.algorithm.mine(&encoded.db, &config.miner);
+    let rules = generate_rules(&frequent, &config.rules);
+    Analysis {
+        encoded,
+        frequent,
+        rules,
+        config: config.clone(),
+    }
+}
+
+impl Analysis {
+    /// Id of an item label, if it survived encoding.
+    pub fn item(&self, label: &str) -> Option<ItemId> {
+        self.encoded.catalog.id(label)
+    }
+
+    /// Runs the keyword filtering + pruning stage for one item label.
+    ///
+    /// Returns `None` when the label does not exist in the catalog (never
+    /// emitted, or dropped by the prevalence cut).
+    pub fn keyword(&self, label: &str) -> Option<KeywordAnalysis> {
+        let id = self.item(label)?;
+        Some(KeywordAnalysis::run(&self.rules, id, &self.config.prune))
+    }
+
+    /// Renders a keyword analysis as the paper's C/A table.
+    pub fn render_keyword(&self, label: &str, top: usize) -> String {
+        match self.keyword(label) {
+            Some(analysis) => {
+                let id = self.item(label).expect("keyword checked above");
+                analysis.render(&self.encoded.catalog, id, top)
+            }
+            None => format!("keyword: {label} (item not present)\n"),
+        }
+    }
+
+    /// Number of transactions analysed.
+    pub fn n_jobs(&self) -> usize {
+        self.encoded.db.len()
+    }
+
+    /// Suggests analysis keywords: items ranked by the strongest rule
+    /// that involves them (descending max lift, then max confidence).
+    ///
+    /// The paper assumes the operator already knows their keyword ("job
+    /// failure", "SM Util = 0%"); this helper surfaces which items the
+    /// mined rules actually say something interesting about, so a first
+    /// look at an unfamiliar trace starts from evidence instead of
+    /// guesses. Items with no rule at all are omitted.
+    pub fn suggest_keywords(&self, top: usize) -> Vec<(String, f64, f64)> {
+        let n_items = self.encoded.catalog.len();
+        let mut best = vec![(0.0f64, 0.0f64); n_items];
+        for rule in &self.rules {
+            for &item in rule
+                .antecedent
+                .items()
+                .iter()
+                .chain(rule.consequent.items())
+            {
+                let entry = &mut best[item as usize];
+                if rule.lift > entry.0 || (rule.lift == entry.0 && rule.confidence > entry.1) {
+                    *entry = (rule.lift, rule.confidence.max(entry.1));
+                }
+            }
+        }
+        let mut ranked: Vec<(String, f64, f64)> = best
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (lift, _))| *lift > 0.0)
+            .map(|(item, (lift, conf))| {
+                (
+                    self.encoded.catalog.label(item as irma_mine::ItemId).to_string(),
+                    lift,
+                    conf,
+                )
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| b.2.total_cmp(&a.2)));
+        ranked.truncate(top);
+        ranked
+    }
+
+    /// A preprocessing + mining summary: counts, detected spikes, fitted
+    /// bin edges, and prevalence-dropped items — what an operator checks
+    /// before trusting the rules.
+    pub fn summary(&self) -> String {
+        let report = &self.encoded.report;
+        let mut out = format!(
+            "jobs: {}  items: {} (of {} before the {:.0}% prevalence cut)\n\
+             frequent itemsets: {} (min support {:.0}%, max length {})\n\
+             rules: {} (min lift {:.2})\n",
+            self.n_jobs(),
+            self.encoded.catalog.len(),
+            report.n_items_before_drop,
+            100.0 * 0.8,
+            self.frequent.len(),
+            self.config.miner.min_support * 100.0,
+            self.config.miner.max_len,
+            self.rules.len(),
+            self.config.rules.min_lift,
+        );
+        if !report.dropped.is_empty() {
+            out.push_str("dropped (too prevalent):\n");
+            for (label, share) in &report.dropped {
+                out.push_str(&format!("  {label} ({:.0}% of jobs)\n", share * 100.0));
+            }
+        }
+        let mut fits: Vec<(&String, &irma_prep::NumericFit)> =
+            report.numeric_fits.iter().collect();
+        fits.sort_by_key(|(name, _)| (*name).clone());
+        for (column, fit) in fits {
+            let edges = fit
+                .edges
+                .as_ref()
+                .map(|e| {
+                    e.edges()
+                        .iter()
+                        .map(|x| format!("{x:.3}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                })
+                .unwrap_or_else(|| "(no residual values)".to_string());
+            match fit.spike_value {
+                Some(spike) => out.push_str(&format!(
+                    "  {column}: spike at {spike} (Std), bin edges [{edges}]\n"
+                )),
+                None => out.push_str(&format!("  {column}: bin edges [{edges}]\n")),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irma_data::read_csv_str;
+    use irma_prep::{FeatureSpec, ZeroBin};
+
+    fn tiny_analysis() -> Analysis {
+        // 20 jobs; short runtime strongly implies idle GPU.
+        let mut csv = String::from("runtime,sm\n");
+        for i in 0..20 {
+            let (rt, sm) = if i < 8 {
+                (10.0 + i as f64, 0.0)
+            } else if i < 10 {
+                (15.0, 60.0)
+            } else {
+                (5_000.0 + i as f64, if i % 4 == 0 { 0.0 } else { 70.0 })
+            };
+            csv.push_str(&format!("{rt},{sm}\n"));
+        }
+        let frame = read_csv_str(&csv).unwrap();
+        let spec = irma_prep::EncoderSpec::new(vec![
+            FeatureSpec::numeric("runtime", "Runtime"),
+            FeatureSpec::numeric_zero("sm", "SM Util", ZeroBin::percent()),
+        ]);
+        let mut config = AnalysisConfig::default();
+        config.rules.min_lift = 1.2;
+        analyze(&frame, &spec, &config)
+    }
+
+    #[test]
+    fn pipeline_produces_rules() {
+        let analysis = tiny_analysis();
+        assert!(analysis.n_jobs() == 20);
+        assert!(!analysis.frequent.is_empty());
+        assert!(!analysis.rules.is_empty());
+    }
+
+    #[test]
+    fn keyword_analysis_finds_idle_cause() {
+        let analysis = tiny_analysis();
+        let kw = analysis.keyword("SM Util = 0%").expect("keyword exists");
+        assert!(
+            kw.causes
+                .iter()
+                .any(|r| r.antecedent.len() == 1
+                    && analysis.encoded.catalog.label(r.antecedent.items()[0])
+                        == "Runtime = Bin1"),
+            "expected short runtime as an idle-GPU cause"
+        );
+    }
+
+    #[test]
+    fn unknown_keyword_is_none() {
+        let analysis = tiny_analysis();
+        assert!(analysis.keyword("No Such Item").is_none());
+        let text = analysis.render_keyword("No Such Item", 5);
+        assert!(text.contains("not present"));
+    }
+
+    #[test]
+    fn suggest_keywords_ranks_by_lift() {
+        let analysis = tiny_analysis();
+        let suggestions = analysis.suggest_keywords(10);
+        assert!(!suggestions.is_empty());
+        // Descending lift.
+        for w in suggestions.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // The idle-GPU item participates in the strongest rules of this
+        // toy dataset, so it must be suggested.
+        assert!(
+            suggestions.iter().any(|(label, _, _)| label == "SM Util = 0%"),
+            "{suggestions:?}"
+        );
+        assert_eq!(analysis.suggest_keywords(1).len(), 1);
+    }
+
+    #[test]
+    fn summary_mentions_key_facts() {
+        let analysis = tiny_analysis();
+        let text = analysis.summary();
+        assert!(text.contains("jobs: 20"), "{text}");
+        assert!(text.contains("frequent itemsets:"), "{text}");
+        assert!(text.contains("runtime: bin edges"), "{text}");
+        assert!(text.contains("sm:"), "{text}");
+    }
+
+    #[test]
+    fn algorithms_agree_end_to_end() {
+        let frame = read_csv_str("a\n1\n2\n3\n4\n1\n2\n1\n").unwrap();
+        let spec = irma_prep::EncoderSpec::new(vec![FeatureSpec::numeric("a", "A")]);
+        let mut rules_by_algo = Vec::new();
+        for algorithm in Algorithm::all() {
+            let config = AnalysisConfig {
+                algorithm,
+                ..AnalysisConfig::default()
+            };
+            rules_by_algo.push(analyze(&frame, &spec, &config).rules);
+        }
+        assert_eq!(rules_by_algo[0], rules_by_algo[1]);
+        assert_eq!(rules_by_algo[0], rules_by_algo[2]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Hand-rolled CSV reader and writer (RFC 4180 quoting rules).
+//!
+//! The paper's traces ship as CSV files split across collection levels
+//! (scheduler log vs node measurements); the reproduction keeps the parsing
+//! in-repo instead of depending on a CSV crate, per the reproduction brief.
+//!
+//! Supported dialect: comma separator, `"`-quoting with `""` escapes,
+//! embedded newlines inside quoted fields, LF or CRLF record terminators,
+//! and a mandatory header row.
+
+use std::io::{BufReader, Read, Write};
+use std::path::Path;
+
+use crate::column::{Column, DType};
+use crate::error::{DataError, Result};
+use crate::frame::Frame;
+use crate::value::Value;
+
+/// Splits raw CSV text into records of unescaped fields.
+///
+/// Exposed for testing; most callers want [`read_csv`] / [`read_csv_path`].
+pub fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut fields: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut seen_any = false;
+
+    while let Some(c) = chars.next() {
+        seen_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(DataError::Csv {
+                        line,
+                        message: "quote inside unquoted field".to_string(),
+                    });
+                }
+                in_quotes = true;
+            }
+            ',' => {
+                fields.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    continue; // handled by the \n branch
+                }
+                return Err(DataError::Csv {
+                    line,
+                    message: "bare carriage return".to_string(),
+                });
+            }
+            '\n' => {
+                fields.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut fields));
+                line += 1;
+            }
+            other => field.push(other),
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Csv {
+            line,
+            message: "unterminated quoted field".to_string(),
+        });
+    }
+    // Final record without trailing newline.
+    if seen_any && (!field.is_empty() || !fields.is_empty()) {
+        fields.push(field);
+        records.push(fields);
+    }
+    Ok(records)
+}
+
+/// Parses CSV text (header row required) into a frame, inferring column
+/// types from the first non-null value of each column.
+///
+/// Type inference promotes Int -> Float when a float appears later in an
+/// integer-looking column, and anything -> Str on conflict.
+pub fn read_csv_str(text: &str) -> Result<Frame> {
+    let records = parse_records(text)?;
+    let mut iter = records.into_iter();
+    let header = iter.next().ok_or(DataError::Csv {
+        line: 1,
+        message: "missing header row".to_string(),
+    })?;
+    let rows: Vec<Vec<String>> = iter.collect();
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != header.len() {
+            return Err(DataError::Csv {
+                line: i + 2,
+                message: format!(
+                    "expected {} fields, found {}",
+                    header.len(),
+                    row.len()
+                ),
+            });
+        }
+    }
+
+    // Parse every cell once, then decide each column's type.
+    let parsed: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|row| row.iter().map(|f| Value::parse_lossy(f)).collect())
+        .collect();
+
+    let mut frame = Frame::new();
+    for (c, name) in header.iter().enumerate() {
+        let dtype = infer_dtype(parsed.iter().map(|row| &row[c]));
+        let mut col = Column::with_capacity(dtype, parsed.len());
+        for (r, row) in parsed.iter().enumerate() {
+            let v = coerce(&row[c], dtype, &rows[r][c]);
+            col.push_value(name, v).map_err(|e| DataError::Csv {
+                line: r + 2,
+                message: e.to_string(),
+            })?;
+        }
+        frame.add_column(name, col)?;
+    }
+    Ok(frame)
+}
+
+/// Picks the narrowest dtype that can represent every non-null value.
+fn infer_dtype<'a, I: Iterator<Item = &'a Value>>(values: I) -> DType {
+    let mut seen_int = false;
+    let mut seen_float = false;
+    let mut seen_bool = false;
+    for v in values {
+        match v {
+            Value::Null => {}
+            Value::Int(_) => seen_int = true,
+            Value::Float(_) => seen_float = true,
+            Value::Bool(_) => seen_bool = true,
+            Value::Str(_) => return DType::Str,
+        }
+    }
+    match (seen_bool, seen_int, seen_float) {
+        (true, false, false) => DType::Bool,
+        (false, _, true) => DType::Float,
+        (false, true, false) => DType::Int,
+        (false, false, false) => DType::Str, // all-null column defaults to str
+        _ => DType::Str,                      // mixed bool/number: keep raw text
+    }
+}
+
+/// Re-coerces a parsed value to the column's final dtype.
+fn coerce(value: &Value, dtype: DType, raw: &str) -> Value {
+    match (value, dtype) {
+        (Value::Null, _) => Value::Null,
+        (Value::Int(v), DType::Float) => Value::Float(*v as f64),
+        (v, DType::Str) if !matches!(v, Value::Str(_)) => Value::Str(raw.to_string()),
+        (v, _) => v.clone(),
+    }
+}
+
+/// Reads a frame from any reader.
+pub fn read_csv<R: Read>(reader: R) -> Result<Frame> {
+    let mut text = String::new();
+    BufReader::new(reader).read_to_string(&mut text)?;
+    read_csv_str(&text)
+}
+
+/// Reads a frame from a file path.
+pub fn read_csv_path<P: AsRef<Path>>(path: P) -> Result<Frame> {
+    let file = std::fs::File::open(path)?;
+    read_csv(file)
+}
+
+/// Quotes a field if it contains a separator, quote, or newline.
+fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serializes a frame to CSV text (header + rows, LF terminators).
+pub fn write_csv_string(frame: &Frame) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = frame.names().iter().map(|n| escape_field(n)).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in 0..frame.n_rows() {
+        let mut first = true;
+        for col in frame.columns() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&escape_field(&col.get(row).to_string()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a frame as CSV to any writer.
+pub fn write_csv<W: Write>(frame: &Frame, mut writer: W) -> Result<()> {
+    writer.write_all(write_csv_string(frame).as_bytes())?;
+    Ok(())
+}
+
+/// Writes a frame as CSV to a file path.
+pub fn write_csv_path<P: AsRef<Path>>(frame: &Frame, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_csv(frame, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_records() {
+        let recs = parse_records("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(recs, vec![vec!["a", "b"], vec!["1", "2"], vec!["3", "4"]]);
+    }
+
+    #[test]
+    fn parses_quotes_and_escapes() {
+        let recs = parse_records("name,note\n\"smith, j\",\"said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(recs[1], vec!["smith, j", "said \"hi\""]);
+    }
+
+    #[test]
+    fn parses_embedded_newline() {
+        let recs = parse_records("a\n\"line1\nline2\"\n").unwrap();
+        assert_eq!(recs[1], vec!["line1\nline2"]);
+    }
+
+    #[test]
+    fn parses_crlf_and_missing_trailing_newline() {
+        let recs = parse_records("a,b\r\n1,2").unwrap();
+        assert_eq!(recs, vec![vec!["a", "b"], vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn rejects_unterminated_quote() {
+        assert!(parse_records("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        assert!(read_csv_str("a,b\n1\n").is_err());
+    }
+
+    #[test]
+    fn infers_types() {
+        let f = read_csv_str("id,util,gpu,ok\n1,0.5,v100,true\n2,,t4,false\n").unwrap();
+        assert_eq!(f.column("id").unwrap().dtype(), DType::Int);
+        assert_eq!(f.column("util").unwrap().dtype(), DType::Float);
+        assert_eq!(f.column("gpu").unwrap().dtype(), DType::Str);
+        assert_eq!(f.column("ok").unwrap().dtype(), DType::Bool);
+        assert_eq!(f.get(1, "util").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn int_column_promoted_to_float() {
+        let f = read_csv_str("x\n1\n2.5\n").unwrap();
+        assert_eq!(f.column("x").unwrap().dtype(), DType::Float);
+        assert_eq!(f.get(0, "x").unwrap(), Value::Float(1.0));
+    }
+
+    #[test]
+    fn mixed_number_and_text_becomes_str() {
+        let f = read_csv_str("x\n1\nabc\n").unwrap();
+        assert_eq!(f.column("x").unwrap().dtype(), DType::Str);
+        assert_eq!(f.get(0, "x").unwrap(), Value::Str("1".into()));
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let f = read_csv_str("id,note\n1,\"a,b\"\n2,\"quote \"\" here\"\n").unwrap();
+        let text = write_csv_string(&f);
+        let g = read_csv_str(&text).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn empty_body_gives_empty_frame() {
+        let f = read_csv_str("a,b\n").unwrap();
+        assert_eq!(f.n_rows(), 0);
+        assert_eq!(f.n_cols(), 2);
+    }
+}

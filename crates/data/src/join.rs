@@ -1,0 +1,177 @@
+//! Key-based joins between frames.
+//!
+//! The paper's first preprocessing step merges features collected at
+//! different levels (scheduler log, node-level GPU reductions) into a single
+//! per-job table; [`inner_join`] / [`left_join`] implement that merge keyed
+//! on the job id.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::error::{DataError, Result};
+use crate::frame::Frame;
+use crate::value::Value;
+
+/// A hashable join key extracted from a column cell.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Int(i64),
+    Str(String),
+    Bool(bool),
+}
+
+fn key_at(col: &Column, row: usize) -> Result<Option<Key>> {
+    Ok(match col {
+        Column::Int(v) => v[row].map(Key::Int),
+        Column::Str(v) => v.get(row).map(|s| Key::Str(s.to_string())),
+        Column::Bool(v) => v[row].map(Key::Bool),
+        Column::Float(_) => {
+            return Err(DataError::Join(
+                "cannot join on a float column".to_string(),
+            ))
+        }
+    })
+}
+
+/// Builds key -> row-indices for the right frame.
+fn build_index(frame: &Frame, key: &str) -> Result<HashMap<Key, Vec<usize>>> {
+    let col = frame.column(key)?;
+    let mut index: HashMap<Key, Vec<usize>> = HashMap::with_capacity(frame.n_rows());
+    for row in 0..frame.n_rows() {
+        if let Some(k) = key_at(col, row)? {
+            index.entry(k).or_default().push(row);
+        }
+    }
+    Ok(index)
+}
+
+fn join_impl(left: &Frame, right: &Frame, key: &str, keep_unmatched_left: bool) -> Result<Frame> {
+    let index = build_index(right, key)?;
+    let left_key = left.column(key)?;
+
+    let mut left_rows: Vec<usize> = Vec::new();
+    let mut right_rows: Vec<Option<usize>> = Vec::new();
+    for row in 0..left.n_rows() {
+        match key_at(left_key, row)?.and_then(|k| index.get(&k)) {
+            Some(matches) => {
+                for &r in matches {
+                    left_rows.push(row);
+                    right_rows.push(Some(r));
+                }
+            }
+            None => {
+                if keep_unmatched_left {
+                    left_rows.push(row);
+                    right_rows.push(None);
+                }
+            }
+        }
+    }
+
+    let mut out = left.take(&left_rows);
+    for (name, col) in right.names().iter().zip(right.columns()) {
+        if name == key {
+            continue;
+        }
+        let out_name = if out.has_column(name) {
+            format!("{name}_right")
+        } else {
+            name.clone()
+        };
+        let mut new_col = Column::with_capacity(col.dtype(), right_rows.len());
+        for r in &right_rows {
+            let v = match r {
+                Some(r) => col.get(*r),
+                None => Value::Null,
+            };
+            new_col.push_value(&out_name, v)?;
+        }
+        out.add_column(&out_name, new_col)?;
+    }
+    Ok(out)
+}
+
+/// Inner join: keeps left rows with at least one key match in `right`;
+/// multiple matches multiply rows (needed for one-to-many log merges).
+pub fn inner_join(left: &Frame, right: &Frame, key: &str) -> Result<Frame> {
+    join_impl(left, right, key, false)
+}
+
+/// Left join: like [`inner_join`] but unmatched left rows survive with
+/// nulls in the right-hand columns.
+pub fn left_join(left: &Frame, right: &Frame, key: &str) -> Result<Frame> {
+    join_impl(left, right, key, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::read_csv_str;
+
+    fn sched() -> Frame {
+        read_csv_str("job_id,user,status\n1,alice,pass\n2,bob,fail\n3,carol,pass\n").unwrap()
+    }
+
+    fn gpu() -> Frame {
+        read_csv_str("job_id,sm_util\n1,0.0\n2,87.5\n9,50.0\n").unwrap()
+    }
+
+    #[test]
+    fn inner_join_drops_unmatched() {
+        let j = inner_join(&sched(), &gpu(), "job_id").unwrap();
+        assert_eq!(j.n_rows(), 2);
+        assert_eq!(j.get(0, "user").unwrap(), Value::Str("alice".into()));
+        assert_eq!(j.get(0, "sm_util").unwrap(), Value::Float(0.0));
+        assert_eq!(j.get(1, "sm_util").unwrap(), Value::Float(87.5));
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_with_nulls() {
+        let j = left_join(&sched(), &gpu(), "job_id").unwrap();
+        assert_eq!(j.n_rows(), 3);
+        assert_eq!(j.get(2, "user").unwrap(), Value::Str("carol".into()));
+        assert_eq!(j.get(2, "sm_util").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn one_to_many_multiplies_rows() {
+        let right = read_csv_str("job_id,attempt\n1,1\n1,2\n").unwrap();
+        let j = inner_join(&sched(), &right, "job_id").unwrap();
+        assert_eq!(j.n_rows(), 2);
+        assert_eq!(j.get(0, "attempt").unwrap(), Value::Int(1));
+        assert_eq!(j.get(1, "attempt").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn name_collision_gets_suffix() {
+        let right = read_csv_str("job_id,user\n1,server-a\n").unwrap();
+        let j = inner_join(&sched(), &right, "job_id").unwrap();
+        assert!(j.has_column("user_right"));
+        assert_eq!(j.get(0, "user_right").unwrap(), Value::Str("server-a".into()));
+    }
+
+    #[test]
+    fn join_on_string_key() {
+        let left = read_csv_str("user,a\nalice,1\nbob,2\n").unwrap();
+        let right = read_csv_str("user,b\nbob,9\n").unwrap();
+        let j = inner_join(&left, &right, "user").unwrap();
+        assert_eq!(j.n_rows(), 1);
+        assert_eq!(j.get(0, "b").unwrap(), Value::Int(9));
+    }
+
+    #[test]
+    fn join_on_float_rejected() {
+        let left = read_csv_str("k,a\n1.5,1\n").unwrap();
+        let right = read_csv_str("k,b\n1.5,2\n").unwrap();
+        assert!(inner_join(&left, &right, "k").is_err());
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let left = read_csv_str("k,a\n,1\n2,2\n").unwrap();
+        let right = read_csv_str("k,b\n,9\n2,8\n").unwrap();
+        let j = inner_join(&left, &right, "k").unwrap();
+        assert_eq!(j.n_rows(), 1);
+        assert_eq!(j.get(0, "b").unwrap(), Value::Int(8));
+    }
+}

@@ -1,0 +1,46 @@
+//! # irma-data — trace data model
+//!
+//! Column-oriented tables, hand-rolled CSV I/O, schemas, and key joins for
+//! the IRMA reproduction of *Interpretable Analysis of Production GPU
+//! Clusters Monitoring Data via Association Rule Mining* (IPPS'24).
+//!
+//! Production GPU-cluster traces arrive as several CSV files per system —
+//! a scheduler-level job log plus node-level monitoring reductions. This
+//! crate provides exactly the substrate the paper's preprocessing step
+//! needs: parse each file ([`read_csv_path`]), validate it ([`Schema`]),
+//! and merge everything into one per-job [`Frame`] ([`inner_join`]).
+//!
+//! ```
+//! use irma_data::{read_csv_str, inner_join};
+//!
+//! let sched = read_csv_str("job_id,user,status\n1,alice,pass\n2,bob,fail\n").unwrap();
+//! let gpu = read_csv_str("job_id,sm_util\n1,0.0\n2,92.5\n").unwrap();
+//! let merged = inner_join(&sched, &gpu, "job_id").unwrap();
+//! assert_eq!(merged.n_rows(), 2);
+//! assert_eq!(merged.names(), &["job_id", "user", "status", "sm_util"]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod column;
+mod csv;
+mod error;
+mod frame;
+mod join;
+mod reduce;
+mod schema;
+mod slurm;
+mod value;
+
+pub use column::{Column, DType, StrStorage};
+pub use csv::{
+    parse_records, read_csv, read_csv_path, read_csv_str, write_csv, write_csv_path,
+    write_csv_string,
+};
+pub use error::{DataError, Result};
+pub use frame::Frame;
+pub use join::{inner_join, left_join};
+pub use reduce::{group_stats, reduce_by_key, GroupStats, Reduction};
+pub use slurm::{format_sacct_duration, parse_sacct_duration, parse_size_gb, read_sacct_str, write_sacct_string};
+pub use schema::{Field, Schema};
+pub use value::Value;

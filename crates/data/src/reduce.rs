@@ -1,0 +1,286 @@
+//! Grouped reductions: raw monitoring samples -> per-job features.
+//!
+//! SuperCloud stores raw 100 ms `nvidia-smi` samples and Philly 1-minute
+//! Ganglia samples; the per-job features the paper mines (mean / min /
+//! max / variance of each metric) are reductions over those series keyed
+//! by job id. [`group_stats`] is that reduction for one value column;
+//! [`reduce_by_key`] runs it for several value columns and assembles the
+//! node-level feature frame.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::error::{DataError, Result};
+use crate::frame::Frame;
+
+/// Streaming accumulator for mean/min/max/variance (Welford's algorithm,
+/// so long series stay numerically stable).
+#[derive(Debug, Clone, Copy)]
+struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    fn new() -> Accumulator {
+        Accumulator {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Population variance.
+    fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+}
+
+/// Per-group statistics of one numeric column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupStats {
+    /// Group key (integer key rendered as decimal for string keys parity).
+    pub key: i64,
+    /// Sample count.
+    pub count: u64,
+    /// Mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Population variance.
+    pub var: f64,
+}
+
+/// Computes mean/min/max/var of `value` grouped by an integer `key`
+/// column, sorted by key. Null cells in either column are skipped.
+pub fn group_stats(frame: &Frame, key: &str, value: &str) -> Result<Vec<GroupStats>> {
+    let key_col = frame.column(key)?;
+    let keys = key_col.as_ints().ok_or_else(|| DataError::TypeMismatch {
+        column: key.to_string(),
+        expected: "int",
+        actual: key_col.dtype().name().to_string(),
+    })?;
+    let values = frame.column(value)?;
+    if !values.is_numeric() {
+        return Err(DataError::TypeMismatch {
+            column: value.to_string(),
+            expected: "numeric",
+            actual: values.dtype().name().to_string(),
+        });
+    }
+    let mut acc: HashMap<i64, Accumulator> = HashMap::new();
+    for (row, k) in keys.iter().enumerate() {
+        let (Some(k), Some(v)) = (k, values.numeric(row)) else {
+            continue;
+        };
+        if v.is_finite() {
+            acc.entry(*k).or_insert_with(Accumulator::new).push(v);
+        }
+    }
+    let mut out: Vec<GroupStats> = acc
+        .into_iter()
+        .map(|(key, a)| GroupStats {
+            key,
+            count: a.n,
+            mean: a.mean,
+            min: a.min,
+            max: a.max,
+            var: a.variance(),
+        })
+        .collect();
+    out.sort_by_key(|g| g.key);
+    Ok(out)
+}
+
+/// Which reductions of a value column to materialize as output columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduction {
+    /// Arithmetic mean -> `<col>`.
+    Mean,
+    /// Minimum -> `<col>_min`.
+    Min,
+    /// Maximum -> `<col>_max`.
+    Max,
+    /// Population variance -> `<col>_var`.
+    Var,
+}
+
+/// Reduces several raw sample columns into one per-key feature frame.
+///
+/// Output: a `key` column (named after the input key) plus, for each
+/// `(column, reductions)` request, one output column per reduction using
+/// the naming above. Keys appear in ascending order.
+pub fn reduce_by_key(
+    frame: &Frame,
+    key: &str,
+    requests: &[(&str, &[Reduction])],
+) -> Result<Frame> {
+    // The key set is the union across value columns: a job whose samples
+    // are null for one metric must still keep its row (null features).
+    let mut all_stats: Vec<(usize, HashMap<i64, GroupStats>)> = Vec::new();
+    let mut keys: Vec<i64> = Vec::new();
+    for (idx, (value_col, _)) in requests.iter().enumerate() {
+        let stats = group_stats(frame, key, value_col)?;
+        for g in &stats {
+            if !keys.contains(&g.key) {
+                keys.push(g.key);
+            }
+        }
+        all_stats.push((idx, stats.into_iter().map(|g| (g.key, g)).collect()));
+    }
+    keys.sort_unstable();
+
+    let mut out = Frame::new();
+    out.add_column(key, Column::from_ints(keys.iter().copied()))?;
+    for (idx, by_key) in &all_stats {
+        let (value_col, reductions) = requests[*idx];
+        for reduction in reductions {
+            let pick = |g: &GroupStats| match reduction {
+                Reduction::Mean => g.mean,
+                Reduction::Min => g.min,
+                Reduction::Max => g.max,
+                Reduction::Var => g.var,
+            };
+            let name = match reduction {
+                Reduction::Mean => value_col.to_string(),
+                Reduction::Min => format!("{value_col}_min"),
+                Reduction::Max => format!("{value_col}_max"),
+                Reduction::Var => format!("{value_col}_var"),
+            };
+            let column = Column::from_opt_floats(
+                keys.iter().map(|k| by_key.get(k).map(&pick)),
+            );
+            out.add_column(&name, column)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::read_csv_str;
+
+    fn samples() -> Frame {
+        read_csv_str(concat!(
+            "job_id,sm\n",
+            "1,0.0\n1,10.0\n1,20.0\n",
+            "2,50.0\n2,50.0\n",
+            "3,\n", // null value skipped -> group 3 absent
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn group_stats_basics() {
+        let stats = group_stats(&samples(), "job_id", "sm").unwrap();
+        assert_eq!(stats.len(), 2);
+        let g1 = &stats[0];
+        assert_eq!(g1.key, 1);
+        assert_eq!(g1.count, 3);
+        assert!((g1.mean - 10.0).abs() < 1e-12);
+        assert_eq!(g1.min, 0.0);
+        assert_eq!(g1.max, 20.0);
+        assert!((g1.var - 200.0 / 3.0).abs() < 1e-9);
+        let g2 = &stats[1];
+        assert_eq!(g2.key, 2);
+        assert_eq!(g2.var, 0.0);
+    }
+
+    #[test]
+    fn welford_matches_naive_on_long_series() {
+        let mut csv = String::from("job_id,x\n");
+        let values: Vec<f64> = (0..5_000).map(|i| 1e6 + (i % 37) as f64 * 0.25).collect();
+        for v in &values {
+            csv.push_str(&format!("7,{v}\n"));
+        }
+        let frame = read_csv_str(&csv).unwrap();
+        let stats = group_stats(&frame, "job_id", "x").unwrap();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        assert!((stats[0].mean - mean).abs() < 1e-6);
+        assert!((stats[0].var - var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reduce_by_key_builds_feature_frame() {
+        let reduced = reduce_by_key(
+            &samples(),
+            "job_id",
+            &[("sm", &[Reduction::Mean, Reduction::Min, Reduction::Max, Reduction::Var])],
+        )
+        .unwrap();
+        assert_eq!(reduced.n_rows(), 2);
+        assert_eq!(
+            reduced.names(),
+            &["job_id", "sm", "sm_min", "sm_max", "sm_var"]
+        );
+        assert_eq!(reduced.get(0, "sm").unwrap().as_float(), Some(10.0));
+        assert_eq!(reduced.get(1, "sm_min").unwrap().as_float(), Some(50.0));
+    }
+
+    #[test]
+    fn reduce_by_key_keeps_union_of_keys() {
+        // Job 3 has samples only for `power`; its `sm` features are null.
+        let frame = read_csv_str(concat!(
+            "job_id,sm,power\n",
+            "1,5.0,60.0\n",
+            "3,,55.0\n",
+        ))
+        .unwrap();
+        let reduced = reduce_by_key(
+            &frame,
+            "job_id",
+            &[("sm", &[Reduction::Mean]), ("power", &[Reduction::Mean])],
+        )
+        .unwrap();
+        assert_eq!(reduced.n_rows(), 2);
+        assert!(reduced.get(1, "sm").unwrap().is_null());
+        assert_eq!(reduced.get(1, "power").unwrap().as_float(), Some(55.0));
+    }
+
+    #[test]
+    fn rejects_bad_key_or_value_types() {
+        let frame = read_csv_str("k,v\na,1\n").unwrap();
+        assert!(group_stats(&frame, "k", "v").is_err());
+        let frame2 = read_csv_str("k,v\n1,a\n").unwrap();
+        assert!(group_stats(&frame2, "k", "v").is_err());
+        assert!(group_stats(&frame2, "missing", "v").is_err());
+    }
+
+    #[test]
+    fn empty_frame_reduces_to_empty() {
+        // Built programmatically: CSV inference has no types for 0 rows.
+        let mut frame = Frame::new();
+        frame
+            .add_column("job_id", Column::empty(crate::column::DType::Int))
+            .unwrap();
+        frame
+            .add_column("sm", Column::empty(crate::column::DType::Float))
+            .unwrap();
+        let stats = group_stats(&frame, "job_id", "sm").unwrap();
+        assert!(stats.is_empty());
+        let reduced = reduce_by_key(&frame, "job_id", &[("sm", &[Reduction::Mean])]).unwrap();
+        assert_eq!(reduced.n_rows(), 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Declarative frame schemas.
+//!
+//! Trace files arrive from several collectors; validating each file against
+//! an expected schema up front turns silent column drift (renamed fields,
+//! wrong units parsed as strings) into immediate errors.
+
+use crate::column::DType;
+use crate::error::{DataError, Result};
+use crate::frame::Frame;
+
+/// One expected column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Required data type.
+    pub dtype: DType,
+    /// Whether null cells are allowed.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A non-nullable field.
+    pub fn required(name: &str, dtype: DType) -> Field {
+        Field {
+            name: name.to_string(),
+            dtype,
+            nullable: false,
+        }
+    }
+
+    /// A nullable field.
+    pub fn nullable(name: &str, dtype: DType) -> Field {
+        Field {
+            name: name.to_string(),
+            dtype,
+            nullable: true,
+        }
+    }
+}
+
+/// An ordered set of expected columns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Builds a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// The expected fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Checks that `frame` contains every field with the right type and
+    /// nullability. Extra columns in the frame are permitted (collectors add
+    /// site-specific fields); missing or mistyped ones are errors.
+    pub fn validate(&self, frame: &Frame) -> Result<()> {
+        for field in &self.fields {
+            let col = frame.column(&field.name).map_err(|_| {
+                DataError::Schema(format!("missing required column `{}`", field.name))
+            })?;
+            // Int data satisfies a Float field: CSV inference narrows
+            // float-valued columns whose sample happens to be integral.
+            let dtype_ok = col.dtype() == field.dtype
+                || (field.dtype == DType::Float && col.dtype() == DType::Int);
+            if !dtype_ok {
+                return Err(DataError::Schema(format!(
+                    "column `{}` has type {}, expected {}",
+                    field.name,
+                    col.dtype().name(),
+                    field.dtype.name()
+                )));
+            }
+            if !field.nullable && col.null_count() > 0 {
+                return Err(DataError::Schema(format!(
+                    "column `{}` contains {} null(s) but is not nullable",
+                    field.name,
+                    col.null_count()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::read_csv_str;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::required("job_id", DType::Int),
+            Field::required("user", DType::Str),
+            Field::nullable("sm_util", DType::Float),
+        ])
+    }
+
+    #[test]
+    fn accepts_valid_frame() {
+        let f = read_csv_str("job_id,user,sm_util,extra\n1,a,0.5,x\n2,b,,y\n").unwrap();
+        schema().validate(&f).unwrap();
+    }
+
+    #[test]
+    fn int_satisfies_float_field() {
+        let f = read_csv_str("job_id,user,sm_util\n1,a,3\n").unwrap();
+        schema().validate(&f).unwrap();
+    }
+
+    #[test]
+    fn missing_column_rejected() {
+        let f = read_csv_str("job_id,user\n1,a\n").unwrap();
+        assert!(schema().validate(&f).is_err());
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let f = read_csv_str("job_id,user,sm_util\nabc,a,0.5\n").unwrap();
+        assert!(schema().validate(&f).is_err());
+    }
+
+    #[test]
+    fn null_in_required_rejected() {
+        let f = read_csv_str("job_id,user,sm_util\n1,,0.5\n").unwrap();
+        assert!(schema().validate(&f).is_err());
+    }
+}

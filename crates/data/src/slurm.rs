@@ -1,0 +1,279 @@
+//! Slurm `sacct`-style accounting logs.
+//!
+//! SuperCloud's scheduler-level data comes from Slurm (§II); real sites
+//! export it via `sacct --parsable2`: pipe-separated fields with a header,
+//! durations as `[days-]HH:MM:SS`, and sizes with binary-ish unit suffixes
+//! (`32G`, `512M`). This module parses that dialect into a [`Frame`]
+//! (durations to seconds, sizes to GB) and writes frames back out, so the
+//! pipeline can ingest accounting exports directly instead of requiring
+//! pre-cleaned CSVs.
+
+use crate::column::Column;
+use crate::error::{DataError, Result};
+use crate::frame::Frame;
+use crate::value::Value;
+
+/// Parses `[days-]HH:MM:SS[.fff]` (also `MM:SS`) into seconds.
+pub fn parse_sacct_duration(text: &str) -> Option<f64> {
+    let text = text.trim();
+    if text.is_empty() {
+        return None;
+    }
+    let (days, rest) = match text.split_once('-') {
+        Some((d, rest)) => (d.parse::<u64>().ok()?, rest),
+        None => (0, text),
+    };
+    let parts: Vec<&str> = rest.split(':').collect();
+    let (h, m, s): (u64, u64, f64) = match parts.as_slice() {
+        [h, m, s] => (h.parse().ok()?, m.parse().ok()?, s.parse().ok()?),
+        [m, s] => (0, m.parse().ok()?, s.parse().ok()?),
+        _ => return None,
+    };
+    if m >= 60 || s >= 60.0 {
+        return None;
+    }
+    Some(days as f64 * 86_400.0 + h as f64 * 3_600.0 + m as f64 * 60.0 + s)
+}
+
+/// Formats seconds as `[days-]HH:MM:SS` (sacct style, whole seconds).
+pub fn format_sacct_duration(seconds: f64) -> String {
+    let total = seconds.max(0.0).round() as u64;
+    let days = total / 86_400;
+    let h = (total % 86_400) / 3_600;
+    let m = (total % 3_600) / 60;
+    let s = total % 60;
+    if days > 0 {
+        format!("{days}-{h:02}:{m:02}:{s:02}")
+    } else {
+        format!("{h:02}:{m:02}:{s:02}")
+    }
+}
+
+/// Parses a Slurm size string (`32G`, `512M`, `1.5T`, `1024K`, plain
+/// bytes) into gigabytes.
+pub fn parse_size_gb(text: &str) -> Option<f64> {
+    let text = text.trim();
+    if text.is_empty() {
+        return None;
+    }
+    let (number, unit) = match text.char_indices().rev().next() {
+        Some((idx, c)) if c.is_ascii_alphabetic() => (&text[..idx], c.to_ascii_uppercase()),
+        _ => (text, 'B'),
+    };
+    let value: f64 = number.parse().ok()?;
+    let gb = match unit {
+        'B' => value / 1e9,
+        'K' => value / 1e6,
+        'M' => value / 1e3,
+        'G' => value,
+        'T' => value * 1e3,
+        _ => return None,
+    };
+    Some(gb)
+}
+
+/// Column-name suffix conventions used when typing sacct fields.
+fn parse_field(name: &str, raw: &str) -> Value {
+    if raw.is_empty() {
+        return Value::Null;
+    }
+    let lower = name.to_ascii_lowercase();
+    if lower.contains("elapsed") || lower.contains("time") {
+        if let Some(secs) = parse_sacct_duration(raw) {
+            return Value::Float(secs);
+        }
+    }
+    if lower.contains("mem") {
+        if let Some(gb) = parse_size_gb(raw) {
+            return Value::Float(gb);
+        }
+    }
+    Value::parse_lossy(raw)
+}
+
+/// Reads `sacct --parsable2` output (pipe-separated, header row) into a
+/// frame. `Elapsed`/`*Time` fields become seconds, `*Mem*` fields become
+/// GB; everything else goes through normal type inference.
+pub fn read_sacct_str(text: &str) -> Result<Frame> {
+    let mut lines = text.lines().enumerate();
+    let (_, header_line) = lines.next().ok_or(DataError::Csv {
+        line: 1,
+        message: "missing sacct header".to_string(),
+    })?;
+    let header: Vec<&str> = header_line.split('|').collect();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for (i, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').collect();
+        if fields.len() != header.len() {
+            return Err(DataError::Csv {
+                line: i + 1,
+                message: format!(
+                    "expected {} fields, found {}",
+                    header.len(),
+                    fields.len()
+                ),
+            });
+        }
+        rows.push(
+            header
+                .iter()
+                .zip(&fields)
+                .map(|(name, raw)| parse_field(name, raw))
+                .collect(),
+        );
+    }
+
+    // Column types: float if any float, else int if any int, else str/bool.
+    let mut frame = Frame::new();
+    for (c, name) in header.iter().enumerate() {
+        let mut has_float = false;
+        let mut has_int = false;
+        let mut has_str = false;
+        let mut has_bool = false;
+        for row in &rows {
+            match &row[c] {
+                Value::Float(_) => has_float = true,
+                Value::Int(_) => has_int = true,
+                Value::Str(_) => has_str = true,
+                Value::Bool(_) => has_bool = true,
+                Value::Null => {}
+            }
+        }
+        let dtype = if has_str || (has_bool && (has_int || has_float)) {
+            crate::column::DType::Str
+        } else if has_float {
+            crate::column::DType::Float
+        } else if has_int {
+            crate::column::DType::Int
+        } else if has_bool {
+            crate::column::DType::Bool
+        } else {
+            crate::column::DType::Str
+        };
+        let mut col = Column::with_capacity(dtype, rows.len());
+        for row in &rows {
+            let v = match (&row[c], dtype) {
+                (Value::Null, _) => Value::Null,
+                (Value::Int(x), crate::column::DType::Float) => Value::Float(*x as f64),
+                (v, crate::column::DType::Str) => Value::Str(v.to_string()),
+                (v, _) => v.clone(),
+            };
+            col.push_value(name, v)?;
+        }
+        frame.add_column(name, col)?;
+    }
+    Ok(frame)
+}
+
+/// Writes a frame as `sacct --parsable2`-style text. Columns whose name
+/// contains `Elapsed`/`Time` are formatted as durations.
+pub fn write_sacct_string(frame: &Frame) -> String {
+    let mut out = String::new();
+    out.push_str(&frame.names().join("|"));
+    out.push('\n');
+    let duration_col: Vec<bool> = frame
+        .names()
+        .iter()
+        .map(|n| {
+            let lower = n.to_ascii_lowercase();
+            lower.contains("elapsed") || lower.contains("time")
+        })
+        .collect();
+    for row in 0..frame.n_rows() {
+        let mut fields: Vec<String> = Vec::with_capacity(frame.n_cols());
+        for (col, is_duration) in frame.columns().iter().zip(&duration_col) {
+            let value = col.get(row);
+            let text = match (&value, is_duration) {
+                (Value::Null, _) => String::new(),
+                (v, true) => match v.as_float() {
+                    Some(secs) => format_sacct_duration(secs),
+                    None => v.to_string(),
+                },
+                (v, false) => v.to_string(),
+            };
+            fields.push(text);
+        }
+        out.push_str(&fields.join("|"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_parsing() {
+        assert_eq!(parse_sacct_duration("00:00:10"), Some(10.0));
+        assert_eq!(parse_sacct_duration("01:02:03"), Some(3723.0));
+        assert_eq!(parse_sacct_duration("1-02:03:04"), Some(93_784.0));
+        assert_eq!(parse_sacct_duration("05:30"), Some(330.0));
+        assert_eq!(parse_sacct_duration("00:00:10.5"), Some(10.5));
+        assert_eq!(parse_sacct_duration(""), None);
+        assert_eq!(parse_sacct_duration("99:99:99"), None);
+        assert_eq!(parse_sacct_duration("abc"), None);
+    }
+
+    #[test]
+    fn duration_round_trip() {
+        for secs in [0.0, 59.0, 3600.0, 86_399.0, 93_784.0, 1_814_400.0] {
+            let text = format_sacct_duration(secs);
+            assert_eq!(parse_sacct_duration(&text), Some(secs), "{text}");
+        }
+        assert_eq!(format_sacct_duration(93_784.0), "1-02:03:04");
+        assert_eq!(format_sacct_duration(10.0), "00:00:10");
+    }
+
+    #[test]
+    fn size_parsing() {
+        assert_eq!(parse_size_gb("32G"), Some(32.0));
+        assert_eq!(parse_size_gb("512M"), Some(0.512));
+        assert_eq!(parse_size_gb("1.5T"), Some(1500.0));
+        assert_eq!(parse_size_gb("1000000K"), Some(1.0));
+        assert_eq!(parse_size_gb("2000000000"), Some(2.0));
+        assert_eq!(parse_size_gb(""), None);
+        assert_eq!(parse_size_gb("12X"), None);
+    }
+
+    #[test]
+    fn read_sacct_types_fields() {
+        let text = concat!(
+            "JobID|User|State|Elapsed|AllocCPUS|ReqMem\n",
+            "1001|alice|COMPLETED|01:00:00|8|32G\n",
+            "1002|bob|FAILED|1-00:00:00|4|512M\n",
+            "1003|carol|CANCELLED|00:05:30|2|\n",
+        );
+        let frame = read_sacct_str(text).unwrap();
+        assert_eq!(frame.n_rows(), 3);
+        assert_eq!(frame.get(0, "Elapsed").unwrap().as_float(), Some(3600.0));
+        assert_eq!(frame.get(1, "Elapsed").unwrap().as_float(), Some(86_400.0));
+        assert_eq!(frame.get(0, "ReqMem").unwrap().as_float(), Some(32.0));
+        assert_eq!(frame.get(2, "ReqMem").unwrap(), Value::Null);
+        assert_eq!(frame.get(1, "State").unwrap().as_str(), Some("FAILED"));
+        assert_eq!(frame.get(2, "AllocCPUS").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn read_sacct_rejects_ragged_rows() {
+        assert!(read_sacct_str("a|b\n1\n").is_err());
+        assert!(read_sacct_str("").is_err());
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let text = concat!(
+            "JobID|User|Elapsed\n",
+            "1|alice|02:00:00\n",
+            "2|bob|3-01:02:03\n",
+        );
+        let frame = read_sacct_str(text).unwrap();
+        let written = write_sacct_string(&frame);
+        let again = read_sacct_str(&written).unwrap();
+        assert_eq!(frame, again);
+        assert!(written.contains("3-01:02:03"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Apriori frequent-itemset mining (Agrawal & Srikant, VLDB 1994).
+//!
+//! Implemented as the baseline the paper compares FP-Growth against
+//! (§III-C): level-wise candidate generation with the F(k-1) × F(k-1)
+//! prefix join, subset-based pruning, and trie-accelerated support counting
+//! (the trie plays the role of the original paper's hash tree). Support
+//! counting is parallelised over transactions with rayon.
+
+use std::collections::{HashMap, HashSet};
+
+use rayon::prelude::*;
+
+use crate::counts::{FrequentItemsets, MinerConfig};
+use crate::db::TransactionDb;
+use crate::item::{ItemId, Itemset};
+
+/// A candidate-counting trie: one level per itemset position.
+///
+/// Each candidate of length k is a root-to-leaf path; counting walks every
+/// transaction through the trie, advancing only along items present in the
+/// transaction, so a transaction of length m visits at most C(m, k) paths —
+/// and far fewer in practice because the trie is sparse.
+#[derive(Debug, Default)]
+struct CandidateTrie {
+    /// Flattened nodes; `children` maps item -> node index.
+    children: Vec<HashMap<ItemId, u32>>,
+    /// `leaf[n]` = candidate index if node `n` terminates a candidate.
+    leaf: Vec<Option<u32>>,
+}
+
+impl CandidateTrie {
+    fn new() -> CandidateTrie {
+        CandidateTrie {
+            children: vec![HashMap::new()],
+            leaf: vec![None],
+        }
+    }
+
+    /// Inserts a candidate (sorted items) with its dense index.
+    fn insert(&mut self, items: &[ItemId], candidate_idx: u32) {
+        let mut node = 0usize;
+        for &item in items {
+            let next = match self.children[node].get(&item) {
+                Some(&n) => n as usize,
+                None => {
+                    let n = self.children.len();
+                    self.children.push(HashMap::new());
+                    self.leaf.push(None);
+                    self.children[node].insert(item, n as u32);
+                    n
+                }
+            };
+            node = next;
+        }
+        self.leaf[node] = Some(candidate_idx);
+    }
+
+    /// Adds every candidate contained in `txn` to `hits`.
+    fn count_into(&self, txn: &[ItemId], hits: &mut Vec<u32>) {
+        self.walk(0, txn, hits);
+    }
+
+    fn walk(&self, node: usize, txn: &[ItemId], hits: &mut Vec<u32>) {
+        if let Some(idx) = self.leaf[node] {
+            hits.push(idx);
+        }
+        if self.children[node].is_empty() {
+            return;
+        }
+        for (pos, &item) in txn.iter().enumerate() {
+            if let Some(&next) = self.children[node].get(&item) {
+                self.walk(next as usize, &txn[pos + 1..], hits);
+            }
+        }
+    }
+}
+
+/// Generates length-(k+1) candidates from frequent length-k itemsets using
+/// the prefix join, then prunes candidates with an infrequent k-subset.
+fn generate_candidates(frequent_k: &[Itemset]) -> Vec<Itemset> {
+    let frequent: HashSet<&Itemset> = frequent_k.iter().collect();
+    let mut candidates = Vec::new();
+    // frequent_k is sorted lexicographically, so joinable prefixes are
+    // adjacent runs.
+    let mut start = 0;
+    while start < frequent_k.len() {
+        let prefix_len = frequent_k[start].len() - 1;
+        let prefix = &frequent_k[start].items()[..prefix_len];
+        let mut end = start + 1;
+        while end < frequent_k.len() && &frequent_k[end].items()[..prefix_len] == prefix {
+            end += 1;
+        }
+        for i in start..end {
+            for j in (i + 1)..end {
+                let a = &frequent_k[i];
+                let b = &frequent_k[j];
+                let candidate = a.with_item(*b.items().last().expect("non-empty"));
+                // Prune: every k-subset must be frequent.
+                let all_frequent = candidate.items().iter().all(|&drop| {
+                    let sub =
+                        Itemset::from_items(candidate.items().iter().copied().filter(|&x| x != drop));
+                    frequent.contains(&sub)
+                });
+                if all_frequent {
+                    candidates.push(candidate);
+                }
+            }
+        }
+        start = end;
+    }
+    candidates
+}
+
+/// Mines all frequent itemsets with the Apriori algorithm.
+///
+/// Output-equivalent to [`crate::fpgrowth`]; kept as the performance
+/// baseline and as a cross-check oracle in property tests.
+pub fn apriori(db: &TransactionDb, config: &MinerConfig) -> FrequentItemsets {
+    config.validate().expect("invalid miner config");
+    let min_count = config.min_count(db.len());
+    let mut all: Vec<(Itemset, u64)> = Vec::new();
+
+    // L1.
+    let counts = db.item_counts();
+    let mut frequent_k: Vec<Itemset> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= min_count)
+        .map(|(i, _)| Itemset::singleton(i as ItemId))
+        .collect();
+    for set in &frequent_k {
+        all.push((set.clone(), counts[set.items()[0] as usize]));
+    }
+
+    let mut k = 1;
+    while !frequent_k.is_empty() && k < config.max_len {
+        frequent_k.sort_unstable();
+        let candidates = generate_candidates(&frequent_k);
+        if candidates.is_empty() {
+            break;
+        }
+        let mut trie = CandidateTrie::new();
+        for (idx, c) in candidates.iter().enumerate() {
+            trie.insert(c.items(), idx as u32);
+        }
+
+        // Parallel support counting: per-chunk local count arrays, reduced.
+        let n = candidates.len();
+        let chunk_counts: Vec<Vec<u64>> = (0..db.len())
+            .into_par_iter()
+            .fold(
+                || (vec![0u64; n], Vec::new()),
+                |(mut local, mut hits), t| {
+                    hits.clear();
+                    trie.count_into(db.transaction(t), &mut hits);
+                    for &idx in &hits {
+                        local[idx as usize] += 1;
+                    }
+                    (local, hits)
+                },
+            )
+            .map(|(local, _)| local)
+            .collect();
+        let mut totals = vec![0u64; n];
+        for local in chunk_counts {
+            for (t, l) in totals.iter_mut().zip(local) {
+                *t += l;
+            }
+        }
+
+        frequent_k = Vec::new();
+        for (candidate, count) in candidates.into_iter().zip(totals) {
+            if count >= min_count {
+                all.push((candidate.clone(), count));
+                frequent_k.push(candidate);
+            }
+        }
+        k += 1;
+    }
+
+    FrequentItemsets::new(all, db.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpgrowth::fpgrowth;
+
+    fn textbook_db() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![0, 1],
+            vec![1, 2, 3],
+            vec![0, 2, 3, 4],
+            vec![0, 3, 4],
+            vec![0, 1, 2],
+            vec![0, 1, 2, 3],
+            vec![0],
+            vec![0, 1, 2],
+            vec![0, 1, 3],
+            vec![1, 2, 4],
+        ])
+    }
+
+    #[test]
+    fn matches_fpgrowth_exactly() {
+        let db = textbook_db();
+        for min_support in [0.1, 0.2, 0.3, 0.5, 0.8] {
+            let config = MinerConfig {
+                min_support,
+                max_len: 5,
+                parallel: false,
+            };
+            let a = apriori(&db, &config);
+            let f = fpgrowth(&db, &config);
+            assert_eq!(a.as_slice(), f.as_slice(), "support {min_support}");
+        }
+    }
+
+    #[test]
+    fn counts_match_brute_force() {
+        let db = textbook_db();
+        let fi = apriori(&db, &MinerConfig::with_min_support(0.2));
+        for (set, count) in fi.iter() {
+            assert_eq!(*count, db.support_count(set), "wrong count for {set}");
+        }
+    }
+
+    #[test]
+    fn candidate_generation_prefix_join() {
+        // {0,1}, {0,2}, {1,2} -> {0,1,2}; {1,3} alone cannot join further.
+        let frequent = vec![
+            Itemset::from_items([0, 1]),
+            Itemset::from_items([0, 2]),
+            Itemset::from_items([1, 2]),
+            Itemset::from_items([1, 3]),
+        ];
+        let candidates = generate_candidates(&frequent);
+        assert_eq!(candidates, vec![Itemset::from_items([0, 1, 2])]);
+    }
+
+    #[test]
+    fn candidate_pruning_drops_unsupported_subsets() {
+        // {0,1} and {0,2} join to {0,1,2} but {1,2} is not frequent.
+        let frequent = vec![Itemset::from_items([0, 1]), Itemset::from_items([0, 2])];
+        let candidates = generate_candidates(&frequent);
+        assert!(candidates.is_empty());
+    }
+
+    #[test]
+    fn max_len_respected() {
+        let db = textbook_db();
+        let config = MinerConfig {
+            min_support: 0.1,
+            max_len: 2,
+            parallel: false,
+        };
+        let fi = apriori(&db, &config);
+        assert!(fi.iter().all(|(s, _)| s.len() <= 2));
+    }
+
+    #[test]
+    fn trie_counts_subsets() {
+        let mut trie = CandidateTrie::new();
+        trie.insert(&[1, 3], 0);
+        trie.insert(&[1, 4], 1);
+        trie.insert(&[2, 3], 2);
+        let mut hits = Vec::new();
+        trie.count_into(&[1, 2, 3], &mut hits);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 2]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Eclat frequent-itemset mining (Zaki, IEEE TKDE 2000).
+//!
+//! A second independent baseline: vertical layout (per-item transaction-id
+//! lists), depth-first prefix extension by tid-list intersection. Having a
+//! third miner with a completely different data layout makes the
+//! cross-miner equivalence property tests a strong oracle for all three.
+
+use rayon::prelude::*;
+
+use crate::counts::{FrequentItemsets, MinerConfig};
+use crate::db::TransactionDb;
+use crate::item::{ItemId, Itemset};
+
+/// Intersection of two sorted tid-lists.
+fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Depth-first extension of `prefix` by items from `tail`.
+fn extend(
+    prefix: &[ItemId],
+    tail: &[(ItemId, Vec<u32>)],
+    min_count: u64,
+    max_len: usize,
+    out: &mut Vec<(Itemset, u64)>,
+) {
+    for (pos, (item, tids)) in tail.iter().enumerate() {
+        let mut itemset: Vec<ItemId> = prefix.to_vec();
+        itemset.push(*item);
+        out.push((Itemset::from_items(itemset.clone()), tids.len() as u64));
+        if itemset.len() >= max_len {
+            continue;
+        }
+        // Conditional tail: remaining items intersected with this prefix.
+        let mut next_tail: Vec<(ItemId, Vec<u32>)> = Vec::new();
+        for (other, other_tids) in &tail[pos + 1..] {
+            let joined = intersect(tids, other_tids);
+            if joined.len() as u64 >= min_count {
+                next_tail.push((*other, joined));
+            }
+        }
+        if !next_tail.is_empty() {
+            extend(&itemset, &next_tail, min_count, max_len, out);
+        }
+    }
+}
+
+/// Mines all frequent itemsets with the Eclat algorithm.
+pub fn eclat(db: &TransactionDb, config: &MinerConfig) -> FrequentItemsets {
+    config.validate().expect("invalid miner config");
+    let min_count = config.min_count(db.len());
+
+    // Vertical layout: tid-list per item.
+    let mut tidlists: Vec<Vec<u32>> = vec![Vec::new(); db.n_items()];
+    for (tid, txn) in db.iter().enumerate() {
+        for &item in txn {
+            tidlists[item as usize].push(tid as u32);
+        }
+    }
+    let frequent: Vec<(ItemId, Vec<u32>)> = tidlists
+        .into_iter()
+        .enumerate()
+        .filter(|(_, tids)| tids.len() as u64 >= min_count)
+        .map(|(item, tids)| (item as ItemId, tids))
+        .collect();
+
+    let out: Vec<(Itemset, u64)> = if config.parallel {
+        (0..frequent.len())
+            .into_par_iter()
+            .map(|pos| {
+                let (item, tids) = &frequent[pos];
+                let mut local = vec![(Itemset::singleton(*item), tids.len() as u64)];
+                if config.max_len > 1 {
+                    let mut tail: Vec<(ItemId, Vec<u32>)> = Vec::new();
+                    for (other, other_tids) in &frequent[pos + 1..] {
+                        let joined = intersect(tids, other_tids);
+                        if joined.len() as u64 >= min_count {
+                            tail.push((*other, joined));
+                        }
+                    }
+                    if !tail.is_empty() {
+                        extend(&[*item], &tail, min_count, config.max_len, &mut local);
+                    }
+                }
+                local
+            })
+            .flatten()
+            .collect()
+    } else {
+        let mut out = Vec::new();
+        extend(&[], &frequent, min_count, config.max_len, &mut out);
+        out
+    };
+
+    FrequentItemsets::new(out, db.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+    use crate::fpgrowth::fpgrowth;
+
+    fn textbook_db() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![0, 1],
+            vec![1, 2, 3],
+            vec![0, 2, 3, 4],
+            vec![0, 3, 4],
+            vec![0, 1, 2],
+            vec![0, 1, 2, 3],
+            vec![0],
+            vec![0, 1, 2],
+            vec![0, 1, 3],
+            vec![1, 2, 4],
+        ])
+    }
+
+    #[test]
+    fn intersect_sorted_lists() {
+        assert_eq!(intersect(&[1, 3, 5, 7], &[2, 3, 5, 9]), vec![3, 5]);
+        assert_eq!(intersect(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect(&[4], &[4]), vec![4]);
+    }
+
+    #[test]
+    fn matches_other_miners() {
+        let db = textbook_db();
+        for min_support in [0.1, 0.2, 0.4, 0.7] {
+            for parallel in [false, true] {
+                let config = MinerConfig {
+                    min_support,
+                    max_len: 5,
+                    parallel,
+                };
+                let e = eclat(&db, &config);
+                let f = fpgrowth(&db, &config);
+                let a = apriori(&db, &config);
+                assert_eq!(e.as_slice(), f.as_slice());
+                assert_eq!(e.as_slice(), a.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn counts_match_brute_force() {
+        let db = textbook_db();
+        let fi = eclat(&db, &MinerConfig::with_min_support(0.2));
+        for (set, count) in fi.iter() {
+            assert_eq!(*count, db.support_count(set));
+        }
+    }
+
+    #[test]
+    fn max_len_respected() {
+        let db = textbook_db();
+        let config = MinerConfig {
+            min_support: 0.1,
+            max_len: 3,
+            parallel: false,
+        };
+        let fi = eclat(&db, &config);
+        assert!(fi.iter().all(|(s, _)| s.len() <= 3));
+        assert!(fi.iter().any(|(s, _)| s.len() == 3));
+    }
+}

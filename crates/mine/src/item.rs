@@ -1,0 +1,332 @@
+//! Items, itemsets, and the item catalog.
+//!
+//! Items are interned to dense `u32` ids before mining so hot loops compare
+//! integers, never strings. An [`Itemset`] is a canonical (sorted, deduped)
+//! set of item ids; canonical form makes itemsets usable as hash keys and
+//! makes subset tests a linear merge.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense item identifier assigned by [`ItemCatalog`].
+pub type ItemId = u32;
+
+/// A canonical (strictly increasing) set of item ids.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Itemset(Vec<ItemId>);
+
+impl Itemset {
+    /// Creates an empty itemset.
+    pub fn empty() -> Itemset {
+        Itemset(Vec::new())
+    }
+
+    /// Creates an itemset from arbitrary ids (sorted and deduped here).
+    pub fn from_items<I: IntoIterator<Item = ItemId>>(items: I) -> Itemset {
+        let mut v: Vec<ItemId> = items.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Itemset(v)
+    }
+
+    /// Creates an itemset from a vector already in strictly increasing
+    /// order. Panics in debug builds if the invariant does not hold.
+    pub fn from_sorted(items: Vec<ItemId>) -> Itemset {
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "not strictly sorted");
+        Itemset(items)
+    }
+
+    /// A single-item set.
+    pub fn singleton(item: ItemId) -> Itemset {
+        Itemset(vec![item])
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The item ids in increasing order.
+    pub fn items(&self) -> &[ItemId] {
+        &self.0
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.0.binary_search(&item).is_ok()
+    }
+
+    /// True when every item of `self` is in `other` (linear merge).
+    pub fn is_subset_of(&self, other: &Itemset) -> bool {
+        is_sorted_subset(&self.0, &other.0)
+    }
+
+    /// True when `self` is a strict subset of `other`.
+    pub fn is_proper_subset_of(&self, other: &Itemset) -> bool {
+        self.0.len() < other.0.len() && self.is_subset_of(other)
+    }
+
+    /// True when the two sets share no items.
+    pub fn is_disjoint_from(&self, other: &Itemset) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Itemset) -> Itemset {
+        let mut out = Vec::with_capacity(self.0.len() + other.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.0[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&other.0[j..]);
+        Itemset(out)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &Itemset) -> Itemset {
+        Itemset(
+            self.0
+                .iter()
+                .copied()
+                .filter(|&x| !other.contains(x))
+                .collect(),
+        )
+    }
+
+    /// Inserts one item, keeping canonical order.
+    pub fn with_item(&self, item: ItemId) -> Itemset {
+        match self.0.binary_search(&item) {
+            Ok(_) => self.clone(),
+            Err(pos) => {
+                let mut v = self.0.clone();
+                v.insert(pos, item);
+                Itemset(v)
+            }
+        }
+    }
+
+    /// Iterates all non-empty proper subsets (for rule generation).
+    ///
+    /// For an itemset of size n, yields 2^n - 2 subsets; callers cap n at
+    /// the paper's max itemset length of 5, so this is at most 30 subsets.
+    pub fn proper_subsets(&self) -> Vec<Itemset> {
+        let n = self.0.len();
+        let mut out = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        for mask in 1..((1u32 << n) - 1) {
+            let subset: Vec<ItemId> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| self.0[i])
+                .collect();
+            out.push(Itemset(subset));
+        }
+        out
+    }
+}
+
+/// True when sorted slice `a` is a subset of sorted slice `b`.
+pub fn is_sorted_subset(a: &[ItemId], b: &[ItemId]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let mut j = 0;
+    for &x in a {
+        loop {
+            if j == b.len() {
+                return false;
+            }
+            match b[j].cmp(&x) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => {
+                    j += 1;
+                    break;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+    }
+    true
+}
+
+impl FromIterator<ItemId> for Itemset {
+    fn from_iter<I: IntoIterator<Item = ItemId>>(iter: I) -> Itemset {
+        Itemset::from_items(iter)
+    }
+}
+
+impl fmt::Display for Itemset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, item) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Bidirectional map between item labels (e.g. `"SM Util = 0%"`) and ids.
+///
+/// The catalog is append-only; ids are assigned densely in insertion order,
+/// which also fixes the deterministic tie-break order used by the miners.
+#[derive(Debug, Clone, Default)]
+pub struct ItemCatalog {
+    labels: Vec<String>,
+    ids: HashMap<String, ItemId>,
+}
+
+impl ItemCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> ItemCatalog {
+        ItemCatalog::default()
+    }
+
+    /// Interns a label, returning its id.
+    pub fn intern(&mut self, label: &str) -> ItemId {
+        if let Some(&id) = self.ids.get(label) {
+            return id;
+        }
+        let id = self.labels.len() as ItemId;
+        self.labels.push(label.to_string());
+        self.ids.insert(label.to_string(), id);
+        id
+    }
+
+    /// Looks up the id of a label without interning.
+    pub fn id(&self, label: &str) -> Option<ItemId> {
+        self.ids.get(label).copied()
+    }
+
+    /// The label for an id.
+    pub fn label(&self, id: ItemId) -> &str {
+        &self.labels[id as usize]
+    }
+
+    /// Number of interned items.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when no items are interned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Renders an itemset as `{label, label, ...}` for reports.
+    pub fn render(&self, itemset: &Itemset) -> String {
+        let parts: Vec<&str> = itemset.items().iter().map(|&i| self.label(i)).collect();
+        format!("{{{}}}", parts.join(", "))
+    }
+
+    /// All labels in id order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_items_canonicalizes() {
+        let s = Itemset::from_items([3, 1, 3, 2]);
+        assert_eq!(s.items(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn subset_tests() {
+        let a = Itemset::from_items([1, 3]);
+        let b = Itemset::from_items([1, 2, 3]);
+        assert!(a.is_subset_of(&b));
+        assert!(a.is_proper_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(b.is_subset_of(&b));
+        assert!(!b.is_proper_subset_of(&b));
+    }
+
+    #[test]
+    fn disjoint_and_union() {
+        let a = Itemset::from_items([1, 4]);
+        let b = Itemset::from_items([2, 3]);
+        let c = Itemset::from_items([3, 4]);
+        assert!(a.is_disjoint_from(&b));
+        assert!(!a.is_disjoint_from(&c));
+        assert_eq!(a.union(&c).items(), &[1, 3, 4]);
+    }
+
+    #[test]
+    fn difference_and_with_item() {
+        let a = Itemset::from_items([1, 2, 3]);
+        let b = Itemset::from_items([2]);
+        assert_eq!(a.difference(&b).items(), &[1, 3]);
+        assert_eq!(b.with_item(1).items(), &[1, 2]);
+        assert_eq!(b.with_item(2).items(), &[2]);
+    }
+
+    #[test]
+    fn proper_subsets_counts() {
+        let a = Itemset::from_items([1, 2, 3]);
+        let subs = a.proper_subsets();
+        assert_eq!(subs.len(), 6);
+        assert!(subs.contains(&Itemset::from_items([1])));
+        assert!(subs.contains(&Itemset::from_items([1, 3])));
+        assert!(!subs.contains(&a));
+        assert!(!subs.contains(&Itemset::empty()));
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut cat = ItemCatalog::new();
+        let a = cat.intern("SM Util = 0%");
+        let b = cat.intern("Failed");
+        assert_eq!(cat.intern("SM Util = 0%"), a);
+        assert_eq!(cat.label(b), "Failed");
+        assert_eq!(cat.id("Failed"), Some(b));
+        assert_eq!(cat.id("nope"), None);
+        assert_eq!(cat.len(), 2);
+        let set = Itemset::from_items([a, b]);
+        assert_eq!(cat.render(&set), "{SM Util = 0%, Failed}");
+    }
+
+    #[test]
+    fn sorted_subset_edge_cases() {
+        assert!(is_sorted_subset(&[], &[1, 2]));
+        assert!(is_sorted_subset(&[], &[]));
+        assert!(!is_sorted_subset(&[1], &[]));
+        assert!(is_sorted_subset(&[2, 9], &[1, 2, 5, 9]));
+        assert!(!is_sorted_subset(&[2, 10], &[1, 2, 5, 9]));
+    }
+}

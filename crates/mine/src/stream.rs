@@ -1,0 +1,220 @@
+//! Sliding-window mining over a job stream.
+//!
+//! The paper's workflow is batch, but its related-work discussion (§VI)
+//! notes that the pruning stage composes with streaming miners because it
+//! runs after rule generation. This module provides that substrate: a
+//! bounded sliding window over arriving transactions with cheap
+//! always-current single-item counts, an item-frequency *drift* signal to
+//! decide when re-mining is worthwhile, and on-demand full mining of the
+//! current window via FP-Growth.
+
+use std::collections::VecDeque;
+
+use crate::counts::{FrequentItemsets, MinerConfig};
+use crate::db::TransactionDb;
+use crate::fpgrowth::fpgrowth;
+use crate::item::ItemId;
+
+/// A bounded sliding window of transactions with incremental item counts.
+#[derive(Debug, Clone)]
+pub struct SlidingWindowMiner {
+    capacity: usize,
+    window: VecDeque<Vec<ItemId>>,
+    item_counts: Vec<u64>,
+    /// Item counts at the time of the last `mine()` call (drift baseline).
+    baseline: Option<(usize, Vec<u64>)>,
+    config: MinerConfig,
+}
+
+impl SlidingWindowMiner {
+    /// Creates a miner over a window of at most `capacity` transactions.
+    pub fn new(capacity: usize, config: MinerConfig) -> SlidingWindowMiner {
+        assert!(capacity > 0, "window capacity must be positive");
+        config.validate().expect("invalid miner config");
+        SlidingWindowMiner {
+            capacity,
+            window: VecDeque::with_capacity(capacity),
+            item_counts: Vec::new(),
+            baseline: None,
+            config,
+        }
+    }
+
+    /// Pushes one transaction, evicting the oldest when full. Returns the
+    /// evicted transaction, if any.
+    pub fn push<I: IntoIterator<Item = ItemId>>(&mut self, txn: I) -> Option<Vec<ItemId>> {
+        let mut t: Vec<ItemId> = txn.into_iter().collect();
+        t.sort_unstable();
+        t.dedup();
+        if let Some(&max) = t.last() {
+            if max as usize >= self.item_counts.len() {
+                self.item_counts.resize(max as usize + 1, 0);
+            }
+        }
+        for &item in &t {
+            self.item_counts[item as usize] += 1;
+        }
+        let evicted = if self.window.len() == self.capacity {
+            let old = self.window.pop_front().expect("window full");
+            for &item in &old {
+                self.item_counts[item as usize] -= 1;
+            }
+            Some(old)
+        } else {
+            None
+        };
+        self.window.push_back(t);
+        evicted
+    }
+
+    /// Number of transactions currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Current support count of a single item (O(1)).
+    pub fn item_count(&self, item: ItemId) -> u64 {
+        self.item_counts.get(item as usize).copied().unwrap_or(0)
+    }
+
+    /// Items currently above the configured support threshold (O(items)).
+    pub fn hot_items(&self) -> Vec<ItemId> {
+        let min_count = self.config.min_count(self.window.len());
+        self.item_counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= min_count)
+            .map(|(i, _)| i as ItemId)
+            .collect()
+    }
+
+    /// L1 distance between the current item-frequency distribution and the
+    /// one at the last `mine()` call, normalized to `[0, 2]`.
+    ///
+    /// 0 means unchanged; callers typically re-mine when drift exceeds a
+    /// small threshold instead of on every arrival.
+    pub fn drift(&self) -> f64 {
+        let Some((base_n, base)) = &self.baseline else {
+            return f64::INFINITY;
+        };
+        let n = self.window.len().max(1) as f64;
+        let bn = (*base_n).max(1) as f64;
+        let len = self.item_counts.len().max(base.len());
+        (0..len)
+            .map(|i| {
+                let cur = self.item_counts.get(i).copied().unwrap_or(0) as f64 / n;
+                let old = base.get(i).copied().unwrap_or(0) as f64 / bn;
+                (cur - old).abs()
+            })
+            .sum()
+    }
+
+    /// Mines the current window with FP-Growth and resets the drift
+    /// baseline.
+    pub fn mine(&mut self) -> FrequentItemsets {
+        let db = TransactionDb::from_transactions(self.window.iter().cloned())
+            .with_universe(self.item_counts.len().max(1));
+        self.baseline = Some((self.window.len(), self.item_counts.clone()));
+        fpgrowth(&db, &self.config)
+    }
+
+    /// The current window as a [`TransactionDb`] without mining.
+    pub fn snapshot(&self) -> TransactionDb {
+        TransactionDb::from_transactions(self.window.iter().cloned())
+            .with_universe(self.item_counts.len().max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Itemset;
+
+    fn miner(capacity: usize) -> SlidingWindowMiner {
+        SlidingWindowMiner::new(capacity, MinerConfig::with_min_support(0.5))
+    }
+
+    #[test]
+    fn push_and_evict_maintain_counts() {
+        let mut m = miner(3);
+        assert!(m.push([0, 1]).is_none());
+        assert!(m.push([0]).is_none());
+        assert!(m.push([1, 2]).is_none());
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.item_count(0), 2);
+        // Fourth push evicts the first transaction.
+        let evicted = m.push([2]).expect("window full");
+        assert_eq!(evicted, vec![0, 1]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.item_count(0), 1);
+        assert_eq!(m.item_count(1), 1);
+        assert_eq!(m.item_count(2), 2);
+    }
+
+    #[test]
+    fn incremental_counts_match_snapshot() {
+        let mut m = miner(5);
+        for i in 0..20u32 {
+            m.push([i % 3, (i + 1) % 3]);
+        }
+        let db = m.snapshot();
+        let full = db.item_counts();
+        for (item, &count) in full.iter().enumerate() {
+            assert_eq!(m.item_count(item as ItemId), count);
+        }
+    }
+
+    #[test]
+    fn mine_matches_batch_on_window() {
+        let mut m = miner(4);
+        for txn in [vec![0, 1], vec![0, 1], vec![0, 2], vec![1, 2], vec![0, 1]] {
+            m.push(txn);
+        }
+        // Window holds the last four transactions.
+        let frequent = m.mine();
+        let batch = fpgrowth(&m.snapshot(), &MinerConfig::with_min_support(0.5));
+        assert_eq!(frequent.as_slice(), batch.as_slice());
+        assert_eq!(frequent.count(&Itemset::from_items([0, 1])), Some(2));
+    }
+
+    #[test]
+    fn drift_zero_after_mine_grows_with_change() {
+        let mut m = miner(8);
+        for _ in 0..8 {
+            m.push([0, 1]);
+        }
+        assert!(m.drift().is_infinite(), "no baseline yet");
+        m.mine();
+        assert_eq!(m.drift(), 0.0);
+        // Same distribution keeps drift at zero.
+        m.push([0, 1]);
+        assert!(m.drift() < 1e-9);
+        // A regime change raises it.
+        for _ in 0..8 {
+            m.push([2, 3]);
+        }
+        assert!(m.drift() > 1.5, "drift {}", m.drift());
+    }
+
+    #[test]
+    fn hot_items_track_threshold() {
+        let mut m = miner(4);
+        m.push([0, 1]);
+        m.push([0, 1]);
+        m.push([0]);
+        m.push([2]);
+        // min_count = ceil(0.5 * 4) = 2.
+        assert_eq!(m.hot_items(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window capacity must be positive")]
+    fn zero_capacity_rejected() {
+        miner(0);
+    }
+}

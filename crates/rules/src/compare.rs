@@ -1,0 +1,190 @@
+//! Cross-analysis rule comparison.
+//!
+//! §IV-A argues that rule *metrics* are not quantitatively comparable
+//! across traces, but operators still ask which rule families show up in
+//! which cluster (e.g. "low CPU + short runtime ⇒ idle GPU appears in all
+//! three"). Item ids are catalog-local, so comparison happens on label
+//! strings: two rules match when their antecedent and consequent label
+//! sets are equal.
+
+use std::collections::HashMap;
+
+use irma_mine::ItemCatalog;
+
+use crate::rule::Rule;
+
+/// A rule projected onto label strings (catalog-independent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledRule {
+    /// Sorted antecedent labels.
+    pub antecedent: Vec<String>,
+    /// Sorted consequent labels.
+    pub consequent: Vec<String>,
+    /// supp(X ⇒ Y).
+    pub support: f64,
+    /// conf(X ⇒ Y).
+    pub confidence: f64,
+    /// lift(X ⇒ Y).
+    pub lift: f64,
+}
+
+impl LabeledRule {
+    /// The match key (both label sets).
+    fn key(&self) -> (Vec<String>, Vec<String>) {
+        (self.antecedent.clone(), self.consequent.clone())
+    }
+
+    /// Renders as `{a, b} => {c}`.
+    pub fn render(&self) -> String {
+        format!(
+            "{{{}}} => {{{}}}",
+            self.antecedent.join(", "),
+            self.consequent.join(", ")
+        )
+    }
+}
+
+/// Projects rules onto their labels.
+pub fn label_rules(rules: &[Rule], catalog: &ItemCatalog) -> Vec<LabeledRule> {
+    rules
+        .iter()
+        .map(|r| {
+            let labels = |items: &irma_mine::Itemset| {
+                let mut v: Vec<String> = items
+                    .items()
+                    .iter()
+                    .map(|&i| catalog.label(i).to_string())
+                    .collect();
+                v.sort();
+                v
+            };
+            LabeledRule {
+                antecedent: labels(&r.antecedent),
+                consequent: labels(&r.consequent),
+                support: r.support,
+                confidence: r.confidence,
+                lift: r.lift,
+            }
+        })
+        .collect()
+}
+
+/// Outcome of comparing two rule sets.
+#[derive(Debug, Clone, Default)]
+pub struct RuleComparison {
+    /// Rules present in both sets (left metrics, right metrics).
+    pub common: Vec<(LabeledRule, LabeledRule)>,
+    /// Rules only in the left set.
+    pub only_left: Vec<LabeledRule>,
+    /// Rules only in the right set.
+    pub only_right: Vec<LabeledRule>,
+}
+
+impl RuleComparison {
+    /// Jaccard similarity of the two rule-family sets.
+    pub fn jaccard(&self) -> f64 {
+        let union = self.common.len() + self.only_left.len() + self.only_right.len();
+        if union == 0 {
+            1.0
+        } else {
+            self.common.len() as f64 / union as f64
+        }
+    }
+}
+
+/// Compares two analyses' rules by label identity.
+pub fn compare_rules(
+    left: &[Rule],
+    left_catalog: &ItemCatalog,
+    right: &[Rule],
+    right_catalog: &ItemCatalog,
+) -> RuleComparison {
+    let left_labeled = label_rules(left, left_catalog);
+    let right_labeled = label_rules(right, right_catalog);
+    let mut right_index: HashMap<(Vec<String>, Vec<String>), LabeledRule> = right_labeled
+        .iter()
+        .map(|r| (r.key(), r.clone()))
+        .collect();
+    let mut comparison = RuleComparison::default();
+    for l in left_labeled {
+        match right_index.remove(&l.key()) {
+            Some(r) => comparison.common.push((l, r)),
+            None => comparison.only_left.push(l),
+        }
+    }
+    let mut leftovers: Vec<LabeledRule> = right_index.into_values().collect();
+    leftovers.sort_by(|a, b| a.key().cmp(&b.key()));
+    comparison.only_right = leftovers;
+    comparison
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irma_mine::Itemset;
+
+    fn catalog(labels: &[&str]) -> ItemCatalog {
+        let mut c = ItemCatalog::new();
+        for l in labels {
+            c.intern(l);
+        }
+        c
+    }
+
+    fn rule(ante: &[u32], cons: &[u32], lift: f64) -> Rule {
+        Rule {
+            antecedent: Itemset::from_items(ante.iter().copied()),
+            consequent: Itemset::from_items(cons.iter().copied()),
+            support_count: 10,
+            support: 0.1,
+            confidence: 0.5,
+            lift,
+        }
+    }
+
+    #[test]
+    fn matches_across_different_catalogs() {
+        // Same labels, different interning order / ids.
+        let left_cat = catalog(&["CPU Util = Bin1", "SM Util = 0%", "Failed"]);
+        let right_cat = catalog(&["Failed", "SM Util = 0%", "CPU Util = Bin1"]);
+        let left = vec![
+            rule(&[0], &[1], 2.0), // {CPU Bin1} => {SM 0%}
+            rule(&[2], &[1], 3.0), // {Failed} => {SM 0%}: left-only
+        ];
+        let right = vec![
+            rule(&[2], &[1], 2.5), // {CPU Bin1} => {SM 0%} (right ids!)
+            rule(&[0], &[2], 4.0), // {Failed} => {CPU Bin1}: right-only
+        ];
+        let cmp = compare_rules(&left, &left_cat, &right, &right_cat);
+        assert_eq!(cmp.common.len(), 1);
+        assert_eq!(cmp.common[0].0.render(), "{CPU Util = Bin1} => {SM Util = 0%}");
+        assert!((cmp.common[0].0.lift - 2.0).abs() < 1e-12);
+        assert!((cmp.common[0].1.lift - 2.5).abs() < 1e-12);
+        assert_eq!(cmp.only_left.len(), 1);
+        assert_eq!(cmp.only_right.len(), 1);
+        assert!((cmp.jaccard() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_sets_have_jaccard_one() {
+        let cat = catalog(&["a", "b"]);
+        let rules = vec![rule(&[0], &[1], 2.0)];
+        let cmp = compare_rules(&rules, &cat, &rules, &cat);
+        assert_eq!(cmp.common.len(), 1);
+        assert!(cmp.only_left.is_empty() && cmp.only_right.is_empty());
+        assert_eq!(cmp.jaccard(), 1.0);
+    }
+
+    #[test]
+    fn empty_sets() {
+        let cat = catalog(&["a"]);
+        let cmp = compare_rules(&[], &cat, &[], &cat);
+        assert_eq!(cmp.jaccard(), 1.0);
+        let one = vec![rule(&[0], &[0], 1.0)];
+        // NB: antecedent/consequent share the item only because this is a
+        // hand-built test rule; real rules are disjoint.
+        let cmp = compare_rules(&one, &cat, &[], &cat);
+        assert_eq!(cmp.jaccard(), 0.0);
+        assert_eq!(cmp.only_left.len(), 1);
+    }
+}

@@ -1,0 +1,461 @@
+//! Keyword-centric rule pruning (§III-D, Conditions 1–4).
+//!
+//! After lift filtering, the rule set still contains families of
+//! near-duplicate rules that differ only by adding items to one side. The
+//! paper defines four conditional filters keyed on (1) which side holds the
+//! analysis *keyword* and (2) which side the two rules differ on. Two
+//! relaxation parameters `C_lift, C_supp >= 1` (both 1.5 in the paper)
+//! control how aggressively the shorter/longer rule wins.
+//!
+//! Pruning uses *marking* semantics, the literal reading of the paper's
+//! "when there exist two rules ... prune": every relevant pair is
+//! evaluated against the original rule set and losers are marked, so a
+//! rule dominated by an (itself dominated) rule is still removed. This
+//! makes the outcome order-independent and deterministic.
+
+use std::collections::HashMap;
+
+use irma_mine::{ItemId, Itemset};
+
+use crate::rule::{Rule, RuleRole};
+
+/// Relaxation parameters for the four pruning conditions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneParams {
+    /// Margin multiplier for lift comparisons (`>= 1`).
+    pub c_lift: f64,
+    /// Margin multiplier for support comparisons (`>= 1`).
+    pub c_supp: f64,
+}
+
+impl Default for PruneParams {
+    fn default() -> PruneParams {
+        // The paper sets both to 1.5 for all three traces.
+        PruneParams {
+            c_lift: 1.5,
+            c_supp: 1.5,
+        }
+    }
+}
+
+impl PruneParams {
+    /// Validates that both margins are at least 1.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.c_lift < 1.0 || self.c_supp < 1.0 {
+            return Err(format!(
+                "C_lift and C_supp must be >= 1 (got {}, {})",
+                self.c_lift, self.c_supp
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Which of the paper's four conditions removed a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruneCondition {
+    /// Cause analysis, antecedents nested (keyword in consequent).
+    Condition1,
+    /// Characteristic analysis, consequents nested (keyword in antecedent).
+    Condition2,
+    /// Cause analysis, consequents nested (keyword in both consequents).
+    Condition3,
+    /// Characteristic analysis, antecedents nested (keyword in both
+    /// antecedents).
+    Condition4,
+}
+
+/// A pruned rule together with the condition and the surviving rule that
+/// dominated it (kept for Fig.-3-style before/after diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneRecord {
+    /// The rule that was removed.
+    pub rule: Rule,
+    /// The condition that fired.
+    pub condition: PruneCondition,
+    /// Key (antecedent, consequent) of the rule that dominated it.
+    pub dominated_by: (Itemset, Itemset),
+}
+
+/// Result of keyword filtering + pruning.
+#[derive(Debug, Clone, Default)]
+pub struct PruneOutcome {
+    /// Rules that survived all four conditions, in canonical order.
+    pub kept: Vec<Rule>,
+    /// Rules removed, with provenance.
+    pub pruned: Vec<PruneRecord>,
+}
+
+impl PruneOutcome {
+    /// Rules considered before pruning (kept + pruned).
+    pub fn total(&self) -> usize {
+        self.kept.len() + self.pruned.len()
+    }
+}
+
+/// Applies the four pruning conditions to `rules` for one `keyword`.
+///
+/// Only rules that contain the keyword on either side participate; the
+/// paper discards keyword-free rules from the analysis entirely, and so do
+/// we (they are not reported in `pruned` either).
+pub fn prune_rules(rules: &[Rule], keyword: ItemId, params: &PruneParams) -> PruneOutcome {
+    params.validate().expect("invalid prune params");
+
+    let mut relevant: Vec<Rule> = rules
+        .iter()
+        .filter(|r| r.role(keyword) != RuleRole::Unrelated)
+        .cloned()
+        .collect();
+    relevant.sort_unstable_by(|a, b| {
+        a.antecedent
+            .cmp(&b.antecedent)
+            .then_with(|| a.consequent.cmp(&b.consequent))
+    });
+
+    let mut alive = vec![true; relevant.len()];
+    let mut pruned: Vec<PruneRecord> = Vec::new();
+
+    for condition in [
+        PruneCondition::Condition1,
+        PruneCondition::Condition2,
+        PruneCondition::Condition3,
+        PruneCondition::Condition4,
+    ] {
+        apply_condition(
+            condition,
+            &relevant,
+            keyword,
+            params,
+            &mut alive,
+            &mut pruned,
+        );
+    }
+
+    let kept: Vec<Rule> = relevant
+        .iter()
+        .zip(&alive)
+        .filter(|(_, &a)| a)
+        .map(|(r, _)| r.clone())
+        .collect();
+    PruneOutcome { kept, pruned }
+}
+
+/// Groups rule indices by a side and applies one condition within groups.
+fn apply_condition(
+    condition: PruneCondition,
+    rules: &[Rule],
+    keyword: ItemId,
+    params: &PruneParams,
+    alive: &mut [bool],
+    pruned: &mut Vec<PruneRecord>,
+) {
+    // Conditions 1 and 4 compare rules sharing a consequent; 2 and 3 share
+    // an antecedent.
+    let group_by_consequent = matches!(
+        condition,
+        PruneCondition::Condition1 | PruneCondition::Condition4
+    );
+    let mut groups: HashMap<&Itemset, Vec<usize>> = HashMap::new();
+    for (i, rule) in rules.iter().enumerate() {
+        let key = if group_by_consequent {
+            &rule.consequent
+        } else {
+            &rule.antecedent
+        };
+        groups.entry(key).or_default().push(i);
+    }
+    let mut ordered_groups: Vec<(&Itemset, Vec<usize>)> = groups.into_iter().collect();
+    ordered_groups.sort_unstable_by(|a, b| a.0.cmp(b.0));
+
+    for (_, members) in ordered_groups {
+        for (a_pos, &i) in members.iter().enumerate() {
+            for &j in &members[a_pos + 1..] {
+                // Establish nesting: `short` has the varying side strictly
+                // contained in `long`'s.
+                let (short, long) = if group_by_consequent {
+                    if rules[i].antecedent.is_proper_subset_of(&rules[j].antecedent) {
+                        (i, j)
+                    } else if rules[j].antecedent.is_proper_subset_of(&rules[i].antecedent) {
+                        (j, i)
+                    } else {
+                        continue;
+                    }
+                } else if rules[i].consequent.is_proper_subset_of(&rules[j].consequent) {
+                    (i, j)
+                } else if rules[j].consequent.is_proper_subset_of(&rules[i].consequent) {
+                    (j, i)
+                } else {
+                    continue;
+                };
+
+                if let Some(loser) =
+                    decide(condition, &rules[short], &rules[long], keyword, params)
+                {
+                    let (loser_idx, winner_idx) = if loser == Loser::Short {
+                        (short, long)
+                    } else {
+                        (long, short)
+                    };
+                    // Marking semantics: the winner prunes even if it was
+                    // itself pruned earlier; record each loss once.
+                    if alive[loser_idx] {
+                        alive[loser_idx] = false;
+                        pruned.push(PruneRecord {
+                            rule: rules[loser_idx].clone(),
+                            condition,
+                            dominated_by: rules[winner_idx].key(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Which of the nested pair a condition removes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loser {
+    /// The rule with the smaller varying side.
+    Short,
+    /// The rule with the larger varying side.
+    Long,
+}
+
+/// Evaluates one condition for a nested pair; `None` = no prune.
+fn decide(
+    condition: PruneCondition,
+    short: &Rule,
+    long: &Rule,
+    keyword: ItemId,
+    params: &PruneParams,
+) -> Option<Loser> {
+    let (c_lift, c_supp) = (params.c_lift, params.c_supp);
+    match condition {
+        // Cause analysis: same consequent Y with K in Y; antecedents nested.
+        PruneCondition::Condition1 => {
+            if !short.consequent.contains(keyword) {
+                return None;
+            }
+            if c_lift * short.lift >= long.lift {
+                Some(Loser::Long)
+            } else if c_supp * long.support >= short.support {
+                Some(Loser::Short)
+            } else {
+                None
+            }
+        }
+        // Characteristic analysis: same antecedent X with K in X;
+        // consequents nested.
+        PruneCondition::Condition2 => {
+            if !short.antecedent.contains(keyword) {
+                return None;
+            }
+            if c_lift * long.lift >= short.lift && c_supp * long.support >= short.support {
+                Some(Loser::Short)
+            } else if c_lift * long.lift < short.lift {
+                Some(Loser::Long)
+            } else {
+                None
+            }
+        }
+        // Cause analysis: same antecedent; K in both nested consequents.
+        PruneCondition::Condition3 => {
+            if !(short.consequent.contains(keyword) && long.consequent.contains(keyword)) {
+                return None;
+            }
+            if c_lift * short.lift >= long.lift {
+                Some(Loser::Long)
+            } else {
+                None
+            }
+        }
+        // Characteristic analysis: same consequent; K in both nested
+        // antecedents.
+        PruneCondition::Condition4 => {
+            if !(short.antecedent.contains(keyword) && long.antecedent.contains(keyword)) {
+                return None;
+            }
+            if c_lift * short.lift >= long.lift {
+                Some(Loser::Long)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irma_mine::Itemset;
+
+    /// Builds a rule with explicit metrics (counts chosen to match).
+    fn mk(ante: &[ItemId], cons: &[ItemId], support: f64, lift: f64) -> Rule {
+        Rule {
+            antecedent: Itemset::from_items(ante.iter().copied()),
+            consequent: Itemset::from_items(cons.iter().copied()),
+            support_count: (support * 1000.0) as u64,
+            support,
+            confidence: 0.5,
+            lift,
+        }
+    }
+
+    const KW: ItemId = 9; // the analysis keyword
+
+    #[test]
+    fn condition1_prunes_longer_when_short_lift_comparable() {
+        // R1: {user A} => {fail}; R2: {user A, type B} => {fail}.
+        let r1 = mk(&[1], &[KW], 0.2, 3.0);
+        let r2 = mk(&[1, 2], &[KW], 0.1, 3.5);
+        let out = prune_rules(&[r1.clone(), r2.clone()], KW, &PruneParams::default());
+        // 1.5 * 3.0 >= 3.5 -> prune the longer rule.
+        assert_eq!(out.kept, vec![r1]);
+        assert_eq!(out.pruned.len(), 1);
+        assert_eq!(out.pruned[0].condition, PruneCondition::Condition1);
+        assert_eq!(out.pruned[0].rule, r2);
+    }
+
+    #[test]
+    fn condition1_prunes_shorter_when_long_wins_on_lift_and_support() {
+        // Long rule has clearly higher lift and similar support.
+        let r1 = mk(&[1], &[KW], 0.2, 2.0);
+        let r2 = mk(&[1, 2], &[KW], 0.18, 3.5);
+        let out = prune_rules(&[r1.clone(), r2.clone()], KW, &PruneParams::default());
+        // 1.5*2.0 = 3.0 < 3.5, and 1.5*0.18 >= 0.2 -> prune shorter.
+        assert_eq!(out.kept, vec![r2]);
+        assert_eq!(out.pruned[0].rule, r1);
+    }
+
+    #[test]
+    fn condition1_keeps_both_when_neither_dominates() {
+        // Long has much higher lift but much lower support.
+        let r1 = mk(&[1], &[KW], 0.5, 2.0);
+        let r2 = mk(&[1, 2], &[KW], 0.05, 3.5);
+        let out = prune_rules(&[r1, r2], KW, &PruneParams::default());
+        assert_eq!(out.kept.len(), 2);
+        assert!(out.pruned.is_empty());
+    }
+
+    #[test]
+    fn condition2_prefers_more_specific_consequent() {
+        // {fail} => {short}; {fail} => {short, clusterC} with similar
+        // metrics: keep the longer (more informative) consequent.
+        let r1 = mk(&[KW], &[1], 0.2, 3.0);
+        let r2 = mk(&[KW], &[1, 2], 0.18, 2.8);
+        let out = prune_rules(&[r1.clone(), r2.clone()], KW, &PruneParams::default());
+        assert_eq!(out.kept, vec![r2]);
+        assert_eq!(out.pruned[0].condition, PruneCondition::Condition2);
+    }
+
+    #[test]
+    fn condition2_keeps_shorter_when_lift_gap_large() {
+        let r1 = mk(&[KW], &[1], 0.2, 6.0);
+        let r2 = mk(&[KW], &[1, 2], 0.18, 2.0);
+        let out = prune_rules(&[r1.clone(), r2.clone()], KW, &PruneParams::default());
+        // 1.5*2.0 < 6.0 -> prune the longer rule.
+        assert_eq!(out.kept, vec![r1]);
+        assert_eq!(out.pruned[0].rule, r2);
+    }
+
+    #[test]
+    fn condition3_prefers_concise_consequent_for_cause() {
+        // {user A} => {fail}; {user A} => {fail, clusterC}.
+        let r1 = mk(&[1], &[KW], 0.2, 3.0);
+        let r2 = mk(&[1], &[KW, 2], 0.15, 3.2);
+        let out = prune_rules(&[r1.clone(), r2.clone()], KW, &PruneParams::default());
+        assert_eq!(out.kept, vec![r1]);
+        assert_eq!(out.pruned[0].condition, PruneCondition::Condition3);
+    }
+
+    #[test]
+    fn condition3_keeps_longer_when_its_lift_is_much_higher() {
+        let r1 = mk(&[1], &[KW], 0.2, 1.6);
+        let r2 = mk(&[1], &[KW, 2], 0.15, 3.0);
+        let out = prune_rules(&[r1, r2], KW, &PruneParams::default());
+        // 1.5*1.6 = 2.4 < 3.0: condition 3 does not fire...
+        // but condition 2 does not apply (keyword not in antecedent), so
+        // both survive.
+        assert_eq!(out.kept.len(), 2);
+    }
+
+    #[test]
+    fn condition4_prunes_longer_antecedent_with_keyword() {
+        // {fail} => {short}; {fail, clusterC} => {short}.
+        let r1 = mk(&[KW], &[1], 0.2, 3.0);
+        let r2 = mk(&[KW, 2], &[1], 0.1, 2.9);
+        let out = prune_rules(&[r1.clone(), r2.clone()], KW, &PruneParams::default());
+        assert_eq!(out.kept, vec![r1]);
+        assert_eq!(out.pruned[0].condition, PruneCondition::Condition4);
+    }
+
+    #[test]
+    fn keyword_free_rules_are_dropped_silently() {
+        let r1 = mk(&[1], &[2], 0.2, 3.0);
+        let out = prune_rules(&[r1], KW, &PruneParams::default());
+        assert!(out.kept.is_empty());
+        assert!(out.pruned.is_empty());
+    }
+
+    #[test]
+    fn marking_semantics_chain() {
+        // r3's antecedent nests r2's which nests r1's; r1 kills r2, and
+        // neither r1 nor r2 dominates r3 (its lift is far higher without
+        // comparable support), so r3 survives.
+        let r1 = mk(&[1], &[KW], 0.3, 3.0);
+        let r2 = mk(&[1, 2], &[KW], 0.2, 3.1);
+        let r3 = mk(&[1, 2, 3], &[KW], 0.1, 10.0);
+        let out = prune_rules(&[r1.clone(), r2, r3.clone()], KW, &PruneParams::default());
+        assert_eq!(out.kept, vec![r1, r3]);
+        assert_eq!(out.pruned.len(), 1);
+    }
+
+    #[test]
+    fn dominated_rule_still_prunes() {
+        // r1 kills r2 on lift; r2 (though dead) still dominates r3 whose
+        // lift is within margin of r2's — "exists two rules" semantics.
+        let r1 = mk(&[1], &[KW], 0.30, 5.0);
+        let r2 = mk(&[1, 2], &[KW], 0.20, 5.5);
+        let r3 = mk(&[1, 2, 3], &[KW], 0.18, 5.6);
+        let out = prune_rules(&[r1.clone(), r2, r3], KW, &PruneParams::default());
+        // 1.5*5.0 >= 5.5 kills r2; 1.5*5.5 >= 5.6 kills r3 (via r2);
+        // also 1.5*5.0 >= 5.6 kills r3 via r1 directly.
+        assert_eq!(out.kept, vec![r1]);
+        assert_eq!(out.pruned.len(), 2);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let params = PruneParams {
+            c_lift: 0.5,
+            c_supp: 1.5,
+        };
+        assert!(params.validate().is_err());
+    }
+
+    #[test]
+    fn large_c_prunes_more() {
+        let r1 = mk(&[1], &[KW], 0.2, 2.0);
+        let r2 = mk(&[1, 2], &[KW], 0.1, 3.5);
+        let loose = prune_rules(
+            &[r1.clone(), r2.clone()],
+            KW,
+            &PruneParams {
+                c_lift: 2.0,
+                c_supp: 1.0,
+            },
+        );
+        // 2.0*2.0 >= 3.5 -> longer pruned.
+        assert_eq!(loose.kept.len(), 1);
+        let tight = prune_rules(
+            &[r1, r2],
+            KW,
+            &PruneParams {
+                c_lift: 1.0,
+                c_supp: 1.0,
+            },
+        );
+        // 1.0*2.0 < 3.5 and 1.0*0.1 < 0.2 -> both stay.
+        assert_eq!(tight.kept.len(), 2);
+    }
+}

@@ -1,0 +1,499 @@
+//! Microsoft Philly trace profile (shared DNN-training cluster).
+//!
+//! Philly's Ganglia-style monitoring samples once a minute, so the paper
+//! derives *min* and *max* SM utilization per job in addition to the mean
+//! (§IV-B). The cluster retries failed jobs automatically, giving the
+//! `Num Attempts > 1` feature (Table VII A1). The profile embeds the
+//! Philly findings: ~35% zero-SM jobs (Fig. 4), multi-GPU jobs (14% of the
+//! trace) failing ~2.5x the base rate and running very long (Table VII C1,
+//! Table VIII PHI1), new users failing ~2.5x the base rate (C2), a slice
+//! of long-running failures (A2), and idle jobs concentrated on the
+//! 24 GB-GPU nodes (Table IV A1).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use irma_data::{Column, Frame};
+
+use crate::config::{TraceBundle, TraceConfig};
+use crate::monitor::{simulate_gpu, GpuBehavior, GpuEnvelope, GpuStats};
+use crate::rng::{clamp, lognormal, seeded_rng, Categorical};
+use crate::users::{Population, Tier};
+
+/// Ganglia sampling interval (1 minute).
+const MONITOR_INTERVAL_S: f64 = 60.0;
+
+/// Philly's GPU devices are unnamed in the trace; only the memory class
+/// (12 GB vs 24 GB) is known.
+const PHILLY_GPU: GpuEnvelope = GpuEnvelope {
+    idle_power_w: 40.0,
+    dynamic_power_w: 180.0,
+    memory_gb: 24.0,
+};
+
+/// Number of virtual clusters in the trace (§II).
+const N_VCS: usize = 14;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Archetype {
+    /// Short exploratory job that never exercises the GPU.
+    IdleDebug,
+    /// Idle job placed on a 24 GB node (the big-memory pool attracts
+    /// speculative allocations).
+    IdleBigMem,
+    /// Gang-scheduled distributed training; one worker failing kills all.
+    MultiGpuTraining,
+    /// First jobs of inexperienced users; crash and get retried.
+    NewUserFail,
+    /// Long-running job that eventually fails.
+    LongFail,
+    /// Healthy CNN/RNN training.
+    Training,
+    /// Everything else.
+    Misc,
+}
+
+const ARCHETYPES: [(Archetype, f64, &str); 7] = [
+    (Archetype::IdleDebug, 0.19, "idle_debug"),
+    (Archetype::IdleBigMem, 0.09, "idle_bigmem"),
+    (Archetype::MultiGpuTraining, 0.13, "multigpu_training"),
+    (Archetype::NewUserFail, 0.10, "new_user_fail"),
+    (Archetype::LongFail, 0.05, "long_fail"),
+    (Archetype::Training, 0.38, "training"),
+    (Archetype::Misc, 0.06, "misc"),
+];
+
+struct JobDraft {
+    user: String,
+    vc: String,
+    gpus: i64,
+    attempts: i64,
+    status: &'static str,
+    runtime_s: f64,
+    gpu_mem_gb: i64,
+    stats: GpuStats,
+    cpu_util: f64,
+    mem_used_gb: f64,
+    truth: &'static str,
+}
+
+/// Samples a user biased towards experienced (head/middle) members;
+/// inexperienced tail users mostly appear through the NewUserFail
+/// archetype, so that "New User" keeps its failure association (Table VII
+/// C2) instead of being diluted by healthy training jobs.
+fn experienced_user(rng: &mut SmallRng, users: &Population) -> String {
+    let tier = if rng.gen::<f64>() < 0.05 {
+        Tier::Tail
+    } else if rng.gen::<f64>() < 0.45 {
+        Tier::Head
+    } else {
+        Tier::Middle
+    };
+    users.name(users.sample_tier(rng, tier))
+}
+
+fn status(rng: &mut SmallRng, p_pass: f64, p_killed: f64) -> &'static str {
+    let u = rng.gen::<f64>();
+    if u < p_pass {
+        "Pass"
+    } else if u < p_pass + p_killed {
+        "Killed"
+    } else {
+        "Failed"
+    }
+}
+
+/// Failed jobs are often retried by the platform; passes usually are not.
+fn attempts(rng: &mut SmallRng, st: &str, retry_bias: f64) -> i64 {
+    let p_retry = match st {
+        "Failed" => retry_bias,
+        "Killed" => 0.1,
+        _ => 0.05,
+    };
+    let mut n = 1i64;
+    while n < 10 && rng.gen::<f64>() < p_retry {
+        n += 1;
+    }
+    n
+}
+
+fn sim(
+    rng: &mut SmallRng,
+    behavior: GpuBehavior,
+    runtime_s: f64,
+    config: &TraceConfig,
+) -> GpuStats {
+    let interval = (runtime_s / config.max_monitor_samples as f64).max(MONITOR_INTERVAL_S);
+    simulate_gpu(rng, behavior, &PHILLY_GPU, runtime_s, interval).stats()
+}
+
+fn draft_job(
+    rng: &mut SmallRng,
+    archetype: Archetype,
+    truth: &'static str,
+    users: &Population,
+    config: &TraceConfig,
+) -> JobDraft {
+    let vc = format!("vc{:02}", rng.gen_range(0..N_VCS));
+    match archetype {
+        Archetype::IdleDebug => {
+            let runtime = clamp(lognormal(rng, 5.6, 1.0), 60.0, 14_400.0);
+            let st = status(rng, 0.42, 0.48);
+            JobDraft {
+                user: experienced_user(rng, users),
+                vc,
+                gpus: 1,
+                attempts: attempts(rng, st, 0.3),
+                status: st,
+                runtime_s: runtime,
+                gpu_mem_gb: if rng.gen::<f64>() < 0.7 { 12 } else { 24 },
+                stats: sim(rng, GpuBehavior::Idle, runtime, config),
+                cpu_util: clamp(lognormal(rng, 1.2, 0.7), 0.2, 15.0),
+                mem_used_gb: clamp(lognormal(rng, 0.5, 0.6), 0.2, 8.0),
+                truth,
+            }
+        }
+        Archetype::IdleBigMem => {
+            let runtime = clamp(lognormal(rng, 7.0, 1.2), 120.0, 259_200.0);
+            let st = status(rng, 0.55, 0.35);
+            JobDraft {
+                user: experienced_user(rng, users),
+                vc,
+                gpus: 1,
+                attempts: attempts(rng, st, 0.3),
+                status: st,
+                runtime_s: runtime,
+                gpu_mem_gb: 24,
+                stats: sim(rng, GpuBehavior::Idle, runtime, config),
+                cpu_util: clamp(lognormal(rng, 1.0, 0.6), 0.2, 10.0),
+                mem_used_gb: clamp(lognormal(rng, 0.6, 0.6), 0.2, 8.0),
+                truth,
+            }
+        }
+        Archetype::MultiGpuTraining => {
+            // Long distributed runs (Table VIII PHI1: multi-GPU => Bin4
+            // runtime), failing at ~2.5x the base rate (Table VII C1).
+            let runtime = clamp(lognormal(rng, 11.0, 1.0), 7_200.0, 2_592_000.0);
+            let st = status(rng, 0.40, 0.14);
+            let behavior = GpuBehavior::SteadyTraining {
+                level: rng.gen_range(40.0..90.0),
+                jitter: 8.0,
+                mem_gb: rng.gen_range(6.0..11.0),
+            };
+            JobDraft {
+                user: experienced_user(rng, users),
+                vc,
+                gpus: [2, 4, 4, 8, 8, 16][rng.gen_range(0..6)],
+                attempts: attempts(rng, st, 0.55),
+                status: st,
+                runtime_s: runtime,
+                gpu_mem_gb: if rng.gen::<f64>() < 0.5 { 12 } else { 24 },
+                stats: sim(rng, behavior, runtime, config),
+                cpu_util: clamp(lognormal(rng, 3.0, 0.6), 5.0, 90.0),
+                mem_used_gb: clamp(lognormal(rng, 2.5, 0.6), 4.0, 96.0),
+                truth,
+            }
+        }
+        Archetype::NewUserFail => {
+            let runtime = clamp(lognormal(rng, 7.5, 1.6), 60.0, 1_209_600.0);
+            let st = status(rng, 0.28, 0.22);
+            let idle = rng.gen::<f64>() < 0.35;
+            let behavior = if idle {
+                GpuBehavior::Idle
+            } else {
+                GpuBehavior::BurstyInference {
+                    duty: rng.gen_range(0.2..0.6),
+                    burst_level: rng.gen_range(20.0..60.0),
+                    mem_gb: rng.gen_range(1.0..8.0),
+                }
+            };
+            JobDraft {
+                user: users.name(users.sample_tier(rng, Tier::Tail)),
+                vc,
+                gpus: 1,
+                attempts: attempts(rng, st, 0.55),
+                status: st,
+                runtime_s: runtime,
+                gpu_mem_gb: if rng.gen::<f64>() < 0.6 { 12 } else { 24 },
+                stats: sim(rng, behavior, runtime, config),
+                cpu_util: clamp(lognormal(rng, 1.8, 0.8), 0.3, 50.0),
+                mem_used_gb: clamp(lognormal(rng, 1.0, 0.8), 0.3, 32.0),
+                truth,
+            }
+        }
+        Archetype::LongFail => {
+            let runtime = clamp(lognormal(rng, 11.5, 0.7), 28_800.0, 2_592_000.0);
+            let st = status(rng, 0.1, 0.2);
+            let behavior = GpuBehavior::BurstyInference {
+                duty: rng.gen_range(0.5..0.9),
+                burst_level: rng.gen_range(30.0..80.0),
+                mem_gb: rng.gen_range(4.0..10.0),
+            };
+            JobDraft {
+                user: experienced_user(rng, users),
+                vc,
+                gpus: 1,
+                attempts: attempts(rng, st, 0.5),
+                status: st,
+                runtime_s: runtime,
+                gpu_mem_gb: if rng.gen::<f64>() < 0.5 { 12 } else { 24 },
+                stats: sim(rng, behavior, runtime, config),
+                cpu_util: clamp(lognormal(rng, 2.5, 0.7), 1.0, 80.0),
+                mem_used_gb: clamp(lognormal(rng, 2.0, 0.6), 2.0, 64.0),
+                truth,
+            }
+        }
+        Archetype::Training => {
+            let runtime = clamp(lognormal(rng, 8.5, 1.4), 120.0, 1_209_600.0);
+            let st = status(rng, 0.78, 0.15);
+            let multi = rng.gen::<f64>() < 0.05;
+            let behavior = GpuBehavior::SteadyTraining {
+                level: rng.gen_range(30.0..95.0),
+                jitter: rng.gen_range(4.0..12.0),
+                mem_gb: rng.gen_range(2.0..11.0),
+            };
+            JobDraft {
+                user: experienced_user(rng, users),
+                vc,
+                gpus: if multi { 2 } else { 1 },
+                attempts: attempts(rng, st, 0.4),
+                status: st,
+                runtime_s: runtime,
+                gpu_mem_gb: if rng.gen::<f64>() < 0.6 { 12 } else { 24 },
+                stats: sim(rng, behavior, runtime, config),
+                cpu_util: clamp(lognormal(rng, 3.2, 0.7), 2.0, 98.0),
+                mem_used_gb: clamp(lognormal(rng, 2.0, 0.8), 1.0, 96.0),
+                truth,
+            }
+        }
+        Archetype::Misc => {
+            let runtime = clamp(lognormal(rng, 7.0, 1.6), 30.0, 604_800.0);
+            let st = status(rng, 0.6, 0.2);
+            let behavior = if rng.gen::<f64>() < 0.15 {
+                GpuBehavior::Idle
+            } else {
+                GpuBehavior::SteadyTraining {
+                    level: rng.gen_range(5.0..70.0),
+                    jitter: 10.0,
+                    mem_gb: rng.gen_range(0.5..10.0),
+                }
+            };
+            JobDraft {
+                user: experienced_user(rng, users),
+                vc,
+                gpus: if rng.gen::<f64>() < 0.1 { 2 } else { 1 },
+                attempts: attempts(rng, st, 0.3),
+                status: st,
+                runtime_s: runtime,
+                gpu_mem_gb: if rng.gen::<f64>() < 0.6 { 12 } else { 24 },
+                stats: sim(rng, behavior, runtime, config),
+                cpu_util: clamp(lognormal(rng, 2.5, 1.0), 0.2, 95.0),
+                mem_used_gb: clamp(lognormal(rng, 1.5, 1.0), 0.2, 64.0),
+                truth,
+            }
+        }
+    }
+}
+
+/// Generates the Philly trace bundle.
+pub fn philly(config: &TraceConfig) -> TraceBundle {
+    let mut rng = seeded_rng(config.seed ^ 0x9b11);
+    let n_users = (config.n_jobs / 313).max(30);
+    let users = Population::new("user", n_users, 1.05, 0.25, 0.25);
+    let weights: Vec<f64> = ARCHETYPES.iter().map(|&(_, w, _)| w).collect();
+    let mixture = Categorical::new(&weights);
+
+    let mut drafts: Vec<JobDraft> = Vec::with_capacity(config.n_jobs);
+    for _ in 0..config.n_jobs {
+        let (archetype, _, truth) = ARCHETYPES[mixture.sample(&mut rng)];
+        drafts.push(draft_job(&mut rng, archetype, truth, &users, config));
+    }
+
+    let n = drafts.len() as i64;
+    let mut scheduler = Frame::new();
+    scheduler
+        .add_column("job_id", Column::from_ints(0..n))
+        .expect("fresh frame");
+    scheduler
+        .add_column("user", Column::from_strs(drafts.iter().map(|d| d.user.as_str())))
+        .expect("fresh frame");
+    scheduler
+        .add_column("vc", Column::from_strs(drafts.iter().map(|d| d.vc.as_str())))
+        .expect("fresh frame");
+    scheduler
+        .add_column("gpus", Column::from_ints(drafts.iter().map(|d| d.gpus)))
+        .expect("fresh frame");
+    scheduler
+        .add_column(
+            "attempts",
+            Column::from_ints(drafts.iter().map(|d| d.attempts)),
+        )
+        .expect("fresh frame");
+    scheduler
+        .add_column("status", Column::from_strs(drafts.iter().map(|d| d.status)))
+        .expect("fresh frame");
+    scheduler
+        .add_column(
+            "runtime_s",
+            Column::from_floats(drafts.iter().map(|d| d.runtime_s)),
+        )
+        .expect("fresh frame");
+    scheduler
+        .add_column(
+            "gpu_mem_gb",
+            Column::from_ints(drafts.iter().map(|d| d.gpu_mem_gb)),
+        )
+        .expect("fresh frame");
+
+    let mut monitoring = Frame::new();
+    monitoring
+        .add_column("job_id", Column::from_ints(0..n))
+        .expect("fresh frame");
+    monitoring
+        .add_column(
+            "sm_util",
+            Column::from_floats(drafts.iter().map(|d| d.stats.sm_mean)),
+        )
+        .expect("fresh frame");
+    monitoring
+        .add_column(
+            "sm_util_min",
+            Column::from_floats(drafts.iter().map(|d| d.stats.sm_min)),
+        )
+        .expect("fresh frame");
+    monitoring
+        .add_column(
+            "sm_util_max",
+            Column::from_floats(drafts.iter().map(|d| d.stats.sm_max)),
+        )
+        .expect("fresh frame");
+    monitoring
+        .add_column(
+            "cpu_util",
+            Column::from_floats(drafts.iter().map(|d| d.cpu_util)),
+        )
+        .expect("fresh frame");
+    monitoring
+        .add_column(
+            "mem_used_gb",
+            Column::from_floats(drafts.iter().map(|d| d.mem_used_gb)),
+        )
+        .expect("fresh frame");
+
+    TraceBundle {
+        name: "philly",
+        scheduler,
+        monitoring,
+        truth: drafts.iter().map(|d| d.truth).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TraceBundle {
+        philly(&TraceConfig {
+            n_jobs: 6_000,
+            seed: 31,
+            max_monitor_samples: 64,
+        })
+    }
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = small();
+        assert_eq!(a.n_jobs(), 6_000);
+        let b = small();
+        assert_eq!(a.scheduler, b.scheduler);
+        assert_eq!(a.monitoring, b.monitoring);
+    }
+
+    #[test]
+    fn zero_sm_share_matches_paper_band() {
+        let t = small();
+        let col = t.monitoring.column("sm_util").unwrap();
+        let zero = (0..t.n_jobs())
+            .filter(|&i| col.numeric(i).unwrap() < 1.0)
+            .count() as f64
+            / t.n_jobs() as f64;
+        // Paper Fig. 4: ~35% for Philly.
+        assert!((0.26..=0.45).contains(&zero), "zero-SM share {zero}");
+    }
+
+    #[test]
+    fn multi_gpu_share_matches_paper() {
+        let t = small();
+        let col = t.scheduler.column("gpus").unwrap();
+        let multi = (0..t.n_jobs())
+            .filter(|&i| col.get(i).as_int().unwrap() > 1)
+            .count() as f64
+            / t.n_jobs() as f64;
+        // Paper: 14% of Philly jobs use multiple GPUs.
+        assert!((0.08..=0.22).contains(&multi), "multi-GPU share {multi}");
+    }
+
+    #[test]
+    fn multi_gpu_jobs_fail_more() {
+        let t = small();
+        let gpus = t.scheduler.column("gpus").unwrap();
+        let status = t.scheduler.column("status").unwrap().as_strs().unwrap();
+        let rate = |multi: bool| {
+            let idx: Vec<usize> = (0..t.n_jobs())
+                .filter(|&i| (gpus.get(i).as_int().unwrap() > 1) == multi)
+                .collect();
+            idx.iter()
+                .filter(|&&i| status.get(i) == Some("Failed"))
+                .count() as f64
+                / idx.len().max(1) as f64
+        };
+        assert!(
+            rate(true) > 1.7 * rate(false),
+            "multi {} vs single {}",
+            rate(true),
+            rate(false)
+        );
+    }
+
+    #[test]
+    fn failed_jobs_get_retries() {
+        let t = small();
+        let status = t.scheduler.column("status").unwrap().as_strs().unwrap();
+        let attempts = t.scheduler.column("attempts").unwrap();
+        let retried = |st: &str| {
+            let idx: Vec<usize> = (0..t.n_jobs())
+                .filter(|&i| status.get(i) == Some(st))
+                .collect();
+            idx.iter()
+                .filter(|&&i| attempts.get(i).as_int().unwrap() > 1)
+                .count() as f64
+                / idx.len().max(1) as f64
+        };
+        assert!(retried("Failed") > 0.3);
+        assert!(retried("Failed") > 2.0 * retried("Pass"));
+    }
+
+    #[test]
+    fn min_sm_zero_for_idle_and_bursty() {
+        let t = small();
+        let sm_min = t.monitoring.column("sm_util_min").unwrap();
+        let sm = t.monitoring.column("sm_util").unwrap();
+        for i in 0..t.n_jobs() {
+            if sm.numeric(i).unwrap() < 1.0 {
+                assert_eq!(sm_min.numeric(i).unwrap(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn exit_shares_in_band() {
+        let t = small();
+        let col = t.scheduler.column("status").unwrap().as_strs().unwrap();
+        let share = |s: &str| {
+            (0..t.n_jobs()).filter(|&i| col.get(i) == Some(s)).count() as f64 / t.n_jobs() as f64
+        };
+        assert!(share("Failed") > 0.13, "failed {}", share("Failed"));
+        assert!(share("Killed") > 0.15, "killed {}", share("Killed"));
+        assert!(share("Pass") > 0.45, "pass {}", share("Pass"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Hand-rolled samplers for the trace generator.
+//!
+//! The workspace deliberately depends only on `rand` (not `rand_distr`), so
+//! the handful of distributions the simulator needs — normal, log-normal,
+//! Zipf-weighted categorical, exponential — are implemented here.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the deterministic RNG used across the generator.
+pub fn seeded_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn standard_normal(rng: &mut SmallRng) -> f64 {
+    // Guard against log(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal sample with mean `mu` and standard deviation `sigma`.
+pub fn normal(rng: &mut SmallRng, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * standard_normal(rng)
+}
+
+/// Log-normal sample: `exp(N(mu, sigma))`.
+///
+/// Runtimes and queue waits in production traces are long-tailed; the paper
+/// calls this out as the reason equal-width binning fails (§III-E).
+pub fn lognormal(rng: &mut SmallRng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Exponential sample with the given rate (`1 / mean`).
+pub fn exponential(rng: &mut SmallRng, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Clamps a sample into `[lo, hi]`.
+pub fn clamp(v: f64, lo: f64, hi: f64) -> f64 {
+    v.max(lo).min(hi)
+}
+
+/// A discrete distribution sampled by binary search over cumulative
+/// weights. Deterministic given the RNG stream.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Builds from non-negative weights (not necessarily normalized).
+    ///
+    /// Panics if all weights are zero or any is negative/non-finite.
+    pub fn new(weights: &[f64]) -> Categorical {
+        assert!(!weights.is_empty(), "empty weight vector");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+            total += w;
+            cumulative.push(total);
+        }
+        assert!(total > 0.0, "all weights zero");
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guarantee the last bucket is reachable despite rounding.
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        Categorical { cumulative }
+    }
+
+    /// Samples an index.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen::<f64>();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+        .min(self.cumulative.len() - 1)
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Always false; a categorical has at least one bucket.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Zipf weights `1 / rank^s` for `n` ranks — used for user and job-group
+/// activity skew (a few heavy users dominate production traces).
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (1..=n).map(|rank| 1.0 / (rank as f64).powf(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded_rng(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_long_tailed() {
+        let mut rng = seeded_rng(8);
+        let samples: Vec<f64> = (0..10_000).map(|_| lognormal(&mut rng, 1.0, 1.5)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[5000];
+        let p99 = sorted[9900];
+        assert!(p99 / median > 10.0, "tail ratio {}", p99 / median);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = seeded_rng(9);
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let mut rng = seeded_rng(10);
+        let dist = Categorical::new(&[1.0, 3.0, 6.0]);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert!((counts[0] as f64 / 30_000.0 - 0.1).abs() < 0.02);
+        assert!((counts[1] as f64 / 30_000.0 - 0.3).abs() < 0.02);
+        assert!((counts[2] as f64 / 30_000.0 - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn categorical_zero_weight_bucket_never_sampled() {
+        let mut rng = seeded_rng(11);
+        let dist = Categorical::new(&[1.0, 0.0, 1.0]);
+        for _ in 0..5_000 {
+            assert_ne!(dist.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights zero")]
+    fn categorical_rejects_all_zero() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let w = zipf_weights(100, 1.2);
+        assert!(w[0] > w[1] && w[1] > w[50]);
+        let total: f64 = w.iter().sum();
+        let head: f64 = w[..10].iter().sum();
+        assert!(head / total > 0.5, "head share {}", head / total);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = seeded_rng(42);
+        let mut b = seeded_rng(42);
+        for _ in 0..100 {
+            assert_eq!(normal(&mut a, 0.0, 1.0), normal(&mut b, 0.0, 1.0));
+        }
+    }
+}

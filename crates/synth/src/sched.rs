@@ -1,0 +1,336 @@
+//! Event-driven FCFS scheduler simulator.
+//!
+//! PAI's queue-wait rules (Table VIII: T4 jobs wait the least, non-T4 jobs
+//! the most, despite a 1:3.5 T4:non-T4 inventory ratio) are contention
+//! effects, so the generator produces queue waits with a real scheduler
+//! substrate rather than sampling a wait distribution directly: per-pool
+//! FCFS with head-of-line blocking over a fixed GPU inventory.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A homogeneous pool of interchangeable GPUs.
+#[derive(Debug, Clone)]
+pub struct GpuPool {
+    /// Pool label (e.g. `"T4"`).
+    pub name: String,
+    /// Number of GPUs.
+    pub capacity: u64,
+}
+
+/// One scheduling request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedRequest {
+    /// Index into the pool list.
+    pub pool: usize,
+    /// Arrival (submission) time, seconds.
+    pub arrival_s: f64,
+    /// Service (execution) time, seconds.
+    pub service_s: f64,
+    /// GPUs required (gang-scheduled: all at once or wait).
+    pub gpus: u64,
+}
+
+/// Completion event ordered by finish time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Completion {
+    finish_s: f64,
+    gpus: u64,
+}
+
+impl Eq for Completion {}
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.finish_s
+            .total_cmp(&other.finish_s)
+            .then_with(|| self.gpus.cmp(&other.gpus))
+    }
+}
+
+/// Per-pool FCFS state.
+struct PoolState {
+    available: u64,
+    running: BinaryHeap<Reverse<Completion>>,
+    waiting: VecDeque<usize>,
+}
+
+/// Simulates all requests and returns each request's queue wait (seconds),
+/// in input order.
+///
+/// Requests whose `gpus` exceed the pool capacity are clamped to the
+/// capacity (they would otherwise never start); callers sizing pools from
+/// realistic demand will not hit this.
+pub fn simulate_queue(pools: &[GpuPool], requests: &[SchedRequest]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by(|&a, &b| requests[a].arrival_s.total_cmp(&requests[b].arrival_s));
+
+    let mut states: Vec<PoolState> = pools
+        .iter()
+        .map(|p| PoolState {
+            available: p.capacity,
+            running: BinaryHeap::new(),
+            waiting: VecDeque::new(),
+        })
+        .collect();
+    let mut waits = vec![0.0f64; requests.len()];
+    let mut started = 0usize;
+    let mut next_arrival = 0usize;
+
+    // Starts every waiting job that fits, FCFS with head-of-line blocking.
+    fn drain(
+        state: &mut PoolState,
+        now: f64,
+        requests: &[SchedRequest],
+        capacity: u64,
+        waits: &mut [f64],
+        started: &mut usize,
+    ) {
+        while let Some(&idx) = state.waiting.front() {
+            let need = requests[idx].gpus.min(capacity).max(1);
+            if need > state.available {
+                break;
+            }
+            state.waiting.pop_front();
+            state.available -= need;
+            state.running.push(Reverse(Completion {
+                finish_s: now + requests[idx].service_s,
+                gpus: need,
+            }));
+            waits[idx] = now - requests[idx].arrival_s;
+            *started += 1;
+        }
+    }
+
+    while started < requests.len() {
+        // Next event: earliest of (next arrival, earliest completion in any
+        // pool that still has waiting work).
+        let arrival_time = order
+            .get(next_arrival)
+            .map(|&i| requests[i].arrival_s);
+        let completion = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.waiting.is_empty())
+            .filter_map(|(p, s)| s.running.peek().map(|Reverse(c)| (c.finish_s, p)))
+            .min_by(|a, b| a.0.total_cmp(&b.0));
+
+        match (arrival_time, completion) {
+            (Some(at), Some((ct, pool))) if ct <= at => {
+                let Reverse(c) = states[pool].running.pop().expect("peeked");
+                states[pool].available += c.gpus;
+                drain(
+                    &mut states[pool],
+                    ct,
+                    requests,
+                    pools[pool].capacity,
+                    &mut waits,
+                    &mut started,
+                );
+            }
+            (Some(at), _) => {
+                let idx = order[next_arrival];
+                next_arrival += 1;
+                let pool = requests[idx].pool;
+                // Free everything that finished before this arrival.
+                while let Some(&Reverse(c)) = states[pool].running.peek() {
+                    if c.finish_s <= at {
+                        states[pool].running.pop();
+                        states[pool].available += c.gpus;
+                    } else {
+                        break;
+                    }
+                }
+                states[pool].waiting.push_back(idx);
+                drain(
+                    &mut states[pool],
+                    at,
+                    requests,
+                    pools[pool].capacity,
+                    &mut waits,
+                    &mut started,
+                );
+            }
+            (None, Some((ct, pool))) => {
+                let Reverse(c) = states[pool].running.pop().expect("peeked");
+                states[pool].available += c.gpus;
+                drain(
+                    &mut states[pool],
+                    ct,
+                    requests,
+                    pools[pool].capacity,
+                    &mut waits,
+                    &mut started,
+                );
+            }
+            (None, None) => unreachable!("jobs remain but no events pending"),
+        }
+    }
+    waits
+}
+
+/// Generates `n` arrival times over `[0, horizon_s)` with a diurnal
+/// submission pattern: a sinusoidal day/night rate (period 24 h, peak at
+/// mid-day, `night_floor` of the peak rate at night), sampled by thinning
+/// a homogeneous Poisson process. Production clusters see exactly this
+/// shape; bursty daytime arrivals are what create queueing even at
+/// moderate average utilization.
+pub fn diurnal_arrivals(
+    rng: &mut rand::rngs::SmallRng,
+    n: usize,
+    horizon_s: f64,
+    night_floor: f64,
+) -> Vec<f64> {
+    use rand::Rng;
+    assert!((0.0..=1.0).contains(&night_floor));
+    const DAY_S: f64 = 86_400.0;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let t = rng.gen_range(0.0..horizon_s);
+        // Rate in [night_floor, 1], peak at noon (t mod day = day/2).
+        let phase = (t % DAY_S) / DAY_S * std::f64::consts::TAU;
+        let rate = night_floor + (1.0 - night_floor) * 0.5 * (1.0 - phase.cos());
+        if rng.gen::<f64>() < rate {
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn pool(capacity: u64) -> Vec<GpuPool> {
+        vec![GpuPool {
+            name: "gpu".to_string(),
+            capacity,
+        }]
+    }
+
+    fn req(arrival: f64, service: f64, gpus: u64) -> SchedRequest {
+        SchedRequest {
+            pool: 0,
+            arrival_s: arrival,
+            service_s: service,
+            gpus,
+        }
+    }
+
+    #[test]
+    fn uncontended_jobs_start_immediately() {
+        let waits = simulate_queue(&pool(4), &[req(0.0, 10.0, 1), req(1.0, 10.0, 2)]);
+        assert_eq!(waits, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn fcfs_wait_for_capacity() {
+        // One GPU; second job arrives while first is running.
+        let waits = simulate_queue(&pool(1), &[req(0.0, 10.0, 1), req(2.0, 5.0, 1)]);
+        assert_eq!(waits[0], 0.0);
+        assert!((waits[1] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn head_of_line_blocking() {
+        // 2 GPUs. Job A takes both; job B (2 GPUs) queues; job C (1 GPU)
+        // arrives later and must wait behind B even though one GPU would
+        // be free sooner under backfilling.
+        let waits = simulate_queue(
+            &pool(2),
+            &[req(0.0, 10.0, 2), req(1.0, 10.0, 2), req(2.0, 1.0, 1)],
+        );
+        assert_eq!(waits[0], 0.0);
+        assert!((waits[1] - 9.0).abs() < 1e-9);
+        // C starts when B finishes at t=20 leaves 0 free... B uses both
+        // until 20; C starts at 20.
+        assert!((waits[2] - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_pools_do_not_interfere() {
+        let pools = vec![
+            GpuPool {
+                name: "a".to_string(),
+                capacity: 1,
+            },
+            GpuPool {
+                name: "b".to_string(),
+                capacity: 1,
+            },
+        ];
+        let reqs = vec![
+            SchedRequest {
+                pool: 0,
+                arrival_s: 0.0,
+                service_s: 100.0,
+                gpus: 1,
+            },
+            SchedRequest {
+                pool: 1,
+                arrival_s: 1.0,
+                service_s: 1.0,
+                gpus: 1,
+            },
+        ];
+        let waits = simulate_queue(&pools, &reqs);
+        assert_eq!(waits, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn oversized_request_clamped_to_capacity() {
+        let waits = simulate_queue(&pool(2), &[req(0.0, 5.0, 10), req(0.0, 5.0, 1)]);
+        assert_eq!(waits[0], 0.0);
+        assert!((waits[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_raises_mean_wait() {
+        // Same workload on a loaded vs unloaded pool.
+        let reqs: Vec<SchedRequest> = (0..200).map(|i| req(i as f64, 50.0, 1)).collect();
+        let loaded: f64 = simulate_queue(&pool(10), &reqs).iter().sum();
+        let unloaded: f64 = simulate_queue(&pool(200), &reqs).iter().sum();
+        assert_eq!(unloaded, 0.0);
+        assert!(loaded > 1000.0, "expected queueing, total wait {loaded}");
+    }
+
+    #[test]
+    fn diurnal_arrivals_peak_at_midday() {
+        let mut rng = seeded_rng(12);
+        let horizon = 10.0 * 86_400.0;
+        let arrivals = diurnal_arrivals(&mut rng, 40_000, horizon, 0.1);
+        assert_eq!(arrivals.len(), 40_000);
+        assert!(arrivals.iter().all(|&t| (0.0..horizon).contains(&t)));
+        // Partition each day into a mid-day half and a night half.
+        let midday = arrivals
+            .iter()
+            .filter(|&&t| {
+                let d = t % 86_400.0;
+                (21_600.0..64_800.0).contains(&d)
+            })
+            .count() as f64;
+        let share = midday / arrivals.len() as f64;
+        assert!(share > 0.6, "mid-day share {share}");
+    }
+
+    #[test]
+    fn diurnal_floor_one_is_uniform() {
+        let mut rng = seeded_rng(13);
+        let arrivals = diurnal_arrivals(&mut rng, 20_000, 86_400.0, 1.0);
+        let first_half = arrivals.iter().filter(|&&t| t < 43_200.0).count() as f64;
+        let share = first_half / arrivals.len() as f64;
+        assert!((share - 0.5).abs() < 0.02, "uniform share {share}");
+    }
+
+    #[test]
+    fn unsorted_arrivals_accepted() {
+        let waits = simulate_queue(&pool(1), &[req(5.0, 1.0, 1), req(0.0, 10.0, 1)]);
+        assert!((waits[0] - 5.0).abs() < 1e-9);
+        assert_eq!(waits[1], 0.0);
+    }
+}

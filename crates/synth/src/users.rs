@@ -1,0 +1,187 @@
+//! User and job-group populations with realistic activity skew.
+//!
+//! Production traces are dominated by a few heavy submitters (the paper
+//! classifies the most active users covering 25% of submissions as
+//! "frequent users" and the least active covering the last 25% as
+//! "new users"). The generator mirrors that with a Zipf-weighted
+//! population, and exposes *tiers* so archetypes can bias their sampling —
+//! e.g. SuperCloud's "killed by new user" jobs draw from the tail.
+
+use rand::rngs::SmallRng;
+
+use crate::rng::{zipf_weights, Categorical};
+
+/// Activity tier of a population member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Heavy submitters (head of the Zipf curve).
+    Head,
+    /// Mid-tail members.
+    Middle,
+    /// Light / occasional submitters.
+    Tail,
+}
+
+/// A skewed population of named members (users or job groups).
+#[derive(Debug, Clone)]
+pub struct Population {
+    prefix: &'static str,
+    weights: Vec<f64>,
+    all: Categorical,
+    head: Categorical,
+    middle: Categorical,
+    tail: Categorical,
+    head_end: usize,
+    tail_start: usize,
+}
+
+impl Population {
+    /// Builds a population of `n` members named `{prefix}{index:04}` with
+    /// Zipf(`s`) activity. `head_share` / `tail_share` are the expected
+    /// traffic fractions marking the head and tail tiers (the paper uses
+    /// 25% / 25%).
+    pub fn new(prefix: &'static str, n: usize, s: f64, head_share: f64, tail_share: f64) -> Population {
+        assert!(n >= 3, "population too small");
+        let weights = zipf_weights(n, s);
+        let total: f64 = weights.iter().sum();
+
+        // head_end = first index whose cumulative weight exceeds head_share.
+        let mut cumulative = 0.0;
+        let mut head_end = 0;
+        for (i, &w) in weights.iter().enumerate() {
+            cumulative += w;
+            if cumulative / total >= head_share {
+                head_end = i + 1;
+                break;
+            }
+        }
+        head_end = head_end.max(1);
+
+        let mut tail_start = n;
+        let mut back_cum = 0.0;
+        for (i, &w) in weights.iter().enumerate().rev() {
+            back_cum += w;
+            if back_cum / total >= tail_share {
+                tail_start = i;
+                break;
+            }
+        }
+        tail_start = tail_start.clamp(head_end, n - 1);
+
+        let mask = |range: std::ops::Range<usize>| {
+            let mut w = vec![0.0; n];
+            w[range.clone()].copy_from_slice(&weights[range]);
+            Categorical::new(&w)
+        };
+        Population {
+            prefix,
+            all: Categorical::new(&weights),
+            head: mask(0..head_end),
+            middle: mask(head_end..tail_start),
+            tail: mask(tail_start..n),
+            weights,
+            head_end,
+            tail_start,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Populations are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The display name of member `idx`.
+    pub fn name(&self, idx: usize) -> String {
+        format!("{}{:04}", self.prefix, idx)
+    }
+
+    /// Samples a member according to overall activity.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        self.all.sample(rng)
+    }
+
+    /// Samples a member restricted to one tier (still activity-weighted
+    /// inside the tier).
+    pub fn sample_tier(&self, rng: &mut SmallRng, tier: Tier) -> usize {
+        match tier {
+            Tier::Head => self.head.sample(rng),
+            Tier::Middle => self.middle.sample(rng),
+            Tier::Tail => self.tail.sample(rng),
+        }
+    }
+
+    /// The tier a member belongs to.
+    pub fn tier(&self, idx: usize) -> Tier {
+        if idx < self.head_end {
+            Tier::Head
+        } else if idx < self.tail_start {
+            Tier::Middle
+        } else {
+            Tier::Tail
+        }
+    }
+
+    /// Index of the single heaviest member (used for PAI's "one user
+    /// submitting a large number of failing jobs").
+    pub fn heaviest(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn tiers_partition_population() {
+        let p = Population::new("user", 200, 1.1, 0.25, 0.25);
+        let mut seen = [0usize; 3];
+        for i in 0..p.len() {
+            match p.tier(i) {
+                Tier::Head => seen[0] += 1,
+                Tier::Middle => seen[1] += 1,
+                Tier::Tail => seen[2] += 1,
+            }
+        }
+        assert_eq!(seen.iter().sum::<usize>(), 200);
+        assert!(seen[0] >= 1);
+        assert!(seen[2] >= 1);
+        // Head is small, tail is large (Zipf).
+        assert!(seen[0] < seen[2]);
+    }
+
+    #[test]
+    fn tier_sampling_respects_tier() {
+        let p = Population::new("user", 100, 1.2, 0.25, 0.25);
+        let mut rng = seeded_rng(3);
+        for _ in 0..500 {
+            assert_eq!(p.tier(p.sample_tier(&mut rng, Tier::Head)), Tier::Head);
+            assert_eq!(p.tier(p.sample_tier(&mut rng, Tier::Tail)), Tier::Tail);
+        }
+    }
+
+    #[test]
+    fn head_gets_expected_traffic_share() {
+        let p = Population::new("user", 300, 1.1, 0.25, 0.25);
+        let mut rng = seeded_rng(4);
+        let n = 50_000;
+        let head_hits = (0..n)
+            .filter(|_| p.tier(p.sample(&mut rng)) == Tier::Head)
+            .count();
+        let share = head_hits as f64 / n as f64;
+        assert!((share - 0.25).abs() < 0.05, "head share {share}");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let p = Population::new("grp", 10, 1.0, 0.3, 0.3);
+        assert_eq!(p.name(0), "grp0000");
+        assert_eq!(p.name(7), "grp0007");
+    }
+}

@@ -1,0 +1,70 @@
+//! Cross-miner equivalence on *real* encoded traces (not just synthetic
+//! micro-databases): FP-Growth, Apriori, and Eclat must produce the same
+//! frequent-itemset family — and therefore the same rules — on the actual
+//! workload the paper mines.
+
+use irma::core::{philly_spec, supercloud_spec};
+use irma::mine::{apriori, eclat, fpgrowth, MinerConfig};
+use irma::prep::encode;
+use irma::synth::{philly, supercloud, TraceConfig};
+
+#[test]
+fn miners_agree_on_supercloud_trace() {
+    let bundle = supercloud(&TraceConfig {
+        n_jobs: 3_000,
+        seed: 99,
+        max_monitor_samples: 32,
+    });
+    let encoded = encode(&bundle.merged(), &supercloud_spec());
+    for min_support in [0.05, 0.1, 0.25] {
+        let config = MinerConfig {
+            min_support,
+            max_len: 5,
+            parallel: true,
+        };
+        let f = fpgrowth(&encoded.db, &config);
+        let a = apriori(&encoded.db, &config);
+        let e = eclat(&encoded.db, &config);
+        assert_eq!(f.as_slice(), a.as_slice(), "support {min_support}");
+        assert_eq!(f.as_slice(), e.as_slice(), "support {min_support}");
+        assert!(!f.is_empty());
+    }
+}
+
+#[test]
+fn miners_agree_on_philly_trace_with_length_caps() {
+    let bundle = philly(&TraceConfig {
+        n_jobs: 3_000,
+        seed: 98,
+        max_monitor_samples: 32,
+    });
+    let encoded = encode(&bundle.merged(), &philly_spec());
+    for max_len in [1, 2, 3, 5] {
+        let config = MinerConfig {
+            min_support: 0.05,
+            max_len,
+            parallel: false,
+        };
+        let f = fpgrowth(&encoded.db, &config);
+        let a = apriori(&encoded.db, &config);
+        let e = eclat(&encoded.db, &config);
+        assert_eq!(f.as_slice(), a.as_slice(), "max_len {max_len}");
+        assert_eq!(f.as_slice(), e.as_slice(), "max_len {max_len}");
+        assert!(f.iter().all(|(s, _)| s.len() <= max_len));
+    }
+}
+
+#[test]
+fn spot_check_supports_against_brute_force() {
+    let bundle = supercloud(&TraceConfig {
+        n_jobs: 2_000,
+        seed: 97,
+        max_monitor_samples: 32,
+    });
+    let encoded = encode(&bundle.merged(), &supercloud_spec());
+    let frequent = fpgrowth(&encoded.db, &MinerConfig::with_min_support(0.1));
+    // Verify every 10th itemset by full scan (all would be slow in debug).
+    for (set, count) in frequent.iter().step_by(10) {
+        assert_eq!(*count, encoded.db.support_count(set), "itemset {set}");
+    }
+}
