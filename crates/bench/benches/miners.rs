@@ -34,11 +34,9 @@ fn support_sweep(c: &mut Criterion) {
             &config,
             |b, cfg| b.iter(|| black_box(apriori(&db, cfg)).len()),
         );
-        group.bench_with_input(
-            BenchmarkId::new("eclat", min_support),
-            &config,
-            |b, cfg| b.iter(|| black_box(eclat(&db, cfg)).len()),
-        );
+        group.bench_with_input(BenchmarkId::new("eclat", min_support), &config, |b, cfg| {
+            b.iter(|| black_box(eclat(&db, cfg)).len())
+        });
     }
     group.finish();
 }
@@ -78,11 +76,9 @@ fn max_len_sweep(c: &mut Criterion) {
             max_len,
             parallel: false,
         };
-        group.bench_with_input(
-            BenchmarkId::new("fpgrowth", max_len),
-            &config,
-            |b, cfg| b.iter(|| black_box(fpgrowth(&db, cfg)).len()),
-        );
+        group.bench_with_input(BenchmarkId::new("fpgrowth", max_len), &config, |b, cfg| {
+            b.iter(|| black_box(fpgrowth(&db, cfg)).len())
+        });
     }
     group.finish();
 }

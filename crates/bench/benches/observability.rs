@@ -1,0 +1,89 @@
+//! Overhead of the `irma-obs` instrumentation on the end-to-end workflow.
+//!
+//! The observability layer must be effectively free when nobody asked for
+//! metrics: a disabled [`Metrics`] handle reduces every call to a single
+//! `Option` check and never touches the clock. This bench runs the full
+//! PAI-profile pipeline (generate → encode → mine → generate rules →
+//! prune) with a disabled sink and with an enabled sink, interleaved, and
+//! compares the medians. The enabled sink does strictly more work than
+//! the disabled one (clock reads, mutex locks, event pushes), so its
+//! overhead over the disabled baseline bounds the instrumentation cost
+//! from above. The acceptance bar is <2% median overhead.
+//!
+//! Plain `Instant` timing rather than criterion: the unit of work is a
+//! multi-second end-to-end run, so a handful of interleaved samples and a
+//! median are more informative than criterion's statistics on 10+ warm
+//! iterations.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use irma_core::{analyze_with, pai_spec, AnalysisConfig, Metrics};
+use irma_synth::{pai, TraceConfig};
+
+const SAMPLES: usize = 7;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let config = TraceConfig {
+        n_jobs: 20_000,
+        seed: 0xdcc0,
+        max_monitor_samples: 128,
+    };
+    let merged = pai(&config).merged();
+    let spec = pai_spec();
+    let analysis_config = AnalysisConfig::default();
+
+    // Warm-up: page in the trace and populate allocator caches.
+    let warm = analyze_with(&merged, &spec, &analysis_config, &Metrics::disabled());
+    println!(
+        "warm-up: {} itemsets, {} rules",
+        warm.frequent.len(),
+        warm.rules.len()
+    );
+
+    let mut disabled_ms = Vec::with_capacity(SAMPLES);
+    let mut enabled_ms = Vec::with_capacity(SAMPLES);
+    for round in 0..SAMPLES {
+        // Interleave so drift (thermal, cache, allocator state) hits both
+        // variants equally.
+        for enabled in [round % 2 == 0, round % 2 != 0] {
+            let metrics = if enabled {
+                Metrics::enabled()
+            } else {
+                Metrics::disabled()
+            };
+            let start = Instant::now();
+            let analysis = analyze_with(&merged, &spec, &analysis_config, &metrics);
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            black_box(analysis.rules.len());
+            if enabled {
+                enabled_ms.push(elapsed);
+            } else {
+                disabled_ms.push(elapsed);
+            }
+        }
+    }
+
+    let disabled = median(&mut disabled_ms);
+    let enabled = median(&mut enabled_ms);
+    let overhead = (enabled / disabled - 1.0) * 100.0;
+    println!(
+        "pai end-to-end, {} jobs, median of {SAMPLES}:",
+        config.n_jobs
+    );
+    println!("  disabled sink: {disabled:9.1} ms  (baseline)");
+    println!("  enabled sink:  {enabled:9.1} ms  ({overhead:+.2}%)");
+    println!(
+        "instrumentation overhead {overhead:+.2}% — {}",
+        if overhead < 2.0 {
+            "PASS (<2%)"
+        } else {
+            "FAIL (>=2%)"
+        }
+    );
+}

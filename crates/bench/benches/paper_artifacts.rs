@@ -31,7 +31,11 @@ fn artifacts(c: &mut Criterion) {
         b.iter(|| black_box(table1(&traces)).rows.len())
     });
     group.bench_function("fig1_support_sweep", |b| {
-        b.iter(|| black_box(fig1(&traces, &[0.05, 0.1, 0.2, 0.5])).series.len())
+        b.iter(|| {
+            black_box(fig1(&traces, &[0.05, 0.1, 0.2, 0.5]))
+                .series
+                .len()
+        })
     });
     group.bench_function("fig2_rule_boxplots", |b| {
         b.iter(|| black_box(fig2(&traces)).rows.len())

@@ -43,13 +43,9 @@ fn thread_sweep(c: &mut Criterion) {
             .num_threads(threads)
             .build()
             .expect("build rayon pool");
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |b, _| {
-                b.iter(|| pool.install(|| black_box(fpgrowth(&db, &config)).len()))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| pool.install(|| black_box(fpgrowth(&db, &config)).len()))
+        });
     }
     group.finish();
 }

@@ -41,11 +41,9 @@ fn keyword_pruning(c: &mut Criterion) {
             c_lift: c_margin,
             c_supp: c_margin,
         };
-        group.bench_with_input(
-            BenchmarkId::new("c_margin", c_margin),
-            &params,
-            |b, p| b.iter(|| black_box(prune_rules(&rules, keyword, p)).kept.len()),
-        );
+        group.bench_with_input(BenchmarkId::new("c_margin", c_margin), &params, |b, p| {
+            b.iter(|| black_box(prune_rules(&rules, keyword, p)).kept.len())
+        });
     }
     group.finish();
 }

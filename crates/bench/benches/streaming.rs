@@ -34,9 +34,7 @@ fn window_ops(c: &mut Criterion) {
     }
     let mut baseline = filled.clone();
     baseline.mine();
-    group.bench_function("drift_eval", |b| {
-        b.iter(|| black_box(baseline.drift()))
-    });
+    group.bench_function("drift_eval", |b| b.iter(|| black_box(baseline.drift())));
     group.bench_function("remine_window_4k", |b| {
         b.iter(|| black_box(filled.clone().mine()).len())
     });

@@ -36,6 +36,10 @@ pub enum Command {
         dir: Option<String>,
         /// Also print natural-language insights.
         insights: bool,
+        /// Optional path for a JSON metrics snapshot of the run.
+        metrics: Option<String>,
+        /// Also print the per-stage timing/cardinality table.
+        verbose_stages: bool,
     },
     /// `irma experiments [--pai N] [--supercloud N] [--philly N] [--seed S]
     ///  [--export DIR]`
@@ -152,7 +156,19 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         "analyze" => {
             let (positional, flags) = split_flags(rest)?;
-            known_flags(&flags, &["keyword", "jobs", "seed", "top", "dir", "insights"])?;
+            known_flags(
+                &flags,
+                &[
+                    "keyword",
+                    "jobs",
+                    "seed",
+                    "top",
+                    "dir",
+                    "insights",
+                    "metrics",
+                    "verbose-stages",
+                ],
+            )?;
             Ok(Command::Analyze {
                 trace: trace_arg(&positional)?,
                 keyword: flags
@@ -164,6 +180,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 top: get_parse(&flags, "top", 6)?,
                 dir: flags.get("dir").cloned(),
                 insights: get_parse(&flags, "insights", false)?,
+                metrics: flags.get("metrics").cloned(),
+                verbose_stages: get_parse(&flags, "verbose-stages", false)?,
             })
         }
         "experiments" => {
@@ -206,9 +224,13 @@ USAGE:
   irma generate <trace> [--jobs N] [--seed S] [--out DIR]
       Generate a synthetic trace and write its scheduler/monitoring CSVs.
   irma analyze <trace> [--keyword K] [--jobs N] [--seed S] [--top N]
-               [--dir DIR] [--insights true]
+               [--dir DIR] [--insights true] [--metrics FILE]
+               [--verbose-stages true]
       Run the full workflow and print the keyword's cause/characteristic
       rules. With --dir, read CSVs previously written by `generate`.
+      --metrics writes a JSON snapshot of per-stage timers, cardinalities,
+      and per-condition prune counts; --verbose-stages prints the same
+      trace as a table on stderr.
   irma experiments [--pai N] [--supercloud N] [--philly N] [--seed S]
                    [--export DIR]
       Regenerate every paper table and figure (optionally exporting the
@@ -275,6 +297,37 @@ mod tests {
         ];
         match parse(&args).unwrap() {
             Command::Analyze { keyword, .. } => assert_eq!(keyword, "Job Killed"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_metrics_flags() {
+        let cmd = parse(&argv(
+            "analyze pai --metrics /tmp/m.json --verbose-stages true",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Analyze {
+                metrics,
+                verbose_stages,
+                ..
+            } => {
+                assert_eq!(metrics.as_deref(), Some("/tmp/m.json"));
+                assert!(verbose_stages);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: no snapshot, no table.
+        match parse(&argv("analyze pai")).unwrap() {
+            Command::Analyze {
+                metrics,
+                verbose_stages,
+                ..
+            } => {
+                assert_eq!(metrics, None);
+                assert!(!verbose_stages);
+            }
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -13,8 +13,8 @@ use irma_core::experiments::run_all;
 use irma_core::export::export_all;
 use irma_core::insights::insight_report;
 use irma_core::{
-    analyze, failure_prediction, pai_spec, philly_spec, prepare, prepare_all, supercloud_spec,
-    AnalysisConfig, ExperimentScale,
+    analyze_with, failure_prediction, pai_spec, philly_spec, prepare, prepare_all, supercloud_spec,
+    AnalysisConfig, ExperimentScale, Metrics,
 };
 use irma_synth::{pai, philly, read_merged_csv_dir, supercloud, TraceConfig};
 
@@ -69,17 +69,41 @@ fn run(command: Command) -> Result<(), String> {
             top,
             dir,
             insights,
+            metrics: metrics_path,
+            verbose_stages,
         } => {
             let merged = match dir {
                 Some(dir) => read_merged_csv_dir(Path::new(&dir), &trace)
                     .map_err(|e| format!("reading trace CSVs: {e}"))?,
                 None => generate_bundle(&trace, jobs, seed).merged(),
             };
-            let analysis = analyze(&merged, &spec_for(&trace), &AnalysisConfig::default());
+            // The sink stays a no-op unless somebody asked for output.
+            let metrics = if metrics_path.is_some() || verbose_stages {
+                Metrics::enabled()
+            } else {
+                Metrics::disabled()
+            };
+            let analysis = analyze_with(
+                &merged,
+                &spec_for(&trace),
+                &AnalysisConfig::default(),
+                &metrics,
+            );
             eprintln!("{}", analysis.summary());
-            print!("{}", analysis.render_keyword(&keyword, top));
+            print!("{}", analysis.render_keyword_with(&keyword, top, &metrics));
             if insights {
                 print!("{}", insight_report(&analysis, &keyword, top));
+            }
+            if metrics.is_enabled() {
+                let snapshot = metrics.snapshot();
+                if verbose_stages {
+                    eprint!("{}", snapshot.render_table());
+                }
+                if let Some(path) = metrics_path {
+                    std::fs::write(&path, snapshot.to_json())
+                        .map_err(|e| format!("writing metrics to {path}: {e}"))?;
+                    eprintln!("wrote metrics {path}");
+                }
             }
             Ok(())
         }
@@ -99,8 +123,7 @@ fn run(command: Command) -> Result<(), String> {
             let traces = prepare_all(&scale, &AnalysisConfig::default());
             println!("{}", run_all(&traces));
             if let Some(dir) = export {
-                let files =
-                    export_all(&traces, Path::new(&dir)).map_err(|e| e.to_string())?;
+                let files = export_all(&traces, Path::new(&dir)).map_err(|e| e.to_string())?;
                 eprintln!("exported {} CSV files to {dir}", files.len());
             }
             Ok(())

@@ -171,10 +171,7 @@ impl Fig2 {
     /// Renders both box plots.
     pub fn render(&self) -> String {
         let mut out = String::from("== Fig. 2: rule confidence & lift per trace ==\n");
-        for (metric, pick) in [
-            ("confidence", 0usize),
-            ("lift", 1usize),
-        ] {
+        for (metric, pick) in [("confidence", 0usize), ("lift", 1usize)] {
             out.push_str(&format!("-- {metric} --\n"));
             let (lo, hi) = if pick == 0 { (0.0, 1.0) } else { (1.0, 12.0) };
             for (name, conf, lift) in &self.rows {
@@ -230,12 +227,7 @@ pub fn fig3(traces: &[TraceAnalysis]) -> Fig3 {
         } else {
             format!("lift [{lo:.1}, {hi:.1})")
         };
-        let count = |rules: &[&Rule]| {
-            rules
-                .iter()
-                .filter(|r| r.lift >= lo && r.lift < hi)
-                .count()
-        };
+        let count = |rules: &[&Rule]| rules.iter().filter(|r| r.lift >= lo && r.lift < hi).count();
         let after = count(&kept);
         let before = after + count(&removed);
         bands.push((label, before, after));
@@ -407,7 +399,10 @@ impl RuleTable {
 pub fn underutilization_tables(traces: &[TraceAnalysis]) -> Vec<RuleTable> {
     let titles = [
         ("pai", "Table II: GPU underutilization rules (PAI)"),
-        ("supercloud", "Table III: GPU underutilization rules (SuperCloud)"),
+        (
+            "supercloud",
+            "Table III: GPU underutilization rules (SuperCloud)",
+        ),
         ("philly", "Table IV: GPU underutilization rules (Philly)"),
     ];
     titles
@@ -458,9 +453,7 @@ pub fn misc_tables(traces: &[TraceAnalysis]) -> Vec<RuleTable> {
         // PAI3/PAI4 mine the model-labelled subset only (the paper filters
         // rows whose model is NaN before this analysis).
         let model_col = pai_t.merged.column("model").expect("model present");
-        let labelled = pai_t
-            .merged
-            .filter(|i| !model_col.get(i).is_null());
+        let labelled = pai_t.merged.filter(|i| !model_col.get(i).is_null());
         let model_analysis = analyze(&labelled, &pai_spec(), &pai_t.analysis.config);
         let fake = TraceAnalysis {
             name: "pai",
@@ -693,8 +686,14 @@ pub fn cross_trace_overlap(traces: &[TraceAnalysis]) -> CrossTraceOverlap {
 impl CrossTraceOverlap {
     /// Renders the pairwise overlap table plus universal rules.
     pub fn render(&self) -> String {
-        let mut table =
-            TextTable::new(["Left", "Right", "Common", "Only left", "Only right", "Jaccard"]);
+        let mut table = TextTable::new([
+            "Left",
+            "Right",
+            "Common",
+            "Only left",
+            "Only right",
+            "Jaccard",
+        ]);
         for (l, r, common, ol, or, j) in &self.pairs {
             table.row([
                 l.clone(),
@@ -822,11 +821,7 @@ pub fn run_all(traces: &[TraceAnalysis]) -> String {
     out.push_str("== Operator insights (top rules, rendered) ==\n");
     for t in traces {
         out.push_str(&format!("-- {} --\n", t.name));
-        out.push_str(&crate::insights::insight_report(
-            &t.analysis,
-            KW_SM_ZERO,
-            3,
-        ));
+        out.push_str(&crate::insights::insight_report(&t.analysis, KW_SM_ZERO, 3));
         out.push_str(&crate::insights::insight_report(&t.analysis, KW_FAILED, 3));
     }
     out
@@ -928,7 +923,9 @@ mod tests {
                 .map(|(_, s)| s.iter().map(|(st, _)| st.clone()).collect())
                 .unwrap()
         };
-        assert!(!statuses("pai").iter().any(|s| s.to_lowercase().contains("kill")));
+        assert!(!statuses("pai")
+            .iter()
+            .any(|s| s.to_lowercase().contains("kill")));
         assert!(statuses("supercloud").iter().any(|s| s == "killed"));
         assert!(statuses("philly").iter().any(|s| s == "Killed"));
     }
@@ -976,18 +973,10 @@ mod tests {
     fn rule_tables_have_rows() {
         let traces = traces();
         for table in underutilization_tables(&traces) {
-            assert!(
-                !table.rows.is_empty(),
-                "{}: no rules survived",
-                table.title
-            );
+            assert!(!table.rows.is_empty(), "{}: no rules survived", table.title);
         }
         for table in failure_tables(&traces) {
-            assert!(
-                !table.rows.is_empty(),
-                "{}: no rules survived",
-                table.title
-            );
+            assert!(!table.rows.is_empty(), "{}: no rules survived", table.title);
         }
     }
 }

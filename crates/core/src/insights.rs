@@ -146,7 +146,10 @@ mod tests {
             lift: 1.66,
         };
         let text = describe_rule(&catalog, &rule, failed);
-        assert!(text.starts_with("`Failed` jobs that also have Cluster = C"), "{text}");
+        assert!(
+            text.starts_with("`Failed` jobs that also have Cluster = C"),
+            "{text}"
+        );
         assert!(text.contains("Runtime = Bin4"), "{text}");
     }
 

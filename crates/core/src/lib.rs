@@ -34,9 +34,15 @@ pub mod stats;
 pub mod traces;
 pub mod workflow;
 
+pub use predict::{
+    failure_prediction, prediction_experiment, PredictionExperiment, PredictionResult,
+};
 pub use specs::{
     pai_spec, philly_spec, supercloud_spec, KW_FAILED, KW_KILLED, KW_MULTI_GPU, KW_SM_ZERO,
 };
-pub use predict::{failure_prediction, prediction_experiment, PredictionExperiment, PredictionResult};
 pub use traces::{prepare, prepare_all, ExperimentScale, TraceAnalysis};
-pub use workflow::{analyze, Analysis, AnalysisConfig};
+pub use workflow::{analyze, analyze_with, Analysis, AnalysisConfig};
+
+// Observability handle, re-exported so workflow callers need not depend
+// on `irma-obs` directly.
+pub use irma_obs::Metrics;

@@ -41,10 +41,7 @@ pub fn failure_prediction(
     heldout_seed: u64,
     threshold: f64,
 ) -> PredictionResult {
-    let keyword_id = t
-        .analysis
-        .item(KW_FAILED)
-        .expect("failure keyword present");
+    let keyword_id = t.analysis.item(KW_FAILED).expect("failure keyword present");
     let kept = t
         .analysis
         .keyword(KW_FAILED)

@@ -81,7 +81,10 @@ pub fn pai_spec() -> EncoderSpec {
                 ("deepfm", "RecSys"),
             ],
         ),
-        bare_categorical("status", [("Failed", "Failed"), ("Terminated", "Terminated")]),
+        bare_categorical(
+            "status",
+            [("Failed", "Failed"), ("Terminated", "Terminated")],
+        ),
         FeatureSpec::frequency("user", "Freq User", "New User"),
         FeatureSpec::frequency("group", "Freq Group", "Rare Group"),
         FeatureSpec::flag("num_inst", "Multiple Tasks", 1.0),
@@ -154,7 +157,14 @@ mod tests {
     fn specs_cover_expected_columns() {
         let pai = pai_spec();
         let cols: Vec<&str> = pai.features.iter().map(|f| f.column()).collect();
-        for col in ["sm_util", "gmem_used_gb", "cpu_request", "gpu_type_req", "user", "group"] {
+        for col in [
+            "sm_util",
+            "gmem_used_gb",
+            "cpu_request",
+            "gpu_type_req",
+            "user",
+            "group",
+        ] {
             assert!(cols.contains(&col), "pai spec missing {col}");
         }
         let sc = supercloud_spec();

@@ -8,8 +8,9 @@
 
 use irma_data::Frame;
 use irma_mine::{Algorithm, FrequentItemsets, ItemId, MinerConfig};
-use irma_prep::{encode, Encoded, EncoderSpec};
-use irma_rules::{generate_rules, KeywordAnalysis, PruneParams, Rule, RuleConfig};
+use irma_obs::Metrics;
+use irma_prep::{encode_with, Encoded, EncoderSpec};
+use irma_rules::{generate_rules_with, KeywordAnalysis, PruneParams, Rule, RuleConfig};
 
 /// Every knob of the paper's workflow.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -39,9 +40,24 @@ pub struct Analysis {
 
 /// Runs encode -> mine -> generate over a merged per-job frame.
 pub fn analyze(frame: &Frame, spec: &EncoderSpec, config: &AnalysisConfig) -> Analysis {
-    let encoded = encode(frame, spec);
-    let frequent = config.algorithm.mine(&encoded.db, &config.miner);
-    let rules = generate_rules(&frequent, &config.rules);
+    analyze_with(frame, spec, config, &Metrics::disabled())
+}
+
+/// [`analyze`] with observability: every pipeline stage (`prep.fit`,
+/// `prep.transform`, `mine.tree_build`/`mine.mine`, `rules.generate`)
+/// emits a [`irma_obs::StageEvent`] into `metrics`; keyword pruning adds
+/// its own via [`Analysis::keyword_with`].
+pub fn analyze_with(
+    frame: &Frame,
+    spec: &EncoderSpec,
+    config: &AnalysisConfig,
+    metrics: &Metrics,
+) -> Analysis {
+    let encoded = encode_with(frame, spec, metrics);
+    let frequent = config
+        .algorithm
+        .mine_with(&encoded.db, &config.miner, metrics);
+    let rules = generate_rules_with(&frequent, &config.rules, metrics);
     Analysis {
         encoded,
         frequent,
@@ -61,13 +77,30 @@ impl Analysis {
     /// Returns `None` when the label does not exist in the catalog (never
     /// emitted, or dropped by the prevalence cut).
     pub fn keyword(&self, label: &str) -> Option<KeywordAnalysis> {
+        self.keyword_with(label, &Metrics::disabled())
+    }
+
+    /// [`Analysis::keyword`] with observability: the pruning stage emits
+    /// a `rules.prune` event with per-condition counts into `metrics`.
+    pub fn keyword_with(&self, label: &str, metrics: &Metrics) -> Option<KeywordAnalysis> {
         let id = self.item(label)?;
-        Some(KeywordAnalysis::run(&self.rules, id, &self.config.prune))
+        Some(KeywordAnalysis::run_with(
+            &self.rules,
+            id,
+            &self.config.prune,
+            metrics,
+        ))
     }
 
     /// Renders a keyword analysis as the paper's C/A table.
     pub fn render_keyword(&self, label: &str, top: usize) -> String {
-        match self.keyword(label) {
+        self.render_keyword_with(label, top, &Metrics::disabled())
+    }
+
+    /// [`Analysis::render_keyword`] with observability (see
+    /// [`Analysis::keyword_with`]).
+    pub fn render_keyword_with(&self, label: &str, top: usize, metrics: &Metrics) -> String {
+        match self.keyword_with(label, metrics) {
             Some(analysis) => {
                 let id = self.item(label).expect("keyword checked above");
                 analysis.render(&self.encoded.catalog, id, top)
@@ -111,7 +144,10 @@ impl Analysis {
             .filter(|(_, (lift, _))| *lift > 0.0)
             .map(|(item, (lift, conf))| {
                 (
-                    self.encoded.catalog.label(item as irma_mine::ItemId).to_string(),
+                    self.encoded
+                        .catalog
+                        .label(item as irma_mine::ItemId)
+                        .to_string(),
                     lift,
                     conf,
                 )
@@ -147,8 +183,7 @@ impl Analysis {
                 out.push_str(&format!("  {label} ({:.0}% of jobs)\n", share * 100.0));
             }
         }
-        let mut fits: Vec<(&String, &irma_prep::NumericFit)> =
-            report.numeric_fits.iter().collect();
+        let mut fits: Vec<(&String, &irma_prep::NumericFit)> = report.numeric_fits.iter().collect();
         fits.sort_by_key(|(name, _)| (*name).clone());
         for (column, fit) in fits {
             let edges = fit
@@ -215,11 +250,8 @@ mod tests {
         let analysis = tiny_analysis();
         let kw = analysis.keyword("SM Util = 0%").expect("keyword exists");
         assert!(
-            kw.causes
-                .iter()
-                .any(|r| r.antecedent.len() == 1
-                    && analysis.encoded.catalog.label(r.antecedent.items()[0])
-                        == "Runtime = Bin1"),
+            kw.causes.iter().any(|r| r.antecedent.len() == 1
+                && analysis.encoded.catalog.label(r.antecedent.items()[0]) == "Runtime = Bin1"),
             "expected short runtime as an idle-GPU cause"
         );
     }
@@ -244,7 +276,9 @@ mod tests {
         // The idle-GPU item participates in the strongest rules of this
         // toy dataset, so it must be suggested.
         assert!(
-            suggestions.iter().any(|(label, _, _)| label == "SM Util = 0%"),
+            suggestions
+                .iter()
+                .any(|(label, _, _)| label == "SM Util = 0%"),
             "{suggestions:?}"
         );
         assert_eq!(analysis.suggest_keywords(1).len(), 1);
@@ -258,6 +292,50 @@ mod tests {
         assert!(text.contains("frequent itemsets:"), "{text}");
         assert!(text.contains("runtime: bin edges"), "{text}");
         assert!(text.contains("sm:"), "{text}");
+    }
+
+    #[test]
+    fn every_stage_emits_a_trace_event() {
+        let mut csv = String::from("runtime,sm\n");
+        for i in 0..20 {
+            let (rt, sm) = if i < 8 { (10.0, 0.0) } else { (5_000.0, 70.0) };
+            csv.push_str(&format!("{},{}\n", rt + i as f64, sm));
+        }
+        let frame = read_csv_str(&csv).unwrap();
+        let spec = irma_prep::EncoderSpec::new(vec![
+            FeatureSpec::numeric("runtime", "Runtime"),
+            FeatureSpec::numeric_zero("sm", "SM Util", ZeroBin::percent()),
+        ]);
+        let mut config = AnalysisConfig::default();
+        config.rules.min_lift = 1.2;
+        let metrics = Metrics::enabled();
+        let analysis = analyze_with(&frame, &spec, &config, &metrics);
+        let _ = analysis.keyword_with("SM Util = 0%", &metrics);
+        let snap = metrics.snapshot();
+        for stage in [
+            "prep.fit",
+            "prep.transform",
+            "mine.tree_build",
+            "mine.mine",
+            "rules.generate",
+            "rules.prune",
+        ] {
+            assert!(snap.stage(stage).is_some(), "missing stage event {stage}");
+        }
+        assert_eq!(
+            snap.stage("prep.transform")
+                .unwrap()
+                .field("transactions_out"),
+            Some(20)
+        );
+        assert_eq!(
+            snap.stage("rules.generate").unwrap().field("rules_out"),
+            Some(analysis.rules.len() as u64)
+        );
+        // The JSON export of a real run is structurally sound.
+        let json = snap.to_json();
+        assert!(json.contains("\"stage\": \"mine.tree_build\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

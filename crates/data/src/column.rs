@@ -363,7 +363,9 @@ mod tests {
     #[test]
     fn push_value_rejects_mismatch() {
         let mut col = Column::empty(DType::Int);
-        let err = col.push_value("gpus", Value::Str("eight".into())).unwrap_err();
+        let err = col
+            .push_value("gpus", Value::Str("eight".into()))
+            .unwrap_err();
         assert!(matches!(err, DataError::TypeMismatch { .. }));
     }
 

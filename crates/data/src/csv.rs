@@ -109,11 +109,7 @@ pub fn read_csv_str(text: &str) -> Result<Frame> {
         if row.len() != header.len() {
             return Err(DataError::Csv {
                 line: i + 2,
-                message: format!(
-                    "expected {} fields, found {}",
-                    header.len(),
-                    row.len()
-                ),
+                message: format!("expected {} fields, found {}", header.len(), row.len()),
             });
         }
     }
@@ -159,7 +155,7 @@ fn infer_dtype<'a, I: Iterator<Item = &'a Value>>(values: I) -> DType {
         (false, _, true) => DType::Float,
         (false, true, false) => DType::Int,
         (false, false, false) => DType::Str, // all-null column defaults to str
-        _ => DType::Str,                      // mixed bool/number: keep raw text
+        _ => DType::Str,                     // mixed bool/number: keep raw text
     }
 }
 

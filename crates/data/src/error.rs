@@ -63,7 +63,9 @@ impl fmt::Display for DataError {
                 "column `{column}` holds {expected} values, got `{actual}`"
             ),
             DataError::DuplicateColumn(name) => write!(f, "duplicate column `{name}`"),
-            DataError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            DataError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
             DataError::Io(msg) => write!(f, "io error: {msg}"),
             DataError::Schema(msg) => write!(f, "schema error: {msg}"),
             DataError::Join(msg) => write!(f, "join error: {msg}"),

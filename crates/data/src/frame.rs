@@ -143,12 +143,7 @@ impl Frame {
                 }
             }
         }
-        for ((name, col), value) in self
-            .names
-            .iter()
-            .zip(self.columns.iter_mut())
-            .zip(row.into_iter())
-        {
+        for ((name, col), value) in self.names.iter().zip(self.columns.iter_mut()).zip(row) {
             col.push_value(name, value)?;
         }
         Ok(())
@@ -346,9 +341,7 @@ mod tests {
     #[test]
     fn filter_selects_rows() {
         let f = sample();
-        let g = f.filter(|i| {
-            f.get(i, "user").unwrap().as_str() == Some("alice")
-        });
+        let g = f.filter(|i| f.get(i, "user").unwrap().as_str() == Some("alice"));
         assert_eq!(g.n_rows(), 2);
         assert_eq!(g.get(0, "job_id").unwrap(), Value::Int(1));
         assert_eq!(g.get(1, "job_id").unwrap(), Value::Int(3));
@@ -373,13 +366,18 @@ mod tests {
     fn value_counts_sorted_desc() {
         let f = sample();
         let counts = f.value_counts("user").unwrap();
-        assert_eq!(counts, vec![("alice".to_string(), 2), ("bob".to_string(), 1)]);
+        assert_eq!(
+            counts,
+            vec![("alice".to_string(), 2), ("bob".to_string(), 1)]
+        );
     }
 
     #[test]
     fn duplicate_column_rejected() {
         let mut f = sample();
-        let err = f.add_column("user", Column::from_ints([1, 2, 3])).unwrap_err();
+        let err = f
+            .add_column("user", Column::from_ints([1, 2, 3]))
+            .unwrap_err();
         assert!(matches!(err, DataError::DuplicateColumn(_)));
     }
 

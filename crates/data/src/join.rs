@@ -26,9 +26,7 @@ fn key_at(col: &Column, row: usize) -> Result<Option<Key>> {
         Column::Str(v) => v.get(row).map(|s| Key::Str(s.to_string())),
         Column::Bool(v) => v[row].map(Key::Bool),
         Column::Float(_) => {
-            return Err(DataError::Join(
-                "cannot join on a float column".to_string(),
-            ))
+            return Err(DataError::Join("cannot join on a float column".to_string()))
         }
     })
 }
@@ -147,7 +145,10 @@ mod tests {
         let right = read_csv_str("job_id,user\n1,server-a\n").unwrap();
         let j = inner_join(&sched(), &right, "job_id").unwrap();
         assert!(j.has_column("user_right"));
-        assert_eq!(j.get(0, "user_right").unwrap(), Value::Str("server-a".into()));
+        assert_eq!(
+            j.get(0, "user_right").unwrap(),
+            Value::Str("server-a".into())
+        );
     }
 
     #[test]

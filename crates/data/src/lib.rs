@@ -41,6 +41,8 @@ pub use error::{DataError, Result};
 pub use frame::Frame;
 pub use join::{inner_join, left_join};
 pub use reduce::{group_stats, reduce_by_key, GroupStats, Reduction};
-pub use slurm::{format_sacct_duration, parse_sacct_duration, parse_size_gb, read_sacct_str, write_sacct_string};
 pub use schema::{Field, Schema};
+pub use slurm::{
+    format_sacct_duration, parse_sacct_duration, parse_size_gb, read_sacct_str, write_sacct_string,
+};
 pub use value::Value;

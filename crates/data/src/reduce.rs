@@ -130,11 +130,7 @@ pub enum Reduction {
 /// Output: a `key` column (named after the input key) plus, for each
 /// `(column, reductions)` request, one output column per reduction using
 /// the naming above. Keys appear in ascending order.
-pub fn reduce_by_key(
-    frame: &Frame,
-    key: &str,
-    requests: &[(&str, &[Reduction])],
-) -> Result<Frame> {
+pub fn reduce_by_key(frame: &Frame, key: &str, requests: &[(&str, &[Reduction])]) -> Result<Frame> {
     // The key set is the union across value columns: a job whose samples
     // are null for one metric must still keep its row (null features).
     let mut all_stats: Vec<(usize, HashMap<i64, GroupStats>)> = Vec::new();
@@ -167,9 +163,7 @@ pub fn reduce_by_key(
                 Reduction::Max => format!("{value_col}_max"),
                 Reduction::Var => format!("{value_col}_var"),
             };
-            let column = Column::from_opt_floats(
-                keys.iter().map(|k| by_key.get(k).map(&pick)),
-            );
+            let column = Column::from_opt_floats(keys.iter().map(|k| by_key.get(k).map(&pick)));
             out.add_column(&name, column)?;
         }
     }
@@ -227,7 +221,15 @@ mod tests {
         let reduced = reduce_by_key(
             &samples(),
             "job_id",
-            &[("sm", &[Reduction::Mean, Reduction::Min, Reduction::Max, Reduction::Var])],
+            &[(
+                "sm",
+                &[
+                    Reduction::Mean,
+                    Reduction::Min,
+                    Reduction::Max,
+                    Reduction::Var,
+                ],
+            )],
         )
         .unwrap();
         assert_eq!(reduced.n_rows(), 2);
@@ -242,12 +244,8 @@ mod tests {
     #[test]
     fn reduce_by_key_keeps_union_of_keys() {
         // Job 3 has samples only for `power`; its `sm` features are null.
-        let frame = read_csv_str(concat!(
-            "job_id,sm,power\n",
-            "1,5.0,60.0\n",
-            "3,,55.0\n",
-        ))
-        .unwrap();
+        let frame =
+            read_csv_str(concat!("job_id,sm,power\n", "1,5.0,60.0\n", "3,,55.0\n",)).unwrap();
         let reduced = reduce_by_key(
             &frame,
             "job_id",

@@ -56,7 +56,7 @@ pub fn parse_size_gb(text: &str) -> Option<f64> {
     if text.is_empty() {
         return None;
     }
-    let (number, unit) = match text.char_indices().rev().next() {
+    let (number, unit) = match text.char_indices().next_back() {
         Some((idx, c)) if c.is_ascii_alphabetic() => (&text[..idx], c.to_ascii_uppercase()),
         _ => (text, 'B'),
     };
@@ -110,11 +110,7 @@ pub fn read_sacct_str(text: &str) -> Result<Frame> {
         if fields.len() != header.len() {
             return Err(DataError::Csv {
                 line: i + 1,
-                message: format!(
-                    "expected {} fields, found {}",
-                    header.len(),
-                    fields.len()
-                ),
+                message: format!("expected {} fields, found {}", header.len(), fields.len()),
             });
         }
         rows.push(

@@ -97,8 +97,9 @@ fn generate_candidates(frequent_k: &[Itemset]) -> Vec<Itemset> {
                 let candidate = a.with_item(*b.items().last().expect("non-empty"));
                 // Prune: every k-subset must be frequent.
                 let all_frequent = candidate.items().iter().all(|&drop| {
-                    let sub =
-                        Itemset::from_items(candidate.items().iter().copied().filter(|&x| x != drop));
+                    let sub = Itemset::from_items(
+                        candidate.items().iter().copied().filter(|&x| x != drop),
+                    );
                     frequent.contains(&sub)
                 });
                 if all_frequent {

@@ -78,11 +78,7 @@ impl FrequentItemsets {
     /// Pairs are sorted into canonical order; duplicate itemsets are a
     /// miner bug and panic in debug builds.
     pub fn new(mut sets: Vec<(Itemset, u64)>, n_transactions: usize) -> FrequentItemsets {
-        sets.sort_unstable_by(|a, b| {
-            a.0.len()
-                .cmp(&b.0.len())
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        sets.sort_unstable_by(|a, b| a.0.len().cmp(&b.0.len()).then_with(|| a.0.cmp(&b.0)));
         debug_assert!(
             sets.windows(2).all(|w| w[0].0 != w[1].0),
             "duplicate itemset emitted by miner"
@@ -203,8 +199,10 @@ mod tests {
         assert!(MinerConfig::with_min_support(0.05).validate().is_ok());
         assert!(MinerConfig::with_min_support(0.0).validate().is_err());
         assert!(MinerConfig::with_min_support(1.5).validate().is_err());
-        let mut c = MinerConfig::default();
-        c.max_len = 0;
+        let c = MinerConfig {
+            max_len: 0,
+            ..MinerConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -47,10 +47,7 @@ impl TransactionDb {
 
     /// Overrides the item-universe size (ids in `0..n_items`).
     pub fn with_universe(mut self, n_items: usize) -> TransactionDb {
-        assert!(
-            n_items >= self.n_items,
-            "universe smaller than max item id"
-        );
+        assert!(n_items >= self.n_items, "universe smaller than max item id");
         self.n_items = n_items;
         self
     }

@@ -14,6 +14,7 @@
 //! * the top level of the recursion optionally fans out across rayon
 //!   workers (the conditional subtrees are independent).
 
+use irma_obs::Metrics;
 use rayon::prelude::*;
 
 use crate::counts::{FrequentItemsets, MinerConfig};
@@ -54,12 +55,18 @@ impl FpTree {
     /// Items below `min_count` are dropped; survivors are ranked by
     /// descending count (ascending id tie-break, so results are
     /// deterministic regardless of thread scheduling).
+    ///
+    /// The input is drained exactly once: paths are materialized as
+    /// borrowed slices (pointer + length + weight each), then walked for
+    /// the counting and insertion phases. This keeps one-shot iterators
+    /// usable and avoids re-running whatever computation feeds `paths`.
     fn build<'a, I>(paths: I, n_items: usize, min_count: u64) -> FpTree
     where
-        I: Iterator<Item = (&'a [ItemId], u64)> + Clone,
+        I: IntoIterator<Item = (&'a [ItemId], u64)>,
     {
+        let paths: Vec<(&'a [ItemId], u64)> = paths.into_iter().collect();
         let mut counts = vec![0u64; n_items];
-        for (path, weight) in paths.clone() {
+        for &(path, weight) in &paths {
             for &item in path {
                 counts[item as usize] += weight;
             }
@@ -91,7 +98,7 @@ impl FpTree {
         };
 
         let mut ranked: Vec<u32> = Vec::new();
-        for (path, weight) in paths {
+        for &(path, weight) in &paths {
             ranked.clear();
             ranked.extend(
                 path.iter()
@@ -203,6 +210,23 @@ fn emit_single_path(
     }
 }
 
+/// Per-run mining statistics, accumulated locally (no synchronization in
+/// the hot recursion) and reported once by [`fpgrowth_with`].
+#[derive(Debug, Clone, Copy, Default)]
+struct MineStats {
+    /// Conditional FP-trees built during the recursion.
+    conditional_trees: u64,
+    /// Times the single-prefix-path shortcut replaced recursion.
+    single_path_hits: u64,
+}
+
+impl MineStats {
+    fn merge(&mut self, other: MineStats) {
+        self.conditional_trees += other.conditional_trees;
+        self.single_path_hits += other.single_path_hits;
+    }
+}
+
 /// Recursive FP-Growth over a (conditional) tree.
 fn mine_tree(
     tree: &FpTree,
@@ -210,6 +234,7 @@ fn mine_tree(
     min_count: u64,
     max_len: usize,
     out: &mut Vec<(Itemset, u64)>,
+    stats: &mut MineStats,
 ) {
     if suffix.len() >= max_len {
         return;
@@ -218,6 +243,7 @@ fn mine_tree(
     // Paths wider than the u32 subset mask fall through to the general case.
     if let Some(path) = tree.single_path() {
         if path.len() <= 31 {
+            stats.single_path_hits += 1;
             emit_single_path(&path, suffix, max_len, out);
             return;
         }
@@ -236,8 +262,9 @@ fn mine_tree(
                     item_universe(&base),
                     min_count,
                 );
+                stats.conditional_trees += 1;
                 if cond.n_ranks() > 0 {
-                    mine_tree(&cond, &itemset, min_count, max_len, out);
+                    mine_tree(&cond, &itemset, min_count, max_len, out, stats);
                 }
             }
         }
@@ -259,25 +286,45 @@ fn item_universe(base: &[(Vec<ItemId>, u64)]) -> usize {
 /// equivalence is property-tested) but asymptotically cheaper on large,
 /// dense databases.
 pub fn fpgrowth(db: &TransactionDb, config: &MinerConfig) -> FrequentItemsets {
+    fpgrowth_with(db, config, &Metrics::disabled())
+}
+
+/// [`fpgrowth`] with observability: emits a `mine.tree_build` stage event
+/// (transactions in, surviving frequent items) and a `mine.mine` event
+/// (itemsets out, conditional trees built, single-path shortcuts taken)
+/// into `metrics`. Statistics are accumulated thread-locally and merged,
+/// so the recursion is as hot as the uninstrumented path.
+pub fn fpgrowth_with(
+    db: &TransactionDb,
+    config: &MinerConfig,
+    metrics: &Metrics,
+) -> FrequentItemsets {
     config.validate().expect("invalid miner config");
     let min_count = config.min_count(db.len());
-    let tree = FpTree::build(
-        db.iter().map(|t| (t, 1)),
-        db.n_items(),
-        min_count,
-    );
 
+    let mut span = metrics.span("mine.tree_build");
+    let tree = FpTree::build(db.iter().map(|t| (t, 1)), db.n_items(), min_count);
+    span.field("transactions_in", db.len() as u64);
+    span.field("frequent_items", tree.n_ranks() as u64);
+    span.field("tree_nodes", tree.nodes.len() as u64);
+    drop(span);
+
+    let mut span = metrics.span("mine.mine");
     let mut out: Vec<(Itemset, u64)> = Vec::new();
+    let mut stats = MineStats::default();
     if tree.n_ranks() == 0 {
+        span.field("itemsets_out", 0);
+        drop(span);
         return FrequentItemsets::new(out, db.len());
     }
 
     if config.parallel {
         // Top-level fan-out: each rank's conditional subtree is independent.
-        let chunks: Vec<Vec<(Itemset, u64)>> = (0..tree.n_ranks() as u32)
+        let chunks: Vec<(Vec<(Itemset, u64)>, MineStats)> = (0..tree.n_ranks() as u32)
             .into_par_iter()
             .map(|rank| {
                 let mut local = Vec::new();
+                let mut local_stats = MineStats::default();
                 let count = tree.rank_counts[rank as usize];
                 let item = tree.rank_to_item[rank as usize];
                 local.push((Itemset::singleton(item), count));
@@ -289,20 +336,34 @@ pub fn fpgrowth(db: &TransactionDb, config: &MinerConfig) -> FrequentItemsets {
                             item_universe(&base),
                             min_count,
                         );
+                        local_stats.conditional_trees += 1;
                         if cond.n_ranks() > 0 {
-                            mine_tree(&cond, &[item], min_count, config.max_len, &mut local);
+                            mine_tree(
+                                &cond,
+                                &[item],
+                                min_count,
+                                config.max_len,
+                                &mut local,
+                                &mut local_stats,
+                            );
                         }
                     }
                 }
-                local
+                (local, local_stats)
             })
             .collect();
-        for chunk in chunks {
+        for (chunk, chunk_stats) in chunks {
             out.extend(chunk);
+            stats.merge(chunk_stats);
         }
     } else {
-        mine_tree(&tree, &[], min_count, config.max_len, &mut out);
+        mine_tree(&tree, &[], min_count, config.max_len, &mut out, &mut stats);
     }
+
+    span.field("itemsets_out", out.len() as u64);
+    span.field("conditional_trees", stats.conditional_trees);
+    span.field("single_path_shortcuts", stats.single_path_hits);
+    drop(span);
 
     FrequentItemsets::new(out, db.len())
 }
@@ -314,16 +375,16 @@ mod tests {
     /// Classic textbook database (Tan, Steinbach, Kumar §6).
     fn textbook_db() -> TransactionDb {
         TransactionDb::from_transactions(vec![
-            vec![0, 1],          // {a, b}
-            vec![1, 2, 3],       // {b, c, d}
-            vec![0, 2, 3, 4],    // {a, c, d, e}
-            vec![0, 3, 4],       // {a, d, e}
-            vec![0, 1, 2],       // {a, b, c}
-            vec![0, 1, 2, 3],    // {a, b, c, d}
-            vec![0],             // {a}
-            vec![0, 1, 2],       // {a, b, c}
-            vec![0, 1, 3],       // {a, b, d}
-            vec![1, 2, 4],       // {b, c, e}
+            vec![0, 1],       // {a, b}
+            vec![1, 2, 3],    // {b, c, d}
+            vec![0, 2, 3, 4], // {a, c, d, e}
+            vec![0, 3, 4],    // {a, d, e}
+            vec![0, 1, 2],    // {a, b, c}
+            vec![0, 1, 2, 3], // {a, b, c, d}
+            vec![0],          // {a}
+            vec![0, 1, 2],    // {a, b, c}
+            vec![0, 1, 3],    // {a, b, d}
+            vec![1, 2, 4],    // {b, c, e}
         ])
     }
 
@@ -342,11 +403,7 @@ mod tests {
         let fi = mine_with(&db, 0.2, false);
         assert!(!fi.is_empty());
         for (set, count) in fi.iter() {
-            assert_eq!(
-                *count,
-                db.support_count(set),
-                "wrong count for {set}"
-            );
+            assert_eq!(*count, db.support_count(set), "wrong count for {set}");
         }
     }
 
@@ -389,11 +446,7 @@ mod tests {
         assert!(fi.iter().all(|(s, _)| s.len() <= 2));
         // And the capped family equals the full family filtered to len<=2.
         let full = mine_with(&db, 0.1, false);
-        let expected: Vec<_> = full
-            .iter()
-            .filter(|(s, _)| s.len() <= 2)
-            .cloned()
-            .collect();
+        let expected: Vec<_> = full.iter().filter(|(s, _)| s.len() <= 2).cloned().collect();
         assert_eq!(fi.as_slice(), expected.as_slice());
     }
 
@@ -418,6 +471,50 @@ mod tests {
         let fi = mine_with(&db, 1.0, false);
         assert_eq!(fi.len(), 7); // 2^3 - 1 subsets
         assert_eq!(fi.count(&Itemset::from_items([0, 1, 2])), Some(1));
+    }
+
+    #[test]
+    fn metrics_capture_build_and_mine_split() {
+        let db = textbook_db();
+        let metrics = Metrics::enabled();
+        let fi = fpgrowth_with(&db, &MinerConfig::with_min_support(0.2), &metrics);
+        let snap = metrics.snapshot();
+        let build = snap.stage("mine.tree_build").expect("tree_build event");
+        assert_eq!(build.field("transactions_in"), Some(10));
+        assert_eq!(build.field("frequent_items"), Some(5));
+        let mine = snap.stage("mine.mine").expect("mine event");
+        assert_eq!(mine.field("itemsets_out"), Some(fi.len() as u64));
+        assert!(mine.field("conditional_trees").unwrap() > 0);
+        // Disabled-path result is identical.
+        let plain = fpgrowth(&db, &MinerConfig::with_min_support(0.2));
+        assert_eq!(plain.as_slice(), fi.as_slice());
+    }
+
+    /// Regression: `FpTree::build` used to require `I: Clone` and scan the
+    /// input twice (once to count, once to insert). It must drain a
+    /// one-shot iterator exactly once and still produce correct counts.
+    #[test]
+    fn build_drains_input_exactly_once() {
+        use std::cell::Cell;
+
+        let paths: Vec<(Vec<ItemId>, u64)> =
+            vec![(vec![0, 1], 1), (vec![1, 2, 3], 1), (vec![0, 2], 2)];
+        let yielded = Cell::new(0usize);
+        // A non-Clone iterator: capturing `&Cell` by reference keeps it
+        // usable, but the closure tracks every element handed out.
+        let once = paths.iter().map(|(p, w)| {
+            yielded.set(yielded.get() + 1);
+            (p.as_slice(), *w)
+        });
+        let tree = FpTree::build(once, 4, 1);
+        assert_eq!(yielded.get(), paths.len(), "input drained more than once");
+        // Counts survive the single pass: item 0 appears with weight 1+2.
+        let rank0 = tree
+            .rank_to_item
+            .iter()
+            .position(|&i| i == 0)
+            .expect("item 0 is frequent");
+        assert_eq!(tree.rank_counts[rank0], 3);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub use condense::{closed_itemsets, maximal_itemsets, support_from_closed};
 pub use counts::{mine_top_k, FrequentItemsets, MinerConfig};
 pub use db::TransactionDb;
 pub use eclat::eclat;
-pub use fpgrowth::fpgrowth;
+pub use fpgrowth::{fpgrowth, fpgrowth_with};
 pub use item::{is_sorted_subset, ItemCatalog, ItemId, Itemset};
 pub use stream::SlidingWindowMiner;
 
@@ -61,10 +61,30 @@ pub enum Algorithm {
 impl Algorithm {
     /// Runs the selected miner.
     pub fn mine(self, db: &TransactionDb, config: &MinerConfig) -> FrequentItemsets {
+        self.mine_with(db, config, &irma_obs::Metrics::disabled())
+    }
+
+    /// [`Algorithm::mine`] with observability. FP-Growth reports its
+    /// tree-build/mine split; the baselines emit a single `mine.mine`
+    /// stage event with the input/output cardinalities.
+    pub fn mine_with(
+        self,
+        db: &TransactionDb,
+        config: &MinerConfig,
+        metrics: &irma_obs::Metrics,
+    ) -> FrequentItemsets {
         match self {
-            Algorithm::FpGrowth => fpgrowth(db, config),
-            Algorithm::Apriori => apriori(db, config),
-            Algorithm::Eclat => eclat(db, config),
+            Algorithm::FpGrowth => fpgrowth_with(db, config, metrics),
+            Algorithm::Apriori | Algorithm::Eclat => {
+                let mut span = metrics.span("mine.mine");
+                let frequent = match self {
+                    Algorithm::Apriori => apriori(db, config),
+                    _ => eclat(db, config),
+                };
+                span.field("transactions_in", db.len() as u64);
+                span.field("itemsets_out", frequent.len() as u64);
+                frequent
+            }
         }
     }
 

@@ -10,6 +10,8 @@
 
 use std::collections::VecDeque;
 
+use irma_obs::Metrics;
+
 use crate::counts::{FrequentItemsets, MinerConfig};
 use crate::db::TransactionDb;
 use crate::fpgrowth::fpgrowth;
@@ -24,6 +26,7 @@ pub struct SlidingWindowMiner {
     /// Item counts at the time of the last `mine()` call (drift baseline).
     baseline: Option<(usize, Vec<u64>)>,
     config: MinerConfig,
+    metrics: Metrics,
 }
 
 impl SlidingWindowMiner {
@@ -37,7 +40,17 @@ impl SlidingWindowMiner {
             item_counts: Vec::new(),
             baseline: None,
             config,
+            metrics: Metrics::disabled(),
         }
+    }
+
+    /// Attaches a metrics sink: every [`SlidingWindowMiner::mine`] call
+    /// then emits a `stream.remine` stage event (window size, itemsets
+    /// out, drift at the moment of re-mining in milli-units) and updates
+    /// the `stream.evictions` counter as the window slides.
+    pub fn with_metrics(mut self, metrics: Metrics) -> SlidingWindowMiner {
+        self.metrics = metrics;
+        self
     }
 
     /// Pushes one transaction, evicting the oldest when full. Returns the
@@ -59,6 +72,7 @@ impl SlidingWindowMiner {
             for &item in &old {
                 self.item_counts[item as usize] -= 1;
             }
+            self.metrics.incr("stream.evictions", 1);
             Some(old)
         } else {
             None
@@ -117,10 +131,23 @@ impl SlidingWindowMiner {
     /// Mines the current window with FP-Growth and resets the drift
     /// baseline.
     pub fn mine(&mut self) -> FrequentItemsets {
+        let drift = self.drift();
+        let mut span = self.metrics.span("stream.remine");
         let db = TransactionDb::from_transactions(self.window.iter().cloned())
             .with_universe(self.item_counts.len().max(1));
         self.baseline = Some((self.window.len(), self.item_counts.clone()));
-        fpgrowth(&db, &self.config)
+        let frequent = fpgrowth(&db, &self.config);
+        span.field("window", self.window.len() as u64);
+        span.field("itemsets_out", frequent.len() as u64);
+        // Drift is a float in [0, 2] (infinite before the first mine);
+        // record it as milli-units in the event and exactly as a gauge.
+        if drift.is_finite() {
+            span.field("drift_milli", (drift * 1000.0) as u64);
+            self.metrics.gauge("stream.drift_at_remine", drift);
+        }
+        self.metrics.incr("stream.remines", 1);
+        drop(span);
+        frequent
     }
 
     /// The current window as a [`TransactionDb`] without mining.
@@ -216,5 +243,32 @@ mod tests {
     #[should_panic(expected = "window capacity must be positive")]
     fn zero_capacity_rejected() {
         miner(0);
+    }
+
+    #[test]
+    fn metrics_record_remines_and_evictions() {
+        let metrics = Metrics::enabled();
+        let mut m = miner(2).with_metrics(metrics.clone());
+        m.push([0, 1]);
+        m.push([0, 1]);
+        m.mine(); // first mine: no finite drift yet
+        m.push([2, 3]); // evicts one transaction
+        m.mine();
+        let snap = metrics.snapshot();
+        assert!(snap.counters.contains(&("stream.evictions".to_string(), 1)));
+        assert!(snap.counters.contains(&("stream.remines".to_string(), 2)));
+        let remines: Vec<_> = snap
+            .stages
+            .iter()
+            .filter(|e| e.stage == "stream.remine")
+            .collect();
+        assert_eq!(remines.len(), 2);
+        assert_eq!(remines[0].field("window"), Some(2));
+        assert_eq!(remines[0].field("drift_milli"), None, "no baseline yet");
+        assert!(remines[1].field("drift_milli").unwrap() > 0);
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(name, value)| name == "stream.drift_at_remine" && *value > 0.0));
     }
 }

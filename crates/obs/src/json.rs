@@ -1,0 +1,191 @@
+//! Hand-rolled JSON serialization for [`Snapshot`] (the workspace builds
+//! offline, so no serde).
+//!
+//! Schema (stable; documented in DESIGN.md):
+//!
+//! ```json
+//! {
+//!   "counters": { "<name>": <u64>, ... },
+//!   "gauges":   { "<name>": <f64|null>, ... },
+//!   "timers":   { "<name>": { "count": <usize>, "total_ms": <f64>,
+//!                              "p50_ms": <f64>, "p95_ms": <f64>,
+//!                              "max_ms": <f64> }, ... },
+//!   "stages":   [ { "stage": "<name>", "wall_ms": <f64>,
+//!                   "fields": { "<name>": <u64>, ... } }, ... ]
+//! }
+//! ```
+//!
+//! Non-finite gauge values serialize as `null` (JSON has no NaN/inf).
+
+use std::time::Duration;
+
+use crate::Snapshot;
+
+/// Escapes a string for use inside JSON quotes.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn f64_value(x: f64) -> String {
+    if x.is_finite() {
+        // `{:?}` prints a shortest-roundtrip literal that always contains
+        // a decimal point or exponent — a valid JSON number either way.
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn millis(d: Duration) -> String {
+    f64_value(d.as_secs_f64() * 1e3)
+}
+
+/// Writes `entries` as a JSON object with one line per key.
+fn object<I: Iterator<Item = (String, String)>>(entries: I, indent: &str) -> String {
+    let body: Vec<String> = entries
+        .map(|(key, value)| format!("{indent}  \"{}\": {value}", escape(&key)))
+        .collect();
+    if body.is_empty() {
+        "{}".to_string()
+    } else {
+        format!("{{\n{}\n{indent}}}", body.join(",\n"))
+    }
+}
+
+pub(crate) fn snapshot_to_json(snapshot: &Snapshot) -> String {
+    let counters = object(
+        snapshot
+            .counters
+            .iter()
+            .map(|(name, value)| (name.clone(), value.to_string())),
+        "  ",
+    );
+    let gauges = object(
+        snapshot
+            .gauges
+            .iter()
+            .map(|(name, value)| (name.clone(), f64_value(*value))),
+        "  ",
+    );
+    let timers = object(
+        snapshot.timers.iter().map(|t| {
+            (
+                t.name.clone(),
+                format!(
+                    "{{ \"count\": {}, \"total_ms\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \"max_ms\": {} }}",
+                    t.count,
+                    millis(t.total),
+                    millis(t.p50),
+                    millis(t.p95),
+                    millis(t.max)
+                ),
+            )
+        }),
+        "  ",
+    );
+    let stages: Vec<String> = snapshot
+        .stages
+        .iter()
+        .map(|event| {
+            let fields = object(
+                event
+                    .fields
+                    .iter()
+                    .map(|(name, value)| (name.clone(), value.to_string())),
+                "      ",
+            );
+            format!(
+                "    {{\n      \"stage\": \"{}\",\n      \"wall_ms\": {},\n      \"fields\": {fields}\n    }}",
+                escape(&event.stage),
+                millis(event.wall)
+            )
+        })
+        .collect();
+    let stages = if stages.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{}\n  ]", stages.join(",\n"))
+    };
+    format!(
+        "{{\n  \"counters\": {counters},\n  \"gauges\": {gauges},\n  \"timers\": {timers},\n  \"stages\": {stages}\n}}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Metrics, StageEvent};
+
+    #[test]
+    fn empty_snapshot_is_valid_object() {
+        let json = Snapshot::default().to_json();
+        assert_eq!(
+            json,
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"timers\": {},\n  \"stages\": []\n}\n"
+        );
+    }
+
+    #[test]
+    fn full_snapshot_round_trips_key_facts() {
+        let metrics = Metrics::enabled();
+        metrics.incr("prune.condition1", 3);
+        metrics.gauge("stream.drift", 0.25);
+        metrics.record("mine.mine", Duration::from_millis(12));
+        {
+            let mut span = metrics.span("prep.fit");
+            span.field("rows_in", 20);
+        }
+        let json = metrics.snapshot().to_json();
+        assert!(json.contains("\"prune.condition1\": 3"), "{json}");
+        assert!(json.contains("\"stream.drift\": 0.25"), "{json}");
+        assert!(json.contains("\"count\": 1"), "{json}");
+        assert!(json.contains("\"stage\": \"prep.fit\""), "{json}");
+        assert!(json.contains("\"rows_in\": 20"), "{json}");
+        // Balanced braces/brackets — a cheap structural validity check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        let snapshot = Snapshot {
+            stages: vec![StageEvent {
+                stage: "we\"ird".to_string(),
+                wall: Duration::ZERO,
+                fields: Vec::new(),
+            }],
+            ..Snapshot::default()
+        };
+        assert!(snapshot.to_json().contains("\"we\\\"ird\""));
+    }
+
+    #[test]
+    fn non_finite_gauges_become_null() {
+        assert_eq!(f64_value(f64::NAN), "null");
+        assert_eq!(f64_value(f64::INFINITY), "null");
+        assert_eq!(f64_value(1.5), "1.5");
+        assert_eq!(f64_value(2.0), "2.0");
+    }
+}

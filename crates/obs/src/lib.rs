@@ -1,0 +1,460 @@
+//! # irma-obs — pipeline observability
+//!
+//! A lightweight metrics layer the IRMA crates thread through the
+//! `encode -> mine -> rules` pipeline:
+//!
+//! * [`Metrics`] — a registry of monotonic counters, last-write gauges,
+//!   and histogram-style timers (p50/p95/max over recorded samples);
+//! * [`Metrics::span`] — an RAII [`StageSpan`] that times one pipeline
+//!   stage and, on drop, appends a structured [`StageEvent`] (stage name,
+//!   wall time, input/output cardinalities) to the pipeline trace;
+//! * [`Snapshot`] — a point-in-time copy with a hand-rolled JSON exporter
+//!   ([`Snapshot::to_json`]) and a human summary table
+//!   ([`Snapshot::render_table`]) for the CLI's `--metrics` /
+//!   `--verbose-stages` flags.
+//!
+//! The default sink is **disabled**: [`Metrics::default`] carries no
+//! allocation and every method is a branch on `None`, so instrumented
+//! library code pays nothing when nobody asked for metrics. Cloning a
+//! [`Metrics`] shares the underlying sink, which is how one registry
+//! observes every stage of a run (including rayon-parallel ones — the
+//! sink is `Send + Sync`).
+//!
+//! ```
+//! use irma_obs::Metrics;
+//!
+//! let metrics = Metrics::enabled();
+//! {
+//!     let mut span = metrics.span("mine.tree_build");
+//!     span.field("transactions_in", 850_000);
+//! } // drop records the wall time + one StageEvent
+//! metrics.incr("prune.condition1", 3);
+//! let snapshot = metrics.snapshot();
+//! assert_eq!(snapshot.stages[0].stage, "mine.tree_build");
+//! assert!(snapshot.to_json().contains("\"prune.condition1\": 3"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod json;
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// One structured event per pipeline stage: what ran, for how long, and
+/// the cardinalities that flowed through it (transactions in, itemsets
+/// out, rules pruned per condition, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageEvent {
+    /// Stage name, dot-namespaced by crate (`prep.fit`, `mine.mine`, ...).
+    pub stage: String,
+    /// Wall-clock time spent inside the stage's span.
+    pub wall: Duration,
+    /// Named cardinalities, in the order the stage reported them.
+    pub fields: Vec<(String, u64)>,
+}
+
+impl StageEvent {
+    /// Looks up a cardinality by name.
+    pub fn field(&self, name: &str) -> Option<u64> {
+        self.fields.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+/// Everything a recording sink accumulates.
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    timers: BTreeMap<String, Vec<Duration>>,
+    stages: Vec<StageEvent>,
+}
+
+/// A cloneable handle to a metrics sink; the pipeline's instrumentation
+/// point.
+///
+/// The default handle is a **no-op**: nothing is allocated and every
+/// method returns after one `Option` check, so library code can take
+/// `&Metrics` unconditionally. [`Metrics::enabled`] creates a recording
+/// sink shared by all clones of the handle.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    sink: Option<Arc<Mutex<Registry>>>,
+}
+
+impl Metrics {
+    /// A recording sink.
+    pub fn enabled() -> Metrics {
+        Metrics {
+            sink: Some(Arc::new(Mutex::new(Registry::default()))),
+        }
+    }
+
+    /// The no-op sink (same as [`Metrics::default`]).
+    pub fn disabled() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    fn lock(&self) -> Option<MutexGuard<'_, Registry>> {
+        // A poisoned registry still holds consistent counters; keep
+        // recording rather than losing the whole run's metrics.
+        self.sink
+            .as_ref()
+            .map(|sink| sink.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Adds `by` to a monotonic counter.
+    pub fn incr(&self, name: &str, by: u64) {
+        if let Some(mut reg) = self.lock() {
+            *reg.counters.entry(name.to_string()).or_insert(0) += by;
+        }
+    }
+
+    /// Sets a last-write-wins gauge.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(mut reg) = self.lock() {
+            reg.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Records one duration sample into a histogram-style timer.
+    pub fn record(&self, name: &str, sample: Duration) {
+        if let Some(mut reg) = self.lock() {
+            reg.timers.entry(name.to_string()).or_default().push(sample);
+        }
+    }
+
+    /// Opens an RAII span for one pipeline stage. Dropping the span
+    /// records its wall time under the timer `stage` and appends a
+    /// [`StageEvent`] carrying every [`StageSpan::field`] set meanwhile.
+    ///
+    /// On a disabled handle the span is inert (no clock read).
+    pub fn span(&self, stage: &str) -> StageSpan {
+        StageSpan {
+            state: self.sink.as_ref().map(|_| SpanState {
+                metrics: self.clone(),
+                stage: stage.to_string(),
+                start: Instant::now(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// A point-in-time copy of everything recorded so far. Empty (but
+    /// valid) on a disabled handle.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(reg) = self.lock() else {
+            return Snapshot::default();
+        };
+        Snapshot {
+            counters: reg.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            gauges: reg.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            timers: reg
+                .timers
+                .iter()
+                .map(|(name, samples)| TimerStats::from_samples(name.clone(), samples))
+                .collect(),
+            stages: reg.stages.clone(),
+        }
+    }
+}
+
+struct SpanState {
+    metrics: Metrics,
+    stage: String,
+    start: Instant,
+    fields: Vec<(String, u64)>,
+}
+
+impl std::fmt::Debug for SpanState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanState")
+            .field("stage", &self.stage)
+            .field("fields", &self.fields)
+            .finish_non_exhaustive()
+    }
+}
+
+/// RAII timer for one pipeline stage; see [`Metrics::span`].
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+pub struct StageSpan {
+    state: Option<SpanState>,
+}
+
+impl StageSpan {
+    /// Attaches a named cardinality to the stage's [`StageEvent`]
+    /// (no-op on a disabled handle).
+    pub fn field(&mut self, name: &str, value: u64) {
+        if let Some(state) = &mut self.state {
+            state.fields.push((name.to_string(), value));
+        }
+    }
+}
+
+impl Drop for StageSpan {
+    fn drop(&mut self) {
+        let Some(SpanState {
+            metrics,
+            stage,
+            start,
+            fields,
+        }) = self.state.take()
+        else {
+            return;
+        };
+        let wall = start.elapsed();
+        let Some(mut reg) = metrics.lock() else {
+            return;
+        };
+        reg.timers.entry(stage.clone()).or_default().push(wall);
+        reg.stages.push(StageEvent {
+            stage,
+            wall,
+            fields,
+        });
+    }
+}
+
+/// Order statistics for one timer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerStats {
+    /// Timer name.
+    pub name: String,
+    /// Number of samples recorded.
+    pub count: usize,
+    /// Sum of all samples.
+    pub total: Duration,
+    /// Median sample (nearest-rank).
+    pub p50: Duration,
+    /// 95th-percentile sample (nearest-rank).
+    pub p95: Duration,
+    /// Largest sample.
+    pub max: Duration,
+}
+
+impl TimerStats {
+    fn from_samples(name: String, samples: &[Duration]) -> TimerStats {
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort_unstable();
+        let nearest_rank = |q: f64| -> Duration {
+            if sorted.is_empty() {
+                return Duration::ZERO;
+            }
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        TimerStats {
+            name,
+            count: sorted.len(),
+            total: sorted.iter().sum(),
+            p50: nearest_rank(0.50),
+            p95: nearest_rank(0.95),
+            max: sorted.last().copied().unwrap_or(Duration::ZERO),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Metrics`] sink; see [`Metrics::snapshot`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Timer statistics, sorted by name.
+    pub timers: Vec<TimerStats>,
+    /// Pipeline trace: one [`StageEvent`] per completed span, in
+    /// completion order.
+    pub stages: Vec<StageEvent>,
+}
+
+impl Snapshot {
+    /// The first stage event with this name, if any stage recorded it.
+    pub fn stage(&self, name: &str) -> Option<&StageEvent> {
+        self.stages.iter().find(|e| e.stage == name)
+    }
+
+    /// Serializes the snapshot as a JSON object (see `json.rs` for the
+    /// schema, mirrored in DESIGN.md).
+    pub fn to_json(&self) -> String {
+        json::snapshot_to_json(self)
+    }
+
+    /// Renders the pipeline trace plus counters as an aligned,
+    /// human-readable table (the CLI's `--verbose-stages` output).
+    pub fn render_table(&self) -> String {
+        let mut out = String::from("stage                        wall          details\n");
+        for event in &self.stages {
+            let fields = event
+                .fields
+                .iter()
+                .map(|(name, value)| format!("{name}={value}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&format!(
+                "{:<28} {:>10}    {}\n",
+                event.stage,
+                format_duration(event.wall),
+                fields
+            ));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name} = {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name} = {value:.4}\n"));
+            }
+        }
+        out
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let metrics = Metrics::default();
+        assert!(!metrics.is_enabled());
+        metrics.incr("c", 5);
+        metrics.gauge("g", 1.5);
+        metrics.record("t", Duration::from_millis(3));
+        let mut span = metrics.span("stage");
+        span.field("n", 7);
+        drop(span);
+        assert_eq!(metrics.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let metrics = Metrics::enabled();
+        metrics.incr("b", 1);
+        metrics.incr("a", 2);
+        metrics.incr("b", 3);
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a".to_string(), 2), ("b".to_string(), 4)]
+        );
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let metrics = Metrics::enabled();
+        metrics.gauge("drift", 0.2);
+        metrics.gauge("drift", 0.9);
+        assert_eq!(metrics.snapshot().gauges, vec![("drift".to_string(), 0.9)]);
+    }
+
+    #[test]
+    fn timer_percentiles_nearest_rank() {
+        let metrics = Metrics::enabled();
+        for ms in 1..=100u64 {
+            metrics.record("t", Duration::from_millis(ms));
+        }
+        let snap = metrics.snapshot();
+        let t = &snap.timers[0];
+        assert_eq!(t.count, 100);
+        assert_eq!(t.p50, Duration::from_millis(50));
+        assert_eq!(t.p95, Duration::from_millis(95));
+        assert_eq!(t.max, Duration::from_millis(100));
+        assert_eq!(t.total, Duration::from_millis(5050));
+    }
+
+    #[test]
+    fn single_sample_percentiles() {
+        let metrics = Metrics::enabled();
+        metrics.record("t", Duration::from_millis(7));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.timers[0].p50, Duration::from_millis(7));
+        assert_eq!(snap.timers[0].p95, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn span_emits_event_and_timer() {
+        let metrics = Metrics::enabled();
+        {
+            let mut span = metrics.span("mine.tree_build");
+            span.field("transactions_in", 42);
+            span.field("frequent_items", 9);
+        }
+        let snap = metrics.snapshot();
+        let event = snap.stage("mine.tree_build").expect("event recorded");
+        assert_eq!(event.field("transactions_in"), Some(42));
+        assert_eq!(event.field("frequent_items"), Some(9));
+        assert_eq!(event.field("nope"), None);
+        assert!(snap.timers.iter().any(|t| t.name == "mine.tree_build"));
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let metrics = Metrics::enabled();
+        let clone = metrics.clone();
+        clone.incr("shared", 1);
+        metrics.incr("shared", 1);
+        assert_eq!(metrics.snapshot().counters[0].1, 2);
+    }
+
+    #[test]
+    fn spans_record_in_completion_order() {
+        let metrics = Metrics::enabled();
+        let outer = metrics.span("outer");
+        let inner = metrics.span("inner");
+        drop(inner);
+        drop(outer);
+        let snapshot = metrics.snapshot();
+        let names: Vec<&str> = snapshot.stages.iter().map(|e| e.stage.as_str()).collect();
+        assert_eq!(names, vec!["inner", "outer"]);
+    }
+
+    #[test]
+    fn sink_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Metrics>();
+    }
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        let metrics = Metrics::enabled();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = metrics.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        handle.incr("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            metrics.snapshot().counters,
+            vec![("hits".to_string(), 4000)]
+        );
+    }
+}

@@ -22,6 +22,7 @@ use std::collections::{HashMap, HashSet};
 
 use irma_data::Frame;
 use irma_mine::{ItemCatalog, ItemId, TransactionDb};
+use irma_obs::Metrics;
 
 use crate::binning::{detect_spike, BinEdges};
 use crate::spec::{EncoderSpec, FeatureSpec};
@@ -188,7 +189,9 @@ fn emit_feature<F: FnMut(usize, &str)>(
                 .as_strs()
                 .unwrap_or_else(|| panic!("column `{column}` is not categorical"));
             for r in 0..n_rows {
-                let Some(value) = storage.get(r) else { continue };
+                let Some(value) = storage.get(r) else {
+                    continue;
+                };
                 if fit.head.contains(value) {
                     sink(r, head_label);
                 } else if fit.tail.contains(value) {
@@ -275,13 +278,19 @@ pub fn fit(frame: &Frame, spec: &EncoderSpec) -> FittedEncoder {
     let mut prelim = ItemCatalog::new();
     let mut counts: Vec<usize> = Vec::new();
     for feature in &spec.features {
-        emit_feature(frame, feature, &numeric_fits, &frequency_fits, |_, label| {
-            let id = prelim.intern(label) as usize;
-            if id >= counts.len() {
-                counts.resize(id + 1, 0);
-            }
-            counts[id] += 1;
-        });
+        emit_feature(
+            frame,
+            feature,
+            &numeric_fits,
+            &frequency_fits,
+            |_, label| {
+                let id = prelim.intern(label) as usize;
+                if id >= counts.len() {
+                    counts.resize(id + 1, 0);
+                }
+                counts[id] += 1;
+            },
+        );
     }
 
     let mut dropped = Vec::new();
@@ -348,8 +357,52 @@ impl FittedEncoder {
 
 /// Fit + transform in one call (the batch workflow's entry point).
 pub fn encode(frame: &Frame, spec: &EncoderSpec) -> Encoded {
+    encode_with(frame, spec, &Metrics::disabled())
+}
+
+/// [`encode`] with observability: emits `prep.fit` and `prep.transform`
+/// stage events (row/transaction cardinalities, bins fitted, skewed items
+/// dropped by the prevalence cut) into `metrics`.
+pub fn encode_with(frame: &Frame, spec: &EncoderSpec, metrics: &Metrics) -> Encoded {
+    let mut span = metrics.span("prep.fit");
     let fitted = fit(frame, spec);
+    span.field("rows_in", frame.n_rows() as u64);
+    span.field(
+        "bins_fitted",
+        fitted
+            .numeric_fits
+            .values()
+            .filter(|f| f.edges.is_some())
+            .count() as u64,
+    );
+    span.field(
+        "spike_columns",
+        fitted
+            .numeric_fits
+            .values()
+            .filter(|f| f.spike_value.is_some())
+            .count() as u64,
+    );
+    span.field(
+        "items_before_drop",
+        fitted.report.n_items_before_drop as u64,
+    );
+    span.field(
+        "items_dropped_prevalence",
+        fitted.report.dropped.len() as u64,
+    );
+    span.field("items_out", fitted.catalog.len() as u64);
+    drop(span);
+
+    let mut span = metrics.span("prep.transform");
     let db = fitted.transform(frame);
+    span.field("transactions_out", db.len() as u64);
+    span.field(
+        "items_emitted",
+        (0..db.len()).map(|r| db.transaction(r).len() as u64).sum(),
+    );
+    drop(span);
+
     Encoded {
         db,
         catalog: fitted.catalog,
@@ -426,7 +479,11 @@ mod tests {
         // Non-std cpus: 100,200,300,400 -> one per quartile.
         for bin in 1..=4 {
             let id = enc.item(&format!("CPU Request = Bin{bin}"));
-            assert_eq!(enc.db.support_count(&Itemset::singleton(id)), 1, "bin {bin}");
+            assert_eq!(
+                enc.db.support_count(&Itemset::singleton(id)),
+                1,
+                "bin {bin}"
+            );
         }
     }
 
@@ -554,11 +611,24 @@ mod tests {
         let spec = EncoderSpec::new(vec![FeatureSpec::numeric("a", "A")]);
         let enc = encode(&frame, &spec);
         let err = std::panic::catch_unwind(|| enc.item("Ghost Item")).unwrap_err();
-        let message = err
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_default();
+        let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(message.contains("Ghost Item"), "{message}");
+    }
+
+    #[test]
+    fn encode_with_emits_stage_events() {
+        let metrics = Metrics::enabled();
+        let enc = encode_with(&frame(), &spec(), &metrics);
+        let snap = metrics.snapshot();
+        let fit_event = snap.stage("prep.fit").expect("prep.fit event");
+        assert_eq!(fit_event.field("rows_in"), Some(8));
+        assert!(fit_event.field("items_dropped_prevalence").unwrap() >= 1);
+        assert_eq!(fit_event.field("items_out"), Some(enc.catalog.len() as u64));
+        let transform_event = snap.stage("prep.transform").expect("prep.transform event");
+        assert_eq!(transform_event.field("transactions_out"), Some(8));
+        // The plain entry point records nothing and returns the same data.
+        let plain = encode(&frame(), &spec());
+        assert_eq!(plain.db.len(), enc.db.len());
     }
 
     #[test]

@@ -32,5 +32,7 @@ mod encode;
 mod spec;
 
 pub use binning::{detect_spike, quantile_sorted, BinEdges, BinningScheme};
-pub use encode::{encode, fit, Encoded, EncodeReport, FittedEncoder, FrequencyFit, NumericFit};
+pub use encode::{
+    encode, encode_with, fit, EncodeReport, Encoded, FittedEncoder, FrequencyFit, NumericFit,
+};
 pub use spec::{EncoderSpec, FeatureSpec, SpikeBin, ZeroBin};

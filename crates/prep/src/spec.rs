@@ -274,11 +274,8 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
 
-        let cat = FeatureSpec::categorical_remap(
-            "model",
-            "Model",
-            [("resnet", "CV"), ("bert", "NLP")],
-        );
+        let cat =
+            FeatureSpec::categorical_remap("model", "Model", [("resnet", "CV"), ("bert", "NLP")]);
         match cat {
             FeatureSpec::Categorical { remap, .. } => {
                 assert_eq!(remap.get("resnet").map(String::as_str), Some("CV"));

@@ -7,8 +7,9 @@
 //! confidence then lift, matching how the paper's tables are ordered.
 
 use irma_mine::{ItemCatalog, ItemId};
+use irma_obs::Metrics;
 
-use crate::prune::{prune_rules, PruneOutcome, PruneParams};
+use crate::prune::{prune_rules_with, PruneOutcome, PruneParams};
 use crate::rule::{Rule, RuleRole};
 
 /// The pruned, classified rule set for one analysis keyword.
@@ -26,7 +27,18 @@ pub struct KeywordAnalysis {
 impl KeywordAnalysis {
     /// Runs keyword filtering + the four pruning conditions over `rules`.
     pub fn run(rules: &[Rule], keyword: ItemId, params: &PruneParams) -> KeywordAnalysis {
-        let outcome = prune_rules(rules, keyword, params);
+        KeywordAnalysis::run_with(rules, keyword, params, &Metrics::disabled())
+    }
+
+    /// [`KeywordAnalysis::run`] with observability: the pruning stage
+    /// reports its per-condition removal counts into `metrics`.
+    pub fn run_with(
+        rules: &[Rule],
+        keyword: ItemId,
+        params: &PruneParams,
+        metrics: &Metrics,
+    ) -> KeywordAnalysis {
+        let outcome = prune_rules_with(rules, keyword, params, metrics);
         let mut causes = Vec::new();
         let mut characteristics = Vec::new();
         for rule in &outcome.kept {
@@ -73,12 +85,7 @@ impl KeywordAnalysis {
         ));
         for (prefix, rules) in [("C", &self.causes), ("A", &self.characteristics)] {
             for (i, rule) in rules.iter().take(top).enumerate() {
-                out.push_str(&format!(
-                    "{}{}: {}\n",
-                    prefix,
-                    i + 1,
-                    rule.render(catalog)
-                ));
+                out.push_str(&format!("{}{}: {}\n", prefix, i + 1, rule.render(catalog)));
             }
         }
         out

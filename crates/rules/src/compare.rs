@@ -101,10 +101,8 @@ pub fn compare_rules(
 ) -> RuleComparison {
     let left_labeled = label_rules(left, left_catalog);
     let right_labeled = label_rules(right, right_catalog);
-    let mut right_index: HashMap<(Vec<String>, Vec<String>), LabeledRule> = right_labeled
-        .iter()
-        .map(|r| (r.key(), r.clone()))
-        .collect();
+    let mut right_index: HashMap<(Vec<String>, Vec<String>), LabeledRule> =
+        right_labeled.iter().map(|r| (r.key(), r.clone())).collect();
     let mut comparison = RuleComparison::default();
     for l in left_labeled {
         match right_index.remove(&l.key()) {
@@ -113,7 +111,7 @@ pub fn compare_rules(
         }
     }
     let mut leftovers: Vec<LabeledRule> = right_index.into_values().collect();
-    leftovers.sort_by(|a, b| a.key().cmp(&b.key()));
+    leftovers.sort_by_key(|a| a.key());
     comparison.only_right = leftovers;
     comparison
 }
@@ -157,7 +155,10 @@ mod tests {
         ];
         let cmp = compare_rules(&left, &left_cat, &right, &right_cat);
         assert_eq!(cmp.common.len(), 1);
-        assert_eq!(cmp.common[0].0.render(), "{CPU Util = Bin1} => {SM Util = 0%}");
+        assert_eq!(
+            cmp.common[0].0.render(),
+            "{CPU Util = Bin1} => {SM Util = 0%}"
+        );
         assert!((cmp.common[0].0.lift - 2.0).abs() < 1e-12);
         assert!((cmp.common[0].1.lift - 2.5).abs() < 1e-12);
         assert_eq!(cmp.only_left.len(), 1);

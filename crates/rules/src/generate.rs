@@ -7,6 +7,7 @@
 //! mined family; no database rescans. Itemsets are processed in parallel
 //! with rayon (each is independent).
 
+use irma_obs::Metrics;
 use rayon::prelude::*;
 
 use irma_mine::FrequentItemsets;
@@ -50,6 +51,28 @@ impl RuleConfig {
 ///
 /// Output is deterministic: sorted by antecedent, then consequent.
 pub fn generate_rules(frequent: &FrequentItemsets, config: &RuleConfig) -> Vec<Rule> {
+    generate_rules_with(frequent, config, &Metrics::disabled())
+}
+
+/// [`generate_rules`] with observability: emits a `rules.generate` stage
+/// event (itemsets in, rule-bearing itemsets, rules out) into `metrics`.
+pub fn generate_rules_with(
+    frequent: &FrequentItemsets,
+    config: &RuleConfig,
+    metrics: &Metrics,
+) -> Vec<Rule> {
+    let mut span = metrics.span("rules.generate");
+    let rules = generate_rules_inner(frequent, config);
+    span.field("itemsets_in", frequent.len() as u64);
+    span.field(
+        "candidate_itemsets",
+        frequent.iter().filter(|(s, _)| s.len() >= 2).count() as u64,
+    );
+    span.field("rules_out", rules.len() as u64);
+    rules
+}
+
+fn generate_rules_inner(frequent: &FrequentItemsets, config: &RuleConfig) -> Vec<Rule> {
     let n = frequent.n_transactions();
     let mut rules: Vec<Rule> = frequent
         .as_slice()
@@ -65,14 +88,8 @@ pub fn generate_rules(frequent: &FrequentItemsets, config: &RuleConfig) -> Vec<R
                 let y_count = frequent
                     .count(&consequent)
                     .expect("downward closure: consequent must be frequent");
-                let rule = Rule::from_counts(
-                    antecedent,
-                    consequent,
-                    *xy_count,
-                    x_count,
-                    y_count,
-                    n,
-                );
+                let rule =
+                    Rule::from_counts(antecedent, consequent, *xy_count, x_count, y_count, n);
                 if rule.lift >= config.min_lift
                     && rule.confidence >= config.min_confidence
                     && rule.support >= config.min_support

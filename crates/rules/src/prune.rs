@@ -16,6 +16,7 @@
 use std::collections::HashMap;
 
 use irma_mine::{ItemId, Itemset};
+use irma_obs::Metrics;
 
 use crate::rule::{Rule, RuleRole};
 
@@ -91,6 +92,36 @@ impl PruneOutcome {
     pub fn total(&self) -> usize {
         self.kept.len() + self.pruned.len()
     }
+
+    /// How many rules each condition removed.
+    pub fn pruned_by_condition(&self, condition: PruneCondition) -> usize {
+        self.pruned
+            .iter()
+            .filter(|record| record.condition == condition)
+            .count()
+    }
+}
+
+impl PruneCondition {
+    /// All four conditions, in the order they are applied.
+    pub fn all() -> [PruneCondition; 4] {
+        [
+            PruneCondition::Condition1,
+            PruneCondition::Condition2,
+            PruneCondition::Condition3,
+            PruneCondition::Condition4,
+        ]
+    }
+
+    /// Stable metric-name suffix (`condition1` ... `condition4`).
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            PruneCondition::Condition1 => "condition1",
+            PruneCondition::Condition2 => "condition2",
+            PruneCondition::Condition3 => "condition3",
+            PruneCondition::Condition4 => "condition4",
+        }
+    }
 }
 
 /// Applies the four pruning conditions to `rules` for one `keyword`.
@@ -99,6 +130,33 @@ impl PruneOutcome {
 /// paper discards keyword-free rules from the analysis entirely, and so do
 /// we (they are not reported in `pruned` either).
 pub fn prune_rules(rules: &[Rule], keyword: ItemId, params: &PruneParams) -> PruneOutcome {
+    prune_rules_with(rules, keyword, params, &Metrics::disabled())
+}
+
+/// [`prune_rules`] with observability: emits a `rules.prune` stage event
+/// (keyword-relevant rules in, kept, and per-condition prune counts) and
+/// bumps one `prune.condition<N>` counter per removed rule.
+pub fn prune_rules_with(
+    rules: &[Rule],
+    keyword: ItemId,
+    params: &PruneParams,
+    metrics: &Metrics,
+) -> PruneOutcome {
+    let mut span = metrics.span("rules.prune");
+    let outcome = prune_rules_inner(rules, keyword, params);
+    span.field("rules_in", outcome.total() as u64);
+    span.field("kept", outcome.kept.len() as u64);
+    for condition in PruneCondition::all() {
+        let removed = outcome.pruned_by_condition(condition) as u64;
+        span.field(&format!("pruned_{}", condition.metric_name()), removed);
+        if removed > 0 {
+            metrics.incr(&format!("prune.{}", condition.metric_name()), removed);
+        }
+    }
+    outcome
+}
+
+fn prune_rules_inner(rules: &[Rule], keyword: ItemId, params: &PruneParams) -> PruneOutcome {
     params.validate().expect("invalid prune params");
 
     let mut relevant: Vec<Rule> = rules
@@ -115,12 +173,7 @@ pub fn prune_rules(rules: &[Rule], keyword: ItemId, params: &PruneParams) -> Pru
     let mut alive = vec![true; relevant.len()];
     let mut pruned: Vec<PruneRecord> = Vec::new();
 
-    for condition in [
-        PruneCondition::Condition1,
-        PruneCondition::Condition2,
-        PruneCondition::Condition3,
-        PruneCondition::Condition4,
-    ] {
+    for condition in PruneCondition::all() {
         apply_condition(
             condition,
             &relevant,
@@ -173,23 +226,34 @@ fn apply_condition(
                 // Establish nesting: `short` has the varying side strictly
                 // contained in `long`'s.
                 let (short, long) = if group_by_consequent {
-                    if rules[i].antecedent.is_proper_subset_of(&rules[j].antecedent) {
+                    if rules[i]
+                        .antecedent
+                        .is_proper_subset_of(&rules[j].antecedent)
+                    {
                         (i, j)
-                    } else if rules[j].antecedent.is_proper_subset_of(&rules[i].antecedent) {
+                    } else if rules[j]
+                        .antecedent
+                        .is_proper_subset_of(&rules[i].antecedent)
+                    {
                         (j, i)
                     } else {
                         continue;
                     }
-                } else if rules[i].consequent.is_proper_subset_of(&rules[j].consequent) {
+                } else if rules[i]
+                    .consequent
+                    .is_proper_subset_of(&rules[j].consequent)
+                {
                     (i, j)
-                } else if rules[j].consequent.is_proper_subset_of(&rules[i].consequent) {
+                } else if rules[j]
+                    .consequent
+                    .is_proper_subset_of(&rules[i].consequent)
+                {
                     (j, i)
                 } else {
                     continue;
                 };
 
-                if let Some(loser) =
-                    decide(condition, &rules[short], &rules[long], keyword, params)
+                if let Some(loser) = decide(condition, &rules[short], &rules[long], keyword, params)
                 {
                     let (loser_idx, winner_idx) = if loser == Loser::Short {
                         (short, long)
@@ -422,6 +486,28 @@ mod tests {
         // also 1.5*5.0 >= 5.6 kills r3 via r1 directly.
         assert_eq!(out.kept, vec![r1]);
         assert_eq!(out.pruned.len(), 2);
+    }
+
+    #[test]
+    fn metrics_record_per_condition_counts() {
+        // Condition 1 removes one rule (see the first test above) and
+        // condition 4 removes one from an unrelated family.
+        let r1 = mk(&[1], &[KW], 0.2, 3.0);
+        let r2 = mk(&[1, 2], &[KW], 0.1, 3.5);
+        let r3 = mk(&[KW], &[3], 0.2, 3.0);
+        let r4 = mk(&[KW, 2], &[3], 0.1, 2.9);
+        let metrics = Metrics::enabled();
+        let outcome = prune_rules_with(&[r1, r2, r3, r4], KW, &PruneParams::default(), &metrics);
+        assert_eq!(outcome.pruned_by_condition(PruneCondition::Condition1), 1);
+        assert_eq!(outcome.pruned_by_condition(PruneCondition::Condition4), 1);
+        let snap = metrics.snapshot();
+        assert!(snap.counters.contains(&("prune.condition1".to_string(), 1)));
+        assert!(snap.counters.contains(&("prune.condition4".to_string(), 1)));
+        let event = snap.stage("rules.prune").expect("prune event");
+        assert_eq!(event.field("rules_in"), Some(4));
+        assert_eq!(event.field("kept"), Some(2));
+        assert_eq!(event.field("pruned_condition1"), Some(1));
+        assert_eq!(event.field("pruned_condition2"), Some(0));
     }
 
     #[test]

@@ -41,11 +41,14 @@ pub use pai::{pai, STD_CPU_REQUEST, STD_MEM_REQUEST_GB};
 pub use philly::philly;
 pub use supercloud::supercloud;
 
+/// Generator signature shared by the three trace profiles.
+pub type ProfileFn = fn(&TraceConfig) -> TraceBundle;
+
 /// The three trace profiles by name, for sweep-style callers.
-pub fn all_profiles() -> [(&'static str, fn(&TraceConfig) -> TraceBundle); 3] {
+pub fn all_profiles() -> [(&'static str, ProfileFn); 3] {
     [
-        ("pai", pai as fn(&TraceConfig) -> TraceBundle),
-        ("supercloud", supercloud as fn(&TraceConfig) -> TraceBundle),
-        ("philly", philly as fn(&TraceConfig) -> TraceBundle),
+        ("pai", pai as ProfileFn),
+        ("supercloud", supercloud as ProfileFn),
+        ("philly", philly as ProfileFn),
     ]
 }

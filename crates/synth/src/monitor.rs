@@ -145,9 +145,8 @@ pub fn simulate_gpu(
                 (sm, bw, mem)
             }
         };
-        let power = envelope.idle_power_w
-            + envelope.dynamic_power_w * (sm / 100.0)
-            + normal(rng, 0.0, 3.0);
+        let power =
+            envelope.idle_power_w + envelope.dynamic_power_w * (sm / 100.0) + normal(rng, 0.0, 3.0);
         series.sm_util.push(sm);
         series.mem_bw_util.push(mem_bw);
         series
@@ -370,8 +369,11 @@ mod tests {
             .iter()
             .map(|&b| simulate_gpu(&mut rng, b, &V100, 60.0, 0.1))
             .collect();
-        let jobs: Vec<(i64, &GpuSeries)> =
-            series.iter().enumerate().map(|(i, s)| (i as i64, s)).collect();
+        let jobs: Vec<(i64, &GpuSeries)> = series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as i64, s))
+            .collect();
         let raw = series_to_raw_frame(&jobs, 0.1);
         assert_eq!(raw.n_rows(), series.iter().map(GpuSeries::len).sum());
         let reduced = reduce_raw_monitoring(&raw).unwrap();

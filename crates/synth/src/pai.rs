@@ -234,7 +234,11 @@ fn draft_job(
                 status: failed(rng, 0.85),
                 runtime_s: runtime,
                 sm_util: stats.0,
-                gmem_used_gb: if idle && rng.gen::<f64>() < 0.9 { 0.0 } else { stats.1 },
+                gmem_used_gb: if idle && rng.gen::<f64>() < 0.9 {
+                    0.0
+                } else {
+                    stats.1
+                },
                 cpu_util: clamp(lognormal(rng, 1.5, 0.8), 0.3, 25.0),
                 mem_used_gb: clamp(lognormal(rng, 0.5, 0.8), 0.1, 8.0),
                 pool: PoolKind::NonT4,
@@ -274,7 +278,11 @@ fn draft_job(
                 gmem_used_gb: stats.1,
                 cpu_util: clamp(lognormal(rng, 3.4, 0.4), 10.0, 70.0),
                 mem_used_gb: clamp(lognormal(rng, 2.0, 0.5), 2.0, 32.0),
-                pool: if t4 { PoolKind::T4 } else { PoolKind::MiscLowEnd },
+                pool: if t4 {
+                    PoolKind::T4
+                } else {
+                    PoolKind::MiscLowEnd
+                },
                 truth,
             }
         }
@@ -427,7 +435,9 @@ pub fn pai(config: &TraceConfig) -> TraceBundle {
     let mut drafts: Vec<JobDraft> = Vec::with_capacity(config.n_jobs);
     for _ in 0..config.n_jobs {
         let (archetype, _, truth) = ARCHETYPES[mixture.sample(&mut rng)];
-        drafts.push(draft_job(&mut rng, archetype, truth, &users, &groups, config));
+        drafts.push(draft_job(
+            &mut rng, archetype, truth, &users, &groups, config,
+        ));
     }
 
     // Queue simulation: diurnal arrivals over the trace window (daytime
@@ -466,7 +476,10 @@ pub fn pai(config: &TraceConfig) -> TraceBundle {
     let n = drafts.len();
     let mut scheduler = Frame::new();
     scheduler
-        .add_column("job_id", Column::from_ints((0..n as i64).collect::<Vec<_>>()))
+        .add_column(
+            "job_id",
+            Column::from_ints((0..n as i64).collect::<Vec<_>>()),
+        )
         .expect("fresh frame");
     scheduler
         .add_column(
@@ -523,10 +536,7 @@ pub fn pai(config: &TraceConfig) -> TraceBundle {
         )
         .expect("fresh frame");
     scheduler
-        .add_column(
-            "status",
-            Column::from_strs(drafts.iter().map(|d| d.status)),
-        )
+        .add_column("status", Column::from_strs(drafts.iter().map(|d| d.status)))
         .expect("fresh frame");
     scheduler
         .add_column(
@@ -540,7 +550,10 @@ pub fn pai(config: &TraceConfig) -> TraceBundle {
 
     let mut monitoring = Frame::new();
     monitoring
-        .add_column("job_id", Column::from_ints((0..n as i64).collect::<Vec<_>>()))
+        .add_column(
+            "job_id",
+            Column::from_ints((0..n as i64).collect::<Vec<_>>()),
+        )
         .expect("fresh frame");
     monitoring
         .add_column(
@@ -636,7 +649,12 @@ mod tests {
     #[test]
     fn t4_queues_shorter_than_non_t4() {
         let t = small();
-        let gpu_type = t.scheduler.column("gpu_type_req").unwrap().as_strs().unwrap();
+        let gpu_type = t
+            .scheduler
+            .column("gpu_type_req")
+            .unwrap()
+            .as_strs()
+            .unwrap();
         let queue = t.scheduler.column("queue_s").unwrap();
         let mean_wait = |ty: &str| {
             let idx: Vec<usize> = (0..t.n_jobs())

@@ -315,10 +315,16 @@ pub fn philly(config: &TraceConfig) -> TraceBundle {
         .add_column("job_id", Column::from_ints(0..n))
         .expect("fresh frame");
     scheduler
-        .add_column("user", Column::from_strs(drafts.iter().map(|d| d.user.as_str())))
+        .add_column(
+            "user",
+            Column::from_strs(drafts.iter().map(|d| d.user.as_str())),
+        )
         .expect("fresh frame");
     scheduler
-        .add_column("vc", Column::from_strs(drafts.iter().map(|d| d.vc.as_str())))
+        .add_column(
+            "vc",
+            Column::from_strs(drafts.iter().map(|d| d.vc.as_str())),
+        )
         .expect("fresh frame");
     scheduler
         .add_column("gpus", Column::from_ints(drafts.iter().map(|d| d.gpus)))

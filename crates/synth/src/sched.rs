@@ -109,9 +109,7 @@ pub fn simulate_queue(pools: &[GpuPool], requests: &[SchedRequest]) -> Vec<f64> 
     while started < requests.len() {
         // Next event: earliest of (next arrival, earliest completion in any
         // pool that still has waiting work).
-        let arrival_time = order
-            .get(next_arrival)
-            .map(|&i| requests[i].arrival_s);
+        let arrival_time = order.get(next_arrival).map(|&i| requests[i].arrival_s);
         let completion = states
             .iter()
             .enumerate()

@@ -256,7 +256,10 @@ pub fn supercloud(config: &TraceConfig) -> TraceBundle {
         .add_column("job_id", Column::from_ints(0..n))
         .expect("fresh frame");
     scheduler
-        .add_column("user", Column::from_strs(drafts.iter().map(|d| d.user.as_str())))
+        .add_column(
+            "user",
+            Column::from_strs(drafts.iter().map(|d| d.user.as_str())),
+        )
         .expect("fresh frame");
     scheduler
         .add_column("gpus", Column::from_ints(drafts.iter().map(|d| d.gpus)))
@@ -278,9 +281,7 @@ pub fn supercloud(config: &TraceConfig) -> TraceBundle {
     monitoring
         .add_column("job_id", Column::from_ints(0..n))
         .expect("fresh frame");
-    let float_col = |f: &dyn Fn(&JobDraft) -> f64| {
-        Column::from_floats(drafts.iter().map(f))
-    };
+    let float_col = |f: &dyn Fn(&JobDraft) -> f64| Column::from_floats(drafts.iter().map(f));
     monitoring
         .add_column("sm_util", float_col(&|d| d.stats.sm_mean))
         .expect("fresh frame");
@@ -405,8 +406,8 @@ mod tests {
             assert!(sm.numeric(i).unwrap() < 8.0);
             assert!(mem.numeric(i).unwrap() > 4.0);
         }
-        let mean_sm = holders.iter().map(|&i| sm.numeric(i).unwrap()).sum::<f64>()
-            / holders.len() as f64;
+        let mean_sm =
+            holders.iter().map(|&i| sm.numeric(i).unwrap()).sum::<f64>() / holders.len() as f64;
         assert!(mean_sm < 2.5, "mean holder SM {mean_sm}");
         // Bursts show in variance for a good share of holders even at the
         // test's coarse sample cap.
@@ -414,7 +415,11 @@ mod tests {
             .iter()
             .filter(|&&i| smvar.numeric(i).unwrap() > 1.0)
             .count();
-        assert!(bursty * 3 > holders.len(), "bursty {bursty}/{}", holders.len());
+        assert!(
+            bursty * 3 > holders.len(),
+            "bursty {bursty}/{}",
+            holders.len()
+        );
     }
 
     #[test]

@@ -40,7 +40,13 @@ impl Population {
     /// Zipf(`s`) activity. `head_share` / `tail_share` are the expected
     /// traffic fractions marking the head and tail tiers (the paper uses
     /// 25% / 25%).
-    pub fn new(prefix: &'static str, n: usize, s: f64, head_share: f64, tail_share: f64) -> Population {
+    pub fn new(
+        prefix: &'static str,
+        n: usize,
+        s: f64,
+        head_share: f64,
+        tail_share: f64,
+    ) -> Population {
         assert!(n >= 3, "population too small");
         let weights = zipf_weights(n, s);
         let total: f64 = weights.iter().sum();

@@ -10,9 +10,7 @@
 //! rules that do the predicting — every positive prediction is
 //! explainable by one table row.
 
-use irma::core::{
-    failure_prediction, prepare_all, AnalysisConfig, ExperimentScale, KW_FAILED,
-};
+use irma::core::{failure_prediction, prepare_all, AnalysisConfig, ExperimentScale, KW_FAILED};
 use irma::rules::RuleClassifier;
 
 fn main() {
@@ -54,7 +52,12 @@ fn main() {
         // Show the classifier's actual rule list — the interpretability
         // story: this *is* the model.
         let keyword = t.analysis.item(KW_FAILED).expect("failure item");
-        let kept = t.analysis.keyword(KW_FAILED).expect("failure item").outcome.kept;
+        let kept = t
+            .analysis
+            .keyword(KW_FAILED)
+            .expect("failure item")
+            .outcome
+            .kept;
         let classifier = RuleClassifier::train(&kept, keyword, threshold);
         for rule in classifier.rules().iter().take(4) {
             println!("    if {}", rule.render(&t.analysis.encoded.catalog));

@@ -6,9 +6,10 @@
 //!
 //! Walks the whole workflow on an inline CSV: parse -> encode -> mine ->
 //! generate rules -> keyword analysis, printing the cause/characteristic
-//! tables for job failures.
+//! tables for job failures, then re-runs with an observability sink (the
+//! library form of the CLI's `--metrics` / `--verbose-stages` flags).
 
-use irma::core::{analyze, AnalysisConfig};
+use irma::core::{analyze, analyze_with, AnalysisConfig, Metrics};
 use irma::data::read_csv_str;
 use irma::prep::{EncoderSpec, FeatureSpec, ZeroBin};
 
@@ -18,9 +19,13 @@ fn main() {
     for i in 0..400 {
         let row = match i % 8 {
             // eve's debug jobs: idle GPU, short runtime, mostly failing.
-            0 | 1 => format!("{i},eve,{},0.0,{}", 30 + i % 60, if i % 8 == 0 { "Failed" } else { "Pass" }),
+            0 | 1 => format!(
+                "{i},eve,{},0.0,{}",
+                30 + i % 60,
+                if i % 8 == 0 { "Failed" } else { "Pass" }
+            ),
             // healthy training jobs from everyone else.
-            2 | 3 | 4 => format!("{i},ada,{},{}.5,Pass", 4000 + i, 60 + (i % 30)),
+            2..=4 => format!("{i},ada,{},{}.5,Pass", 4000 + i, 60 + (i % 30)),
             5 | 6 => format!("{i},bob,{},{}.0,Pass", 2000 + i, 40 + (i % 40)),
             // occasional long-running failures.
             _ => format!("{i},ada,{},55.0,Failed", 90_000 + i),
@@ -54,4 +59,16 @@ fn main() {
     println!("{}", analysis.render_keyword("Failed", 5));
     // Same question for idle GPUs.
     println!("{}", analysis.render_keyword("SM Util = 0%", 5));
+
+    // The same run with per-stage observability: every pipeline stage
+    // records wall time and cardinalities into a `Metrics` sink. This is
+    // what `irma analyze --metrics out.json --verbose-stages true` uses;
+    // `Metrics::disabled()` (the default everywhere) makes it all a no-op.
+    let metrics = Metrics::enabled();
+    let _ = analyze_with(&frame, &spec, &AnalysisConfig::default(), &metrics);
+    let snapshot = metrics.snapshot();
+    println!("per-stage trace:\n{}", snapshot.render_table());
+    // `snapshot.to_json()` yields the same data as a machine-readable
+    // snapshot — write it wherever `--metrics <path>` would.
+    println!("JSON snapshot is {} bytes", snapshot.to_json().len());
 }

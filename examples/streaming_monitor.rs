@@ -47,9 +47,7 @@ fn main() {
     let failed_item = fitted.catalog().id(KW_FAILED).expect("Failed item");
     // Keep failures and every 4th healthy job -> a failure-heavy stream.
     let wave: Vec<Vec<u32>> = (0..wave_all.len())
-        .filter(|&i| {
-            wave_all.transaction(i).binary_search(&failed_item).is_ok() || i % 4 == 0
-        })
+        .filter(|&i| wave_all.transaction(i).binary_search(&failed_item).is_ok() || i % 4 == 0)
         .map(|i| wave_all.transaction(i).to_vec())
         .collect();
 

@@ -1,0 +1,205 @@
+//! Offline stand-in for `criterion` (API subset used by `crates/bench`).
+//!
+//! Measures wall-clock time per iteration with a warm-up pass and a
+//! fixed number of timed samples, then prints `group/label  median ±
+//! spread`. No plots, no statistical regression — just honest,
+//! comparable numbers suitable for "is this faster than before".
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark label with a parameter, e.g. `fpgrowth/20000`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Anything usable as a benchmark label.
+pub trait IntoBenchmarkLabel {
+    /// The rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkLabel for &String {
+    fn into_label(self) -> String {
+        self.clone()
+    }
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    samples: usize,
+    /// Median seconds per iteration, filled by [`Bencher::iter`].
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording the median over the sample count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + iteration-count calibration: target ~25ms per sample.
+        let warmup = Instant::now();
+        black_box(f());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(25).as_nanos() / once.as_nanos()).clamp(1, 1000);
+
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            times.push(start.elapsed() / per_sample as u32);
+        }
+        times.sort_unstable();
+        self.result = Some(times[times.len() / 2]);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Currently a no-op (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: String, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        let rendered = match bencher.result {
+            Some(median) => format_duration(median),
+            None => "no measurement".to_string(),
+        };
+        println!("{:<56} {}", format!("{}/{}", self.name, label), rendered);
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<L, F>(&mut self, id: L, f: F) -> &mut Self
+    where
+        L: IntoBenchmarkLabel,
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_label(), f);
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<L, I, F>(&mut self, id: L, input: &I, mut f: F) -> &mut Self
+    where
+        L: IntoBenchmarkLabel,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_label(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing happens eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<L, F>(&mut self, id: L, f: F) -> &mut Self
+    where
+        L: IntoBenchmarkLabel,
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,27 @@
+//! Option strategies (`prop::option`).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing `Option<T>` (3:1 `Some` bias, like real proptest's
+/// default weight).
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `prop::option::of(strategy)`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

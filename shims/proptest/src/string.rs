@@ -1,0 +1,198 @@
+//! String strategies from a regex subset (`proptest::string`).
+//!
+//! Supports the patterns the IRMA tests actually use: a sequence of
+//! atoms, where an atom is a character class `[...]` (with literal
+//! characters, `\`-escapes, and `a-z` ranges) or a literal character,
+//! each optionally followed by a `{min,max}` repetition.
+
+use crate::{Strategy, TestRng};
+
+/// Regex parse failure.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "regex strategy error: {}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Candidate characters (a class with one entry = a literal).
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Strategy generating strings matching a (subset) regex.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    atoms: Vec<Atom>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let reps = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..reps {
+                out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<Vec<char>, Error> {
+    let mut members: Vec<char> = Vec::new();
+    loop {
+        let Some(c) = chars.next() else {
+            return Err(Error("unterminated character class".to_string()));
+        };
+        match c {
+            ']' => break,
+            '\\' => {
+                let Some(escaped) = chars.next() else {
+                    return Err(Error("dangling escape in class".to_string()));
+                };
+                members.push(match escaped {
+                    'n' => '\n',
+                    'r' => '\r',
+                    't' => '\t',
+                    other => other,
+                });
+            }
+            '-' if !members.is_empty() && chars.peek().is_some_and(|&next| next != ']') => {
+                // Range: previous member .. next char.
+                let low = *members.last().expect("checked non-empty");
+                let high = chars.next().expect("peeked");
+                if (low as u32) > (high as u32) {
+                    return Err(Error(format!("inverted range {low}-{high}")));
+                }
+                for code in (low as u32 + 1)..=(high as u32) {
+                    if let Some(ch) = char::from_u32(code) {
+                        members.push(ch);
+                    }
+                }
+            }
+            other => members.push(other),
+        }
+    }
+    if members.is_empty() {
+        return Err(Error("empty character class".to_string()));
+    }
+    Ok(members)
+}
+
+fn parse_repetition(
+    chars: &mut std::iter::Peekable<std::str::Chars>,
+) -> Result<(usize, usize), Error> {
+    if chars.peek() != Some(&'{') {
+        return Ok((1, 1));
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (min_raw, max_raw) = match spec.split_once(',') {
+                Some((a, b)) => (a.trim().to_string(), b.trim().to_string()),
+                None => (spec.trim().to_string(), spec.trim().to_string()),
+            };
+            let min: usize = min_raw
+                .parse()
+                .map_err(|_| Error(format!("bad repetition `{spec}`")))?;
+            let max: usize = if max_raw.is_empty() {
+                min + 16
+            } else {
+                max_raw
+                    .parse()
+                    .map_err(|_| Error(format!("bad repetition `{spec}`")))?
+            };
+            if max < min {
+                return Err(Error(format!("inverted repetition `{spec}`")));
+            }
+            return Ok((min, max));
+        }
+        spec.push(c);
+    }
+    Err(Error("unterminated repetition".to_string()))
+}
+
+/// `proptest::string::string_regex(pattern)` — a strategy for strings
+/// matching `pattern` (see module docs for the supported subset).
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let members = match c {
+            '[' => parse_class(&mut chars)?,
+            '\\' => {
+                let Some(escaped) = chars.next() else {
+                    return Err(Error("dangling escape".to_string()));
+                };
+                vec![match escaped {
+                    'n' => '\n',
+                    'r' => '\r',
+                    't' => '\t',
+                    other => other,
+                }]
+            }
+            '{' | '}' | ']' | '*' | '+' | '?' | '|' | '(' | ')' => {
+                return Err(Error(format!("unsupported regex construct `{c}`")));
+            }
+            literal => vec![literal],
+        };
+        let (min, max) = parse_repetition(&mut chars)?;
+        atoms.push(Atom {
+            chars: members,
+            min,
+            max,
+        });
+    }
+    Ok(RegexGeneratorStrategy { atoms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_range_and_literals() {
+        let strat = string_regex("[ -~\n\r\"]{0,300}").unwrap();
+        let mut rng = TestRng::new(42);
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(s.chars().count() <= 300);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\r'));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let strat = string_regex("[xyz ,\"\n#|;-]{1,12}").unwrap();
+        let allowed: Vec<char> = "xyz ,\"\n#|;-".chars().collect();
+        let mut rng = TestRng::new(7);
+        let mut saw_dash = false;
+        for _ in 0..500 {
+            let s = strat.generate(&mut rng);
+            let n = s.chars().count();
+            assert!((1..=12).contains(&n));
+            for c in s.chars() {
+                assert!(allowed.contains(&c), "unexpected char {c:?}");
+                saw_dash |= c == '-';
+            }
+        }
+        assert!(saw_dash, "literal dash never generated");
+    }
+
+    #[test]
+    fn rejects_unsupported_syntax() {
+        assert!(string_regex("(ab)+").is_err());
+        assert!(string_regex("[unclosed").is_err());
+    }
+}

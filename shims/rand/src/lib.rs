@@ -1,0 +1,300 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The workspace builds without network access, so instead of the real
+//! `rand` this shim provides exactly what the IRMA crates use:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ (the same algorithm `rand` 0.8 uses
+//!   for `SmallRng` on 64-bit targets), seeded via SplitMix64 like
+//!   `SeedableRng::seed_from_u64`;
+//! * [`Rng::gen`] for `f64`/`f32`/`bool` and the integer types;
+//! * [`Rng::gen_range`] over half-open and inclusive integer/float ranges;
+//! * [`Rng::gen_bool`].
+//!
+//! Sampling is deterministic per seed, which the synthetic-trace substrate
+//! relies on (`irma generate --seed`).
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the standard distribution of `T`
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers uniform over the full
+    /// domain, `bool` fair).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range. Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits, uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a uniform sampler over an interval (mirrors rand's
+/// `SampleUniform`, which [`SampleRange`] blanket-impls over — that shape
+/// matters: a single blanket impl lets integer-literal ranges infer their
+/// type from the call site, e.g. when the result indexes a slice).
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform draw from `[low, high)` or `[low, high]`.
+    fn sample_interval<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_interval(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample from empty range");
+        T::sample_interval(rng, start, end, true)
+    }
+}
+
+/// Multiply-shift bounded sampling: uniform in `[0, span)`.
+///
+/// Bias is below 2^-64 per draw — irrelevant for the synthetic traces.
+fn bounded(rng: &mut (impl RngCore + ?Sized), span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_interval<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: $t,
+                high: $t,
+                inclusive: bool,
+            ) -> $t {
+                let span = high.wrapping_sub(low) as u64;
+                if inclusive {
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    low.wrapping_add(bounded(rng, span + 1) as $t)
+                } else {
+                    low.wrapping_add(bounded(rng, span) as $t)
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_interval<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: $t,
+                high: $t,
+                _inclusive: bool,
+            ) -> $t {
+                let unit = <$t as Standard>::sample(rng);
+                low + unit * (high - low)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the algorithm behind `rand` 0.8's 64-bit `SmallRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            // SplitMix64 state expansion, as rand_core does.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>().to_bits(), b.gen::<f64>().to_bits());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.gen::<f64>(), c.gen::<f64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let z = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_infers_usize_from_indexing() {
+        // Regression: with per-type `SampleRange` impls the untyped
+        // literal range fell back to i32 and `arr[rng.gen_range(0..4)]`
+        // failed to compile; the `SampleUniform` blanket impl lets the
+        // indexing context drive inference, matching the real crate.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let arr = [8.0, 16.0, 64.0, 128.0];
+        for _ in 0..100 {
+            let x = arr[rng.gen_range(0..4)];
+            assert!(arr.contains(&x));
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,469 @@
+//! Splittable parallel iterators (see the crate docs for the model).
+
+/// A splittable, sequentially-drainable parallel iterator.
+pub trait ParallelIterator: Sized + Send {
+    /// Element type.
+    type Item: Send;
+    /// The sequential iterator a single part drains into.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Splits into at most `n` independent parts (in element order).
+    fn split_parts(self, n: usize) -> Vec<Self>;
+
+    /// Drains this part sequentially.
+    fn seq(self) -> Self::Seq;
+
+    /// Maps each element through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync + Clone,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keeps elements satisfying `p`.
+    fn filter<P>(self, p: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Send + Sync + Clone,
+    {
+        Filter { base: self, p }
+    }
+
+    /// Maps each element to a sequential iterator and flattens.
+    fn flat_map_iter<II, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        F: Fn(Self::Item) -> II + Send + Sync + Clone,
+        II: IntoIterator,
+        II::Item: Send,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Flattens nested iterables.
+    fn flatten(self) -> Flatten<Self>
+    where
+        Self::Item: IntoIterator,
+        <Self::Item as IntoIterator>::Item: Send,
+    {
+        Flatten { base: self }
+    }
+
+    /// Per-part sequential fold; yields one accumulator per part
+    /// (mirroring `rayon`'s fold-then-reduce shape).
+    fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        T: Send,
+        ID: Fn() -> T + Send + Sync + Clone,
+        F: Fn(T, Self::Item) -> T + Send + Sync + Clone,
+    {
+        Fold {
+            base: self,
+            identity,
+            fold_op,
+        }
+    }
+
+    /// Materializes the iterator, running parts on scoped threads.
+    ///
+    /// Results are concatenated in part order, so the output equals the
+    /// sequential result regardless of thread count.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        let threads = crate::current_num_threads();
+        if threads <= 1 {
+            return self.seq().collect();
+        }
+        let parts = self.split_parts(threads);
+        if parts.len() <= 1 {
+            return parts.into_iter().flat_map(|p| p.seq()).collect();
+        }
+        let buckets: Vec<Vec<Self::Item>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|part| scope.spawn(move || part.seq().collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        buckets.into_iter().flatten().collect()
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send;
+
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a borrowing parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type (a reference).
+    type Item: Send + 'a;
+
+    /// Iterates `&self` in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+// ---- sources ----
+
+/// Parallel iterator over an integer range.
+#[derive(Debug, Clone)]
+pub struct ParRange<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! impl_par_range {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for ParRange<$t> {
+            type Item = $t;
+            type Seq = std::ops::Range<$t>;
+
+            fn split_parts(self, n: usize) -> Vec<Self> {
+                let len = (self.end.saturating_sub(self.start)) as usize;
+                let n = n.clamp(1, len.max(1));
+                let chunk = len.div_ceil(n);
+                let mut parts = Vec::with_capacity(n);
+                let mut lo = self.start;
+                while lo < self.end {
+                    let hi = self.end.min(lo + chunk as $t);
+                    parts.push(ParRange { start: lo, end: hi });
+                    lo = hi;
+                }
+                if parts.is_empty() {
+                    parts.push(self);
+                }
+                parts
+            }
+
+            fn seq(self) -> Self::Seq {
+                self.start..self.end
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = ParRange<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParRange<$t> {
+                ParRange { start: self.start, end: self.end }
+            }
+        }
+    )*};
+}
+impl_par_range!(u32, u64, usize, i32, i64);
+
+/// Parallel iterator over a slice.
+#[derive(Debug)]
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn split_parts(self, n: usize) -> Vec<Self> {
+        let len = self.slice.len();
+        let n = n.clamp(1, len.max(1));
+        let chunk = len.div_ceil(n).max(1);
+        self.slice
+            .chunks(chunk)
+            .map(|slice| ParSlice { slice })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    fn seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParSlice<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParSlice<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// Parallel iterator over an owned vector.
+#[derive(Debug)]
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn split_parts(mut self, n: usize) -> Vec<Self> {
+        let len = self.items.len();
+        let n = n.clamp(1, len.max(1));
+        let chunk = len.div_ceil(n).max(1);
+        let mut parts = Vec::with_capacity(n);
+        while self.items.len() > chunk {
+            let rest = self.items.split_off(chunk);
+            parts.push(ParVec {
+                items: std::mem::replace(&mut self.items, rest),
+            });
+        }
+        parts.push(self);
+        parts
+    }
+
+    fn seq(self) -> Self::Seq {
+        self.items.into_iter()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+// ---- adapters ----
+
+/// See [`ParallelIterator::map`].
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Send + Sync + Clone,
+    R: Send,
+{
+    type Item = R;
+    type Seq = std::iter::Map<I::Seq, F>;
+
+    fn split_parts(self, n: usize) -> Vec<Self> {
+        let f = self.f;
+        self.base
+            .split_parts(n)
+            .into_iter()
+            .map(|base| Map { base, f: f.clone() })
+            .collect()
+    }
+
+    fn seq(self) -> Self::Seq {
+        self.base.seq().map(self.f)
+    }
+}
+
+/// See [`ParallelIterator::filter`].
+#[derive(Debug)]
+pub struct Filter<I, P> {
+    base: I,
+    p: P,
+}
+
+impl<I, P> ParallelIterator for Filter<I, P>
+where
+    I: ParallelIterator,
+    P: Fn(&I::Item) -> bool + Send + Sync + Clone,
+{
+    type Item = I::Item;
+    type Seq = std::iter::Filter<I::Seq, P>;
+
+    fn split_parts(self, n: usize) -> Vec<Self> {
+        let p = self.p;
+        self.base
+            .split_parts(n)
+            .into_iter()
+            .map(|base| Filter { base, p: p.clone() })
+            .collect()
+    }
+
+    fn seq(self) -> Self::Seq {
+        self.base.seq().filter(self.p)
+    }
+}
+
+/// See [`ParallelIterator::flat_map_iter`].
+#[derive(Debug)]
+pub struct FlatMapIter<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, II> ParallelIterator for FlatMapIter<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> II + Send + Sync + Clone,
+    II: IntoIterator,
+    II::Item: Send,
+{
+    type Item = II::Item;
+    type Seq = std::iter::FlatMap<I::Seq, II, F>;
+
+    fn split_parts(self, n: usize) -> Vec<Self> {
+        let f = self.f;
+        self.base
+            .split_parts(n)
+            .into_iter()
+            .map(|base| FlatMapIter { base, f: f.clone() })
+            .collect()
+    }
+
+    fn seq(self) -> Self::Seq {
+        self.base.seq().flat_map(self.f)
+    }
+}
+
+/// See [`ParallelIterator::flatten`].
+#[derive(Debug)]
+pub struct Flatten<I> {
+    base: I,
+}
+
+impl<I> ParallelIterator for Flatten<I>
+where
+    I: ParallelIterator,
+    I::Item: IntoIterator,
+    <I::Item as IntoIterator>::Item: Send,
+{
+    type Item = <I::Item as IntoIterator>::Item;
+    type Seq = std::iter::Flatten<I::Seq>;
+
+    fn split_parts(self, n: usize) -> Vec<Self> {
+        self.base
+            .split_parts(n)
+            .into_iter()
+            .map(|base| Flatten { base })
+            .collect()
+    }
+
+    fn seq(self) -> Self::Seq {
+        self.base.seq().flatten()
+    }
+}
+
+/// See [`ParallelIterator::fold`].
+#[derive(Debug)]
+pub struct Fold<I, ID, F> {
+    base: I,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<I, ID, F, T> ParallelIterator for Fold<I, ID, F>
+where
+    I: ParallelIterator,
+    T: Send,
+    ID: Fn() -> T + Send + Sync + Clone,
+    F: Fn(T, I::Item) -> T + Send + Sync + Clone,
+{
+    type Item = T;
+    type Seq = std::iter::Once<T>;
+
+    fn split_parts(self, n: usize) -> Vec<Self> {
+        let (identity, fold_op) = (self.identity, self.fold_op);
+        self.base
+            .split_parts(n)
+            .into_iter()
+            .map(|base| Fold {
+                base,
+                identity: identity.clone(),
+                fold_op: fold_op.clone(),
+            })
+            .collect()
+    }
+
+    fn seq(self) -> Self::Seq {
+        let acc = self.base.seq().fold((self.identity)(), self.fold_op);
+        std::iter::once(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let out: Vec<u32> = (0u32..100).into_par_iter().map(|x| x * 2).collect();
+        let expected: Vec<u32> = (0u32..100).map(|x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn slice_filter_flat_map() {
+        let data: Vec<i64> = (0..50).collect();
+        let par: Vec<i64> = data
+            .par_iter()
+            .filter(|&&x| x % 2 == 0)
+            .flat_map_iter(|&x| vec![x, x + 1])
+            .collect();
+        let seq: Vec<i64> = data
+            .iter()
+            .filter(|&&x| x % 2 == 0)
+            .flat_map(|&x| vec![x, x + 1])
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn fold_partials_sum_to_total() {
+        let partials: Vec<u64> = (0u64..1000)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, x| acc + x)
+            .collect();
+        assert_eq!(partials.iter().sum::<u64>(), (0u64..1000).sum::<u64>());
+    }
+
+    #[test]
+    fn vec_into_par_flatten() {
+        let nested: Vec<Vec<u32>> = (0..20).map(|i| vec![i; 3]).collect();
+        let flat: Vec<u32> = nested.clone().into_par_iter().flatten().collect();
+        let expected: Vec<u32> = nested.into_iter().flatten().collect();
+        assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn empty_range_collects_empty() {
+        let out: Vec<u32> = (5u32..5).into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn install_pins_width_and_restores() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let before = crate::current_num_threads();
+        let inside = pool.install(crate::current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(crate::current_num_threads(), before);
+        let out: Vec<u32> = pool.install(|| (0u32..10).into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(out, (1u32..11).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,110 @@
+//! Offline stand-in for `rayon` (API subset used by the IRMA workspace).
+//!
+//! Instead of a work-stealing deque, a parallel iterator here is a value
+//! that knows how to **split itself into independent parts** and how to
+//! run each part as a plain sequential [`Iterator`]. Terminal operations
+//! ([`ParallelIterator::collect`]) split into one part per available
+//! thread, run the parts on scoped OS threads, and concatenate results in
+//! part order — so output ordering matches `rayon`'s deterministic
+//! collect semantics and, with one thread, the cost model degrades to a
+//! plain iterator chain.
+//!
+//! Supported: `into_par_iter()` on integer ranges and `Vec`, `par_iter()`
+//! on slices, `map` / `filter` / `flat_map_iter` / `flatten` / `fold`,
+//! `collect`, plus [`ThreadPoolBuilder`] / [`ThreadPool::install`] (which
+//! pins the number of parts for the duration of a closure).
+
+use std::cell::Cell;
+
+pub mod iter;
+
+pub use iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+
+/// Everything a `use rayon::prelude::*` caller expects.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads terminal operations will split into.
+pub fn current_num_threads() -> usize {
+    POOL_OVERRIDE.with(|cell| cell.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (construction cannot
+/// actually fail here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default thread count.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the thread count; 0 means "use the default".
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }),
+        })
+    }
+}
+
+/// A "pool": a pinned split width applied while [`install`]ed.
+///
+/// [`install`]: ThreadPool::install
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with parallel operations split into this pool's width.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = POOL_OVERRIDE.with(|cell| cell.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|cell| cell.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        f()
+    }
+
+    /// The pinned width.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}

@@ -2,6 +2,7 @@
 pub use irma_core as core;
 pub use irma_data as data;
 pub use irma_mine as mine;
+pub use irma_obs as obs;
 pub use irma_prep as prep;
 pub use irma_rules as rules;
 pub use irma_synth as synth;

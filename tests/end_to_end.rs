@@ -37,7 +37,10 @@ fn csv_round_trip_preserves_analysis() {
     std::fs::remove_dir_all(&dir).ok();
 
     assert_eq!(direct.n_jobs(), from_disk.n_jobs());
-    assert_eq!(direct.encoded.catalog.len(), from_disk.encoded.catalog.len());
+    assert_eq!(
+        direct.encoded.catalog.len(),
+        from_disk.encoded.catalog.len()
+    );
     assert_eq!(direct.frequent.len(), from_disk.frequent.len());
     assert_eq!(direct.rules.len(), from_disk.rules.len());
 
@@ -75,13 +78,11 @@ fn same_seed_same_rules_different_seed_different_trace() {
     // Different seeds shuffle supports; identical rule sets would signal a
     // seeding bug.
     assert!(
-        a.frequent.len() != c.frequent.len()
-            || a.rules.len() != c.rules.len()
-            || {
-                let ra = &a.rules[0];
-                let rc = &c.rules[0];
-                (ra.support - rc.support).abs() > 1e-12
-            },
+        a.frequent.len() != c.frequent.len() || a.rules.len() != c.rules.len() || {
+            let ra = &a.rules[0];
+            let rc = &c.rules[0];
+            (ra.support - rc.support).abs() > 1e-12
+        },
         "seeds 1 and 2 produced identical analyses"
     );
 }

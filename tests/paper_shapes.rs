@@ -39,7 +39,7 @@ fn fig4_zero_sm_shares_match_paper_bands() {
     // And fig4 itself reports the same shares.
     let f = fig4(&traces);
     for (name, zero, cdf) in &f.rows {
-        assert!(*zero > 0.0 && cdf.len() > 0, "{name} empty");
+        assert!(*zero > 0.0 && !cdf.is_empty(), "{name} empty");
     }
 }
 
@@ -226,11 +226,7 @@ fn table8_misc_rule_sections_present() {
     let tables = misc_tables(&traces);
     assert!(tables.len() >= 5, "expected all Table VIII sections");
     for table in &tables {
-        assert!(
-            !table.rows.is_empty(),
-            "{} produced no rules",
-            table.title
-        );
+        assert!(!table.rows.is_empty(), "{} produced no rules", table.title);
     }
 }
 
@@ -239,7 +235,15 @@ fn rule_table_top_parameter_caps_rows() {
     let traces = traces();
     let pai = by_name(&traces, "pai");
     let t = rule_table(pai, "t", KW_SM_ZERO, 2);
-    let causes = t.rows.iter().filter(|(tag, ..)| tag.starts_with('C')).count();
-    let chars = t.rows.iter().filter(|(tag, ..)| tag.starts_with('A')).count();
+    let causes = t
+        .rows
+        .iter()
+        .filter(|(tag, ..)| tag.starts_with('C'))
+        .count();
+    let chars = t
+        .rows
+        .iter()
+        .filter(|(tag, ..)| tag.starts_with('A'))
+        .count();
     assert!(causes <= 2 && chars <= 2);
 }

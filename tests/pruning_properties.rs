@@ -5,14 +5,13 @@
 use proptest::prelude::*;
 
 use irma::mine::{fpgrowth, ItemId, Itemset, MinerConfig, TransactionDb};
-use irma::rules::{generate_rules, prune_rules, KeywordAnalysis, PruneParams, RuleConfig, RuleRole};
+use irma::rules::{
+    generate_rules, prune_rules, KeywordAnalysis, PruneParams, RuleConfig, RuleRole,
+};
 
 fn arb_db() -> impl Strategy<Value = TransactionDb> {
-    prop::collection::vec(
-        prop::collection::vec(0u32..8, 0..8),
-        20..120,
-    )
-    .prop_map(|txns| TransactionDb::from_transactions(txns).with_universe(8))
+    prop::collection::vec(prop::collection::vec(0u32..8, 0..8), 20..120)
+        .prop_map(|txns| TransactionDb::from_transactions(txns).with_universe(8))
 }
 
 fn rules_of(db: &TransactionDb, min_lift: f64) -> Vec<irma::rules::Rule> {

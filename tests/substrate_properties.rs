@@ -12,18 +12,14 @@ use irma::synth::sched::{simulate_queue, GpuPool, SchedRequest};
 
 fn arb_requests(max_pool: usize) -> impl Strategy<Value = Vec<SchedRequest>> {
     prop::collection::vec(
-        (
-            0..max_pool,
-            0.0f64..10_000.0,
-            1.0f64..5_000.0,
-            1u64..6,
-        )
-            .prop_map(|(pool, arrival_s, service_s, gpus)| SchedRequest {
+        (0..max_pool, 0.0f64..10_000.0, 1.0f64..5_000.0, 1u64..6).prop_map(
+            |(pool, arrival_s, service_s, gpus)| SchedRequest {
                 pool,
                 arrival_s,
                 service_s,
                 gpus,
-            }),
+            },
+        ),
         1..60,
     )
 }
