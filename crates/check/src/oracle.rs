@@ -1,0 +1,64 @@
+//! Brute-force reference implementations.
+//!
+//! Written in the most obvious way possible — enumerate every itemset
+//! mask, count support by scanning every transaction — so that agreement
+//! with the fast miners constitutes real evidence. Exponential in the
+//! universe size, hence the [`MAX_ORACLE_ITEMS`] cap.
+
+use irma_mine::{Itemset, MinerConfig, TransactionDb};
+
+/// Largest universe the mask-enumeration oracle accepts (`2^16` masks).
+pub const MAX_ORACLE_ITEMS: usize = 16;
+
+/// Every frequent itemset with its support count, in the miners'
+/// canonical order (by length, then lexicographically).
+///
+/// Uses the same [`MinerConfig::min_count`] threshold the miners apply,
+/// so disagreements localize to the search itself rather than threshold
+/// arithmetic (which has its own exact-integer grid test).
+pub fn frequent_itemsets(db: &TransactionDb, config: &MinerConfig) -> Vec<(Itemset, u64)> {
+    let n = db.n_items();
+    assert!(
+        n <= MAX_ORACLE_ITEMS,
+        "brute-force oracle limited to {MAX_ORACLE_ITEMS} items, got {n}"
+    );
+    let min_count = config.min_count(db.len());
+    let mut out = Vec::new();
+    for mask in 1u32..(1u32 << n) {
+        if (mask.count_ones() as usize) > config.max_len {
+            continue;
+        }
+        let set = Itemset::from_items((0..n as u32).filter(|&i| mask & (1 << i) != 0));
+        let count = db.support_count(&set);
+        if count >= min_count {
+            out.push((set, count));
+        }
+    }
+    out.sort_unstable_by(|a, b| a.0.len().cmp(&b.0.len()).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_on_known_db() {
+        let db =
+            TransactionDb::from_transactions(vec![vec![0, 1], vec![0, 1], vec![0, 2], vec![1]]);
+        let frequent = frequent_itemsets(&db, &MinerConfig::with_min_support(0.5));
+        // min_count = 2: {0}=3, {1}=3, {0,1}=2.
+        let rendered: Vec<(Vec<u32>, u64)> = frequent
+            .iter()
+            .map(|(s, c)| (s.items().to_vec(), *c))
+            .collect();
+        assert_eq!(rendered, vec![(vec![0], 3), (vec![1], 3), (vec![0, 1], 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "brute-force oracle limited")]
+    fn oracle_rejects_large_universe() {
+        let db = TransactionDb::from_transactions(vec![vec![0u32, 20]]);
+        frequent_itemsets(&db, &MinerConfig::default());
+    }
+}

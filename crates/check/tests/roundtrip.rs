@@ -1,0 +1,145 @@
+//! Round-trip properties for the CSV and sacct text formats.
+
+use proptest::prelude::*;
+
+use irma_check::generators::{arb_frame, arb_sacct_frame};
+use irma_data::{
+    format_sacct_duration, format_size_gb, parse_records, parse_sacct_duration, parse_size_gb,
+    read_csv_str, read_sacct_str, write_csv_string, write_sacct_string, Frame, Value,
+};
+
+/// Cell-wise frame comparison tolerant of the re-typing a text round trip
+/// legitimately performs (all-null columns become Str, integral floats
+/// re-infer as Int) — numeric content must survive exactly.
+fn assert_frames_equivalent(original: &Frame, reread: &Frame) -> Result<(), TestCaseError> {
+    prop_assert_eq!(reread.n_rows(), original.n_rows());
+    prop_assert_eq!(reread.names(), original.names());
+    for row in 0..original.n_rows() {
+        for name in original.names() {
+            let a = original.get(row, name).unwrap();
+            let b = reread.get(row, name).unwrap();
+            match (&a, &b) {
+                (x, y) if x.is_null() && y.is_null() => {}
+                (x, y) => match (x.as_float(), y.as_float()) {
+                    (Some(p), Some(q)) => prop_assert_eq!(p, q, "{}[{}]", name, row),
+                    _ => prop_assert_eq!(x, y, "{}[{}]", name, row),
+                },
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(irma_check::config())]
+
+    #[test]
+    fn csv_write_read_round_trips(frame in arb_frame()) {
+        let text = write_csv_string(&frame);
+        let reread = read_csv_str(&text).expect("own output must parse");
+        assert_frames_equivalent(&frame, &reread)?;
+    }
+
+    #[test]
+    fn csv_parser_never_panics(text in "[ -~\n\r\"]{0,300}") {
+        let _ = read_csv_str(&text);
+    }
+
+    #[test]
+    fn csv_crlf_and_lf_inputs_parse_identically(text in "[xyz,\"\n]{0,80}") {
+        // Rewriting every LF as CRLF — including inside quoted fields —
+        // must not change the parse: CRLF is the file's line-ending
+        // dialect, not data. (Pre-fix, a quoted CRLF kept a stray '\r'.)
+        let crlf = text.replace('\n', "\r\n");
+        match (parse_records(&text), parse_records(&crlf)) {
+            (Ok(lf_records), Ok(crlf_records)) => {
+                prop_assert_eq!(lf_records, crlf_records);
+            }
+            (Err(_), Err(_)) => {}
+            (lf, crlf) => {
+                return Err(TestCaseError::fail(format!(
+                    "dialects disagree on validity: LF {lf:?} vs CRLF {crlf:?}"
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn csv_final_newline_is_optional(frame in arb_frame()) {
+        let text = write_csv_string(&frame);
+        let trimmed = text.strip_suffix('\n').expect("writer ends with newline");
+        let with = parse_records(&text).expect("writer output parses");
+        let without = parse_records(trimmed).expect("trailing newline optional");
+        prop_assert_eq!(with, without);
+    }
+
+    #[test]
+    fn sacct_write_read_round_trips(frame in arb_sacct_frame()) {
+        let text = write_sacct_string(&frame);
+        let reread = read_sacct_str(&text).expect("own output must parse");
+        assert_frames_equivalent(&frame, &reread)?;
+        // And the round trip is a fixpoint: writing the reread frame
+        // reproduces the text byte for byte.
+        prop_assert_eq!(write_sacct_string(&reread), text);
+    }
+
+    #[test]
+    fn size_gb_round_trips_exactly(gb in 0.000_001f64..1.0e9) {
+        // `G` is the identity unit and Rust float formatting is
+        // shortest-round-trip, so the cycle must be exact, not approximate.
+        let text = format_size_gb(gb).expect("finite non-negative");
+        prop_assert_eq!(parse_size_gb(&text), Some(gb), "{}", text);
+    }
+
+    #[test]
+    fn negative_sizes_are_rejected(gb in 0.000_001f64..1.0e9, unit in "[BKMGT]") {
+        // A size can't be negative: the formatter refuses to produce one
+        // and the parser refuses to accept one in any unit.
+        prop_assert_eq!(format_size_gb(-gb), None);
+        let text = format!("-{gb}{unit}");
+        prop_assert_eq!(parse_size_gb(&text), None, "{}", text);
+    }
+
+    #[test]
+    fn size_suffixes_use_binary_factors(kib in 1u64..4_194_304) {
+        // Slurm sizes are 1024-based: the same byte quantity written in
+        // K, M, or bare bytes must parse to the same GiB value.
+        let from_k = parse_size_gb(&format!("{kib}K")).expect("valid size");
+        prop_assert_eq!(from_k, kib as f64 / (1u64 << 20) as f64);
+        if kib % 1024 == 0 {
+            let from_m = parse_size_gb(&format!("{}M", kib / 1024)).expect("valid size");
+            prop_assert_eq!(from_k, from_m);
+        }
+        let from_b = parse_size_gb(&format!("{}", kib * 1024)).expect("valid size");
+        prop_assert_eq!(from_k, from_b);
+    }
+
+    #[test]
+    fn duration_round_trips_on_whole_seconds(secs in 0u64..100_000_000) {
+        let text = format_sacct_duration(secs as f64);
+        prop_assert_eq!(parse_sacct_duration(&text), Some(secs as f64), "{}", text);
+    }
+
+    #[test]
+    fn sacct_null_cells_stay_null(row_count in 1usize..20) {
+        // Empty fields must read back as nulls, not zeros, through a
+        // write/read cycle.
+        let mut frame = Frame::new();
+        frame
+            .add_column(
+                "JobID",
+                irma_data::Column::from_opt_ints((0..row_count).map(|i| Some(i as i64))),
+            )
+            .unwrap();
+        frame
+            .add_column(
+                "ReqMem",
+                irma_data::Column::from_opt_floats((0..row_count).map(|_| None)),
+            )
+            .unwrap();
+        let reread = read_sacct_str(&write_sacct_string(&frame)).expect("parses");
+        for row in 0..row_count {
+            prop_assert_eq!(reread.get(row, "ReqMem").unwrap(), Value::Null);
+        }
+    }
+}

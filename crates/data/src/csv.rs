@@ -6,7 +6,9 @@
 //!
 //! Supported dialect: comma separator, `"`-quoting with `""` escapes,
 //! embedded newlines inside quoted fields, LF or CRLF record terminators,
-//! and a mandatory header row.
+//! and a mandatory header row. CRLF is treated as the file's line-ending
+//! dialect rather than data, so a quoted `\r\n` normalizes to `\n` exactly
+//! as unquoted terminators do; a lone `\r` inside quotes stays literal.
 
 use std::io::{BufReader, Read, Write};
 use std::path::Path;
@@ -24,6 +26,9 @@ pub fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
     let mut fields: Vec<String> = Vec::new();
     let mut field = String::new();
     let mut in_quotes = false;
+    // True when the current (possibly empty) field came from a quoted
+    // token — "" at EOF is a real empty field, not a missing record.
+    let mut field_quoted = false;
     let mut line = 1usize;
     let mut chars = text.chars().peekable();
     let mut seen_any = false;
@@ -44,6 +49,14 @@ pub fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
                     line += 1;
                     field.push('\n');
                 }
+                // A quoted CRLF is the same record terminator dialect as an
+                // unquoted one, so it normalizes to '\n' too; a lone '\r'
+                // is not a terminator and stays literal.
+                '\r' if chars.peek() == Some(&'\n') => {
+                    chars.next();
+                    line += 1;
+                    field.push('\n');
+                }
                 other => field.push(other),
             }
             continue;
@@ -57,9 +70,11 @@ pub fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
                     });
                 }
                 in_quotes = true;
+                field_quoted = true;
             }
             ',' => {
                 fields.push(std::mem::take(&mut field));
+                field_quoted = false;
             }
             '\r' => {
                 if chars.peek() == Some(&'\n') {
@@ -73,6 +88,7 @@ pub fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
             '\n' => {
                 fields.push(std::mem::take(&mut field));
                 records.push(std::mem::take(&mut fields));
+                field_quoted = false;
                 line += 1;
             }
             other => field.push(other),
@@ -85,7 +101,7 @@ pub fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
         });
     }
     // Final record without trailing newline.
-    if seen_any && (!field.is_empty() || !fields.is_empty()) {
+    if seen_any && (!field.is_empty() || !fields.is_empty() || field_quoted) {
         fields.push(field);
         records.push(fields);
     }
@@ -261,8 +277,69 @@ mod tests {
     }
 
     #[test]
+    fn quoted_crlf_normalizes_to_lf() {
+        // Pre-fix the stray '\r' survived into the field; both terminator
+        // dialects must yield the same parsed data.
+        let crlf = parse_records("a\r\n\"line1\r\nline2\"\r\n").unwrap();
+        let lf = parse_records("a\n\"line1\nline2\"\n").unwrap();
+        assert_eq!(crlf, lf);
+        assert_eq!(crlf[1], vec!["line1\nline2"]);
+    }
+
+    #[test]
+    fn lone_cr_inside_quotes_is_literal() {
+        let recs = parse_records("a\n\"x\ry\"\n").unwrap();
+        assert_eq!(recs[1], vec!["x\ry"]);
+    }
+
+    #[test]
+    fn quoted_crlf_counts_one_line() {
+        // The embedded CRLF advances the line counter once, so a later
+        // error still points at the right source line (here: line 3).
+        let err = parse_records("a\r\n\"x\r\ny\",bad\"quote\n").unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("line 3"), "got: {msg}");
+    }
+
+    #[test]
     fn rejects_unterminated_quote() {
         assert!(parse_records("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_quote_at_eof() {
+        // Quote still open when the input ends — with and without content,
+        // and even when the opening quote is the very last byte.
+        assert!(parse_records("a\n\"oops").is_err());
+        assert!(parse_records("a\n\"").is_err());
+        let err = parse_records("a\nx,\"trailing").unwrap_err();
+        assert!(format!("{err}").contains("unterminated"));
+    }
+
+    #[test]
+    fn final_record_without_newline_variants() {
+        // Unquoted, quoted, and trailing-empty-field finals all complete.
+        assert_eq!(
+            parse_records("a,b\n1,2").unwrap(),
+            vec![vec!["a", "b"], vec!["1", "2"]]
+        );
+        assert_eq!(
+            parse_records("a\n\"done\"").unwrap(),
+            vec![vec!["a"], vec!["done"]]
+        );
+        // A record ending in a comma has a final empty field; the quoted
+        // empty field "" at EOF likewise yields one empty final field.
+        assert_eq!(
+            parse_records("a,b\n1,").unwrap(),
+            vec![vec!["a", "b"], vec!["1", ""]]
+        );
+        assert_eq!(
+            parse_records("a,b\n1,\"\"").unwrap(),
+            vec![vec!["a", "b"], vec!["1", ""]]
+        );
+        // A record whose only field is the quoted empty string was dropped
+        // pre-fix (indistinguishable from "no final record").
+        assert_eq!(parse_records("a\n\"\"").unwrap(), vec![vec!["a"], vec![""]]);
     }
 
     #[test]

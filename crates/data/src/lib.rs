@@ -43,6 +43,7 @@ pub use join::{inner_join, left_join};
 pub use reduce::{group_stats, reduce_by_key, GroupStats, Reduction};
 pub use schema::{Field, Schema};
 pub use slurm::{
-    format_sacct_duration, parse_sacct_duration, parse_size_gb, read_sacct_str, write_sacct_string,
+    format_sacct_duration, format_size_gb, parse_sacct_duration, parse_size_gb, read_sacct_str,
+    write_sacct_string,
 };
 pub use value::Value;

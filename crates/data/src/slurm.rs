@@ -51,6 +51,10 @@ pub fn format_sacct_duration(seconds: f64) -> String {
 
 /// Parses a Slurm size string (`32G`, `512M`, `1.5T`, `1024K`, plain
 /// bytes) into gigabytes.
+///
+/// Slurm unit suffixes are binary — `32G` means 32 GiB, `512M` means
+/// 0.5 GiB — so conversion uses 1024-based factors, not decimal ones.
+/// Negative and non-finite sizes are rejected (a size can't be `-5G`).
 pub fn parse_size_gb(text: &str) -> Option<f64> {
     let text = text.trim();
     if text.is_empty() {
@@ -61,15 +65,31 @@ pub fn parse_size_gb(text: &str) -> Option<f64> {
         _ => (text, 'B'),
     };
     let value: f64 = number.parse().ok()?;
+    if !value.is_finite() || value < 0.0 {
+        return None;
+    }
     let gb = match unit {
-        'B' => value / 1e9,
-        'K' => value / 1e6,
-        'M' => value / 1e3,
+        'B' => value / (1u64 << 30) as f64,
+        'K' => value / (1u64 << 20) as f64,
+        'M' => value / 1024.0,
         'G' => value,
-        'T' => value * 1e3,
+        'T' => value * 1024.0,
         _ => return None,
     };
     Some(gb)
+}
+
+/// Formats gigabytes (GiB) as a Slurm size string with the `G` suffix.
+///
+/// Inverse of [`parse_size_gb`] for finite, non-negative inputs (`G` is
+/// the identity unit, and Rust's shortest-round-trip float formatting
+/// guarantees `parse(format(x)) == x`); `None` for negative or
+/// non-finite values, which have no sacct representation.
+pub fn format_size_gb(gb: f64) -> Option<String> {
+    if !gb.is_finite() || gb < 0.0 {
+        return None;
+    }
+    Some(format!("{gb}G"))
 }
 
 /// Column-name suffix conventions used when typing sacct fields.
@@ -164,31 +184,52 @@ pub fn read_sacct_str(text: &str) -> Result<Frame> {
     Ok(frame)
 }
 
+/// How a column is rendered by [`write_sacct_string`], mirroring the
+/// suffix conventions [`read_sacct_str`] applies on the way in.
+#[derive(Clone, Copy)]
+enum FieldStyle {
+    Plain,
+    Duration,
+    Size,
+}
+
 /// Writes a frame as `sacct --parsable2`-style text. Columns whose name
-/// contains `Elapsed`/`Time` are formatted as durations.
+/// contains `Elapsed`/`Time` are formatted as durations; `*Mem*` columns
+/// are formatted as sizes with the `G` suffix (without it, a re-read
+/// would misinterpret the bare number as bytes).
 pub fn write_sacct_string(frame: &Frame) -> String {
     let mut out = String::new();
     out.push_str(&frame.names().join("|"));
     out.push('\n');
-    let duration_col: Vec<bool> = frame
+    let styles: Vec<FieldStyle> = frame
         .names()
         .iter()
         .map(|n| {
             let lower = n.to_ascii_lowercase();
-            lower.contains("elapsed") || lower.contains("time")
+            if lower.contains("elapsed") || lower.contains("time") {
+                FieldStyle::Duration
+            } else if lower.contains("mem") {
+                FieldStyle::Size
+            } else {
+                FieldStyle::Plain
+            }
         })
         .collect();
     for row in 0..frame.n_rows() {
         let mut fields: Vec<String> = Vec::with_capacity(frame.n_cols());
-        for (col, is_duration) in frame.columns().iter().zip(&duration_col) {
+        for (col, style) in frame.columns().iter().zip(&styles) {
             let value = col.get(row);
-            let text = match (&value, is_duration) {
+            let text = match (&value, style) {
                 (Value::Null, _) => String::new(),
-                (v, true) => match v.as_float() {
+                (v, FieldStyle::Duration) => match v.as_float() {
                     Some(secs) => format_sacct_duration(secs),
                     None => v.to_string(),
                 },
-                (v, false) => v.to_string(),
+                (v, FieldStyle::Size) => match v.as_float().and_then(format_size_gb) {
+                    Some(size) => size,
+                    None => v.to_string(),
+                },
+                (v, FieldStyle::Plain) => v.to_string(),
             };
             fields.push(text);
         }
@@ -225,14 +266,39 @@ mod tests {
     }
 
     #[test]
-    fn size_parsing() {
+    fn size_parsing_uses_binary_factors() {
+        // Regression: sacct sizes are 1024-based. The pre-fix parser used
+        // decimal factors, so 512M came back as 0.512 instead of 0.5.
         assert_eq!(parse_size_gb("32G"), Some(32.0));
-        assert_eq!(parse_size_gb("512M"), Some(0.512));
-        assert_eq!(parse_size_gb("1.5T"), Some(1500.0));
-        assert_eq!(parse_size_gb("1000000K"), Some(1.0));
-        assert_eq!(parse_size_gb("2000000000"), Some(2.0));
+        assert_eq!(parse_size_gb("512M"), Some(0.5));
+        assert_eq!(parse_size_gb("1.5T"), Some(1536.0));
+        assert_eq!(parse_size_gb("1048576K"), Some(1.0));
+        assert_eq!(parse_size_gb("1073741824"), Some(1.0));
+        assert_eq!(parse_size_gb("2g"), Some(2.0));
         assert_eq!(parse_size_gb(""), None);
         assert_eq!(parse_size_gb("12X"), None);
+    }
+
+    #[test]
+    fn size_parsing_rejects_negative_and_non_finite() {
+        // Regression: `-5G` was silently accepted as a negative size.
+        assert_eq!(parse_size_gb("-5G"), None);
+        assert_eq!(parse_size_gb("-0.1M"), None);
+        assert_eq!(parse_size_gb("-1024"), None);
+        assert_eq!(parse_size_gb("inf"), None);
+        assert_eq!(parse_size_gb("nan"), None);
+    }
+
+    #[test]
+    fn size_format_round_trips() {
+        for gb in [0.0, 0.5, 1.0, 32.0, 0.123456789, 1536.0] {
+            let text = format_size_gb(gb).unwrap();
+            assert_eq!(parse_size_gb(&text), Some(gb), "{text}");
+        }
+        assert_eq!(format_size_gb(32.0).as_deref(), Some("32G"));
+        assert_eq!(format_size_gb(-1.0), None);
+        assert_eq!(format_size_gb(f64::NAN), None);
+        assert_eq!(format_size_gb(f64::INFINITY), None);
     }
 
     #[test]
@@ -248,6 +314,7 @@ mod tests {
         assert_eq!(frame.get(0, "Elapsed").unwrap().as_float(), Some(3600.0));
         assert_eq!(frame.get(1, "Elapsed").unwrap().as_float(), Some(86_400.0));
         assert_eq!(frame.get(0, "ReqMem").unwrap().as_float(), Some(32.0));
+        assert_eq!(frame.get(1, "ReqMem").unwrap().as_float(), Some(0.5));
         assert_eq!(frame.get(2, "ReqMem").unwrap(), Value::Null);
         assert_eq!(frame.get(1, "State").unwrap().as_str(), Some("FAILED"));
         assert_eq!(frame.get(2, "AllocCPUS").unwrap().as_int(), Some(2));
@@ -262,14 +329,18 @@ mod tests {
     #[test]
     fn write_then_read_round_trips() {
         let text = concat!(
-            "JobID|User|Elapsed\n",
-            "1|alice|02:00:00\n",
-            "2|bob|3-01:02:03\n",
+            "JobID|User|Elapsed|ReqMem\n",
+            "1|alice|02:00:00|32G\n",
+            "2|bob|3-01:02:03|512M\n",
         );
         let frame = read_sacct_str(text).unwrap();
         let written = write_sacct_string(&frame);
         let again = read_sacct_str(&written).unwrap();
         assert_eq!(frame, again);
         assert!(written.contains("3-01:02:03"));
+        // Mem columns must carry a unit suffix on the way out, or a
+        // re-read would treat the bare number as bytes.
+        assert!(written.contains("32G"), "{written}");
+        assert!(written.contains("0.5G"), "{written}");
     }
 }

@@ -39,9 +39,19 @@ impl MinerConfig {
 
     /// The absolute support count implied by `min_support` over `n_txns`
     /// transactions. At least 1 so that "frequent" always means "observed".
+    ///
+    /// The ceiling is epsilon-robust: `min_support` values written as
+    /// decimal fractions are not exactly representable in binary, so the
+    /// naive product can land a few ulps *above* the intended threshold
+    /// (`0.07 * 100 == 7.000000000000001`) and a plain `ceil` would then
+    /// silently exclude items sitting exactly at the threshold. An
+    /// 8-ulp-scaled margin absorbs the representation and multiplication
+    /// rounding (at most ~3 ulps) while staying far below the 1-count
+    /// granularity that separates genuinely distinct thresholds.
     pub fn min_count(&self, n_txns: usize) -> u64 {
-        let raw = (self.min_support * n_txns as f64).ceil() as u64;
-        raw.max(1)
+        let raw = self.min_support * n_txns as f64;
+        let margin = 8.0 * f64::EPSILON * raw;
+        ((raw - margin).ceil() as u64).max(1)
     }
 
     /// Validates parameter ranges.
@@ -192,6 +202,35 @@ mod tests {
         assert_eq!(c.min_count(101), 6);
         assert_eq!(c.min_count(3), 1);
         assert_eq!(c.min_count(0), 1);
+    }
+
+    #[test]
+    fn min_count_exact_at_threshold() {
+        // Regression: 0.07 * 100 evaluates to 7.000000000000001, and the
+        // pre-fix plain ceil returned 8, silently excluding items sitting
+        // exactly at the support threshold.
+        assert_eq!(MinerConfig::with_min_support(0.07).min_count(100), 7);
+        assert_eq!(MinerConfig::with_min_support(0.29).min_count(100), 29);
+        assert_eq!(MinerConfig::with_min_support(0.58).min_count(400), 232);
+    }
+
+    #[test]
+    fn min_count_matches_exact_integer_arithmetic_on_grid() {
+        // Sweep every percentage threshold against every database size up
+        // to 2000 and compare with exact integer arithmetic:
+        // ceil(s * n / 100) == (s * n + 99) / 100. The pre-fix float path
+        // disagreed on 290 of these pairs.
+        let mut checked = 0u64;
+        for s in 1..=100u64 {
+            let config = MinerConfig::with_min_support(s as f64 / 100.0);
+            for n in 0..=2000u64 {
+                let expected = ((s * n).div_ceil(100)).max(1);
+                let got = config.min_count(n as usize);
+                assert_eq!(got, expected, "support {s}% over {n} txns");
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, 100 * 2001);
     }
 
     #[test]

@@ -34,20 +34,22 @@ pub struct BinEdges {
 }
 
 impl BinEdges {
-    /// Fits edges over `values` (NaNs must be filtered by the caller).
+    /// Fits edges over `values`, ignoring non-finite entries (NaN, ±inf):
+    /// trace columns routinely carry sentinel NaNs for never-scheduled
+    /// jobs, and a single one reaching the sort would poison every edge
+    /// in a release build.
     ///
-    /// Returns `None` when there are no values to fit. With heavily tied
+    /// Returns `None` when no finite values remain. With heavily tied
     /// data, equal-frequency edges may coincide; values equal to a run of
     /// duplicate edges land below the whole run (right-closed intervals),
     /// so the tied mass fills the lowest bin and the skipped bins are
     /// simply empty.
     pub fn fit(values: &[f64], n_bins: usize, scheme: BinningScheme) -> Option<BinEdges> {
         assert!(n_bins >= 1, "need at least one bin");
-        if values.is_empty() {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
             return None;
         }
-        debug_assert!(values.iter().all(|v| v.is_finite()));
-        let mut sorted: Vec<f64> = values.to_vec();
         sorted.sort_unstable_by(f64::total_cmp);
         let edges = match scheme {
             BinningScheme::EqualFrequency => (1..n_bins)
@@ -91,18 +93,27 @@ impl BinEdges {
     }
 }
 
-/// Linear-interpolated quantile of a sorted slice.
+/// Linear-interpolated quantile of a slice sorted by [`f64::total_cmp`].
+///
+/// Non-finite entries are ignored: total order puts `-NaN`/`-inf` before
+/// and `+inf`/`+NaN` after every finite value, so the finite region is a
+/// contiguous sub-slice and the quantile is taken over it alone. Panics
+/// when no finite value remains (the all-sentinel column is a caller
+/// decision — [`BinEdges::fit`] maps it to `None`).
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty());
     assert!((0.0..=1.0).contains(&q));
-    if sorted.len() == 1 {
-        return sorted[0];
+    let start = sorted.partition_point(|v| !v.is_finite() && v.is_sign_negative());
+    let end = sorted.partition_point(|v| v.is_finite() || v.is_sign_negative());
+    let finite = &sorted[start..end];
+    assert!(!finite.is_empty(), "no finite values to take a quantile of");
+    if finite.len() == 1 {
+        return finite[0];
     }
-    let pos = q * (sorted.len() - 1) as f64;
+    let pos = q * (finite.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
-    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    finite[lo] * (1.0 - frac) + finite[hi] * frac
 }
 
 /// Detects a "standard value" spike: the modal value if it covers at least
@@ -196,6 +207,49 @@ mod tests {
     #[test]
     fn fit_empty_returns_none() {
         assert!(BinEdges::fit(&[], 4, BinningScheme::EqualFrequency).is_none());
+    }
+
+    #[test]
+    fn fit_ignores_non_finite_values() {
+        // A NaN sentinel or an overflow inf in a trace column must not
+        // shift any edge: fitting with them interleaved gives the same
+        // edges as fitting the pre-filtered data.
+        let clean: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut dirty = clean.clone();
+        dirty.insert(0, f64::NAN);
+        dirty.insert(40, f64::INFINITY);
+        dirty.push(f64::NEG_INFINITY);
+        dirty.push(-f64::NAN);
+        for scheme in [BinningScheme::EqualFrequency, BinningScheme::EqualWidth] {
+            let expect = BinEdges::fit(&clean, 4, scheme).unwrap();
+            let got = BinEdges::fit(&dirty, 4, scheme).unwrap();
+            assert_eq!(got, expect, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn fit_all_non_finite_returns_none() {
+        let values = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+        assert!(BinEdges::fit(&values, 4, BinningScheme::EqualFrequency).is_none());
+        assert!(BinEdges::fit(&values, 4, BinningScheme::EqualWidth).is_none());
+    }
+
+    #[test]
+    fn quantile_skips_non_finite_ends() {
+        let mut sorted = vec![
+            -f64::NAN,
+            f64::NEG_INFINITY,
+            0.0,
+            10.0,
+            20.0,
+            30.0,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        sorted.sort_unstable_by(f64::total_cmp);
+        assert_eq!(quantile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&sorted, 0.5), 15.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 30.0);
     }
 
     #[test]

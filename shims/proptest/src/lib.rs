@@ -3,8 +3,24 @@
 //! Implements deterministic random property testing: the [`proptest!`]
 //! macro runs each property over `ProptestConfig::cases` generated
 //! inputs, seeded per (test name, case index) so failures reproduce
-//! exactly across runs. Shrinking is **not** implemented — on failure the
-//! offending generated inputs are printed verbatim instead.
+//! exactly across runs.
+//!
+//! **Shrinking** works at the choice-sequence level (the Hypothesis
+//! approach): every `u64` the generator draws from [`TestRng`] is
+//! recorded, and when a case fails the driver greedily minimizes that
+//! sequence — deleting chunks, zeroing draws, and decreasing individual
+//! values — re-running the property against a *replayed* stream after
+//! each mutation and keeping any candidate that still fails. Because
+//! shrinking happens below the [`Strategy`] layer it composes through
+//! `prop_map` / `prop_flat_map` / `prop_filter` for free: smaller draws
+//! mean shorter vectors, smaller integers, and floats closer to the
+//! range start.
+//!
+//! **Corpus persistence**: with [`ProptestConfig::with_corpus`], each
+//! minimized failing sequence is written to
+//! `<corpus_dir>/<test_name>/<hash>.seed` and every later run replays
+//! all stored sequences for the test *before* generating fresh cases,
+//! so once-found bugs are locked in as deterministic regressions.
 //!
 //! Supported strategy surface:
 //!
@@ -19,6 +35,8 @@
 //!   [`prop_assert!`], [`prop_assert_eq!`].
 
 use std::ops::{Range, RangeInclusive};
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
 
 pub mod collection;
 pub mod option;
@@ -27,20 +45,43 @@ pub mod string;
 /// Per-property configuration.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
-    /// Number of generated cases per property.
+    /// Number of generated cases per property. The `PROPTEST_CASES`
+    /// environment variable overrides the default of 256.
     pub cases: u32,
+    /// Directory persisting minimized failures as replayable seeds
+    /// (`<dir>/<test_name>/<hash>.seed`). `None` disables persistence.
+    pub corpus_dir: Option<PathBuf>,
+    /// Budget of candidate executions during shrinking.
+    pub max_shrink_iters: u32,
 }
 
 impl Default for ProptestConfig {
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: 256 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig {
+            cases,
+            corpus_dir: None,
+            max_shrink_iters: 4096,
+        }
     }
 }
 
 impl ProptestConfig {
     /// Config running `cases` generated inputs.
     pub fn with_cases(cases: u32) -> ProptestConfig {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+
+    /// Enables corpus persistence + replay under `dir`.
+    pub fn with_corpus(mut self, dir: impl Into<PathBuf>) -> ProptestConfig {
+        self.corpus_dir = Some(dir.into());
+        self
     }
 }
 
@@ -66,10 +107,20 @@ impl std::fmt::Display for TestCaseError {
     }
 }
 
-/// Deterministic generator state (SplitMix64).
+/// Deterministic generator state (SplitMix64) with a recorded choice log.
+///
+/// Every raw draw is appended to an internal log; a failing case's log is
+/// the *choice sequence* the shrinker minimizes. A rng can also be built
+/// in replay mode from a stored sequence: draws come from the sequence
+/// (padded with zeros once exhausted) instead of the PRNG, so generation
+/// is a pure function of the sequence and mutations of it explore
+/// "nearby, simpler" inputs.
 #[derive(Debug, Clone)]
 pub struct TestRng {
     state: u64,
+    replay: Option<Vec<u64>>,
+    pos: usize,
+    log: Vec<u64>,
 }
 
 impl TestRng {
@@ -77,16 +128,42 @@ impl TestRng {
     pub fn new(seed: u64) -> TestRng {
         TestRng {
             state: seed ^ 0x9e3779b97f4a7c15,
+            replay: None,
+            pos: 0,
+            log: Vec::new(),
         }
+    }
+
+    /// A rng replaying `sequence`; draws past its end yield 0.
+    pub fn replay(sequence: Vec<u64>) -> TestRng {
+        TestRng {
+            state: 0,
+            replay: Some(sequence),
+            pos: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// The draws made so far (the case's choice sequence).
+    pub fn choices(&self) -> &[u64] {
+        &self.log
     }
 
     /// Next raw 64-bit word.
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        z ^ (z >> 31)
+        let value = match &self.replay {
+            Some(seq) => seq.get(self.pos).copied().unwrap_or(0),
+            None => {
+                self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = self.state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            }
+        };
+        self.pos += 1;
+        self.log.push(value);
+        value
     }
 
     /// Uniform in `[0, bound)`; `bound` must be positive.
@@ -203,12 +280,20 @@ where
                 return value;
             }
         }
-        panic!(
+        // Typed payload so the driver can tell "generator starved" (an
+        // invalid shrink candidate / misconfigured strategy) apart from a
+        // genuine property failure.
+        std::panic::panic_any(FilterExhausted(format!(
             "prop_filter `{}` rejected 1000 consecutive values",
             self.reason
-        );
+        )));
     }
 }
+
+/// Panic payload raised when a [`Strategy::prop_filter`] starves.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct FilterExhausted(pub String);
 
 // ---- ranges ----
 
@@ -360,7 +445,248 @@ pub mod prelude {
     }
 }
 
+/// How one execution of a property against one choice sequence ended.
+#[derive(Debug)]
+enum Outcome {
+    /// The property held.
+    Pass,
+    /// The property failed (assertion or panic in the body).
+    Fail(String),
+    /// Generation could not produce a value (filter starvation).
+    Invalid(String),
+}
+
+/// Runs the property once, classifying panics. Output from the panic hook
+/// is suppressed for the duration (the driver re-reports failures itself,
+/// and shrinking would otherwise spam one backtrace per candidate).
+fn run_one(
+    case: &mut impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    rng: &mut TestRng,
+) -> Outcome {
+    install_quiet_hook();
+    QUIET_PANICS.with(|q| q.set(true));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| case(rng)));
+    QUIET_PANICS.with(|q| q.set(false));
+    match result {
+        Ok(Ok(())) => Outcome::Pass,
+        Ok(Err(err)) => Outcome::Fail(err.message),
+        Err(payload) => {
+            if let Some(starved) = payload.downcast_ref::<FilterExhausted>() {
+                Outcome::Invalid(starved.0.clone())
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                Outcome::Fail(format!("panic: {s}"))
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                Outcome::Fail(format!("panic: {s}"))
+            } else {
+                Outcome::Fail("panic: <non-string payload>".to_string())
+            }
+        }
+    }
+}
+
+thread_local! {
+    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Chains a panic hook that stays silent while this thread is inside a
+/// driver-supervised property execution. Installed once per process.
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Greedily minimizes a failing choice sequence: per pass, try deleting
+/// chunks (large to small), zeroing draws, then shrinking individual
+/// values toward zero; adopt any candidate that still fails and repeat
+/// until a full pass makes no progress (or the budget runs out).
+fn shrink_sequence(
+    mut best: Vec<u64>,
+    mut best_message: String,
+    case: &mut impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    budget: u32,
+) -> (Vec<u64>, String) {
+    fn attempt(
+        candidate: Vec<u64>,
+        case: &mut impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    ) -> Option<(Vec<u64>, String)> {
+        let mut rng = TestRng::replay(candidate.clone());
+        match run_one(case, &mut rng) {
+            Outcome::Fail(message) => Some((candidate, message)),
+            _ => None,
+        }
+    }
+    let mut spent = 0u32;
+    'outer: loop {
+        // Pass 1: delete chunks, biggest first (shortens the sequence).
+        let mut chunk = (best.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start < best.len() {
+                if spent >= budget {
+                    break 'outer;
+                }
+                let mut candidate = best.clone();
+                candidate.drain(start..(start + chunk).min(candidate.len()));
+                spent += 1;
+                if let Some((seq, message)) = attempt(candidate, case) {
+                    best = seq;
+                    best_message = message;
+                    continue 'outer;
+                }
+                start += chunk;
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        // Pass 2: zero out draws (simplest value for every strategy).
+        for i in 0..best.len() {
+            if spent >= budget {
+                break 'outer;
+            }
+            if best[i] == 0 {
+                continue;
+            }
+            let mut candidate = best.clone();
+            candidate[i] = 0;
+            spent += 1;
+            if let Some((seq, message)) = attempt(candidate, case) {
+                best = seq;
+                best_message = message;
+                continue 'outer;
+            }
+        }
+        // Pass 3: binary-search each draw down to its smallest failing
+        // value (raw draws map monotonically to range positions, so this
+        // converges on threshold boundaries instead of crawling by ulps).
+        let mut lowered_any = false;
+        for i in 0..best.len() {
+            if best[i] == 0 {
+                continue;
+            }
+            let mut lo = 0u64;
+            while lo < best[i] {
+                if spent >= budget {
+                    break 'outer;
+                }
+                let mid = lo + (best[i] - lo) / 2;
+                let mut candidate = best.clone();
+                candidate[i] = mid;
+                spent += 1;
+                match attempt(candidate, case) {
+                    Some((seq, message)) => {
+                        best = seq;
+                        best_message = message;
+                        lowered_any = true;
+                    }
+                    None => lo = mid + 1,
+                }
+            }
+        }
+        if !lowered_any {
+            break;
+        }
+    }
+    // Replay pads with zeros, so trailing zeros carry no information.
+    while best.last() == Some(&0) {
+        best.pop();
+    }
+    (best, best_message)
+}
+
+/// FNV-1a over the sequence bytes — stable corpus file names.
+fn sequence_hash(seq: &[u64]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &word in seq {
+        for byte in word.to_le_bytes() {
+            hash = (hash ^ byte as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+    hash
+}
+
+/// Writes a minimized sequence as `<dir>/<test_name>/<hash>.seed`.
+fn persist_seed(dir: &Path, test_name: &str, seq: &[u64]) -> std::io::Result<PathBuf> {
+    let test_dir = dir.join(test_name);
+    std::fs::create_dir_all(&test_dir)?;
+    let path = test_dir.join(format!("{:016x}.seed", sequence_hash(seq)));
+    let mut contents = format!(
+        "# minimized failing choice sequence for `{test_name}` ({} draws)\n",
+        seq.len()
+    );
+    for word in seq {
+        contents.push_str(&word.to_string());
+        contents.push('\n');
+    }
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// Parses a `.seed` file (one decimal u64 per line, `#` comments).
+fn parse_seed_file(path: &Path) -> std::io::Result<Vec<u64>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut seq = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        seq.push(line.parse::<u64>().map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}:{}: bad draw: {e}", path.display(), i + 1),
+            )
+        })?);
+    }
+    Ok(seq)
+}
+
+/// Replays every stored corpus sequence for `test_name`; panics on the
+/// first one whose failure reproduces.
+fn replay_corpus(
+    dir: &Path,
+    test_name: &str,
+    case: &mut impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let test_dir = dir.join(test_name);
+    let Ok(entries) = std::fs::read_dir(&test_dir) else {
+        return; // no corpus for this test yet
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "seed"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let seq = parse_seed_file(&path)
+            .unwrap_or_else(|e| panic!("unreadable corpus seed {}: {e}", path.display()));
+        let mut rng = TestRng::replay(seq);
+        if let Outcome::Fail(message) = run_one(case, &mut rng) {
+            panic!(
+                "corpus regression: `{}` fails on stored seed {}: {}",
+                test_name,
+                path.display(),
+                message
+            );
+        }
+    }
+}
+
 /// Test-loop driver used by the [`proptest!`] expansion. Not public API.
+///
+/// Order of operations: (1) replay the persisted corpus for this test, so
+/// previously-minimized failures act as regressions; (2) run fresh
+/// generated cases; (3) on the first failure, shrink its choice sequence,
+/// persist the minimized seed (when a corpus dir is configured), and
+/// panic with both the original and minimized failure messages.
 pub fn run_cases(
     config: &ProptestConfig,
     test_name: &str,
@@ -376,18 +702,43 @@ pub fn run_cases(
             seed ^= parsed;
         }
     }
+    if let Some(dir) = &config.corpus_dir {
+        replay_corpus(dir, test_name, &mut case);
+    }
     for case_index in 0..config.cases {
         let mut rng = TestRng::new(
             seed.wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(case_index as u64 + 1)),
         );
-        if let Err(err) = case(&mut rng) {
-            panic!(
-                "proptest case {}/{} failed for `{}`: {}",
-                case_index + 1,
-                config.cases,
-                test_name,
-                err.message
-            );
+        match run_one(&mut case, &mut rng) {
+            Outcome::Pass => {}
+            Outcome::Invalid(message) => panic!("proptest `{test_name}`: {message}"),
+            Outcome::Fail(message) => {
+                let sequence = rng.choices().to_vec();
+                let (min_seq, min_message) = shrink_sequence(
+                    sequence,
+                    message.clone(),
+                    &mut case,
+                    config.max_shrink_iters,
+                );
+                let persisted = match &config.corpus_dir {
+                    Some(dir) => match persist_seed(dir, test_name, &min_seq) {
+                        Ok(path) => format!("; seed persisted to {}", path.display()),
+                        Err(e) => format!("; seed persistence failed: {e}"),
+                    },
+                    None => String::new(),
+                };
+                panic!(
+                    "proptest case {}/{} failed for `{}`: {}\n\
+                     minimized to {} draws: {}{}",
+                    case_index + 1,
+                    config.cases,
+                    test_name,
+                    message,
+                    min_seq.len(),
+                    min_message,
+                    persisted
+                );
+            }
         }
     }
 }
