@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use irma_check::generators::{arb_frame, arb_sacct_frame};
 use irma_data::{
     format_sacct_duration, format_size_gb, parse_records, parse_sacct_duration, parse_size_gb,
-    read_csv_str, read_sacct_str, write_csv_string, write_sacct_string, Frame, Value,
+    read_csv_str, read_sacct_str, write_csv_string, write_sacct_string, DataError, Frame, Value,
 };
 
 /// Cell-wise frame comparison tolerant of the re-typing a text round trip
@@ -59,6 +59,44 @@ proptest! {
             (lf, crlf) => {
                 return Err(TestCaseError::fail(format!(
                     "dialects disagree on validity: LF {lf:?} vs CRLF {crlf:?}"
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn csv_error_line_counts_embedded_newlines(
+        records in prop::collection::vec(
+            prop::collection::vec("[ab\n,\"]{0,6}", 1..4),
+            0..8,
+        )
+    ) {
+        // Well-formed records whose quoted fields may span lines, followed
+        // by a malformed line (a quote inside an unquoted field). The
+        // reported 1-based line must count every physical line the prior
+        // records consumed — one per record terminator plus one per
+        // newline embedded in a quoted field — not the record index.
+        let mut text = String::new();
+        let mut expected_line = 1usize;
+        for record in &records {
+            let quoted: Vec<String> = record
+                .iter()
+                .map(|f| format!("\"{}\"", f.replace('"', "\"\"")))
+                .collect();
+            text.push_str(&quoted.join(","));
+            text.push('\n');
+            expected_line +=
+                1 + record.iter().map(|f| f.matches('\n').count()).sum::<usize>();
+        }
+        text.push_str("x\"oops");
+        match parse_records(&text) {
+            Err(DataError::Csv { line, message }) => {
+                prop_assert_eq!(line, expected_line);
+                prop_assert!(message.contains("quote"));
+            }
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "expected a Csv error, got {other:?}"
                 )));
             }
         }

@@ -5,6 +5,33 @@
 
 use std::collections::HashMap;
 
+/// Output format for the `--metrics` snapshot file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// Hand-rolled JSON object (the default; schema in DESIGN.md §4).
+    #[default]
+    Json,
+    /// OpenMetrics text exposition (`# TYPE` lines, `# EOF` terminator).
+    OpenMetrics,
+    /// The human-readable stage table.
+    Table,
+}
+
+impl std::str::FromStr for MetricsFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<MetricsFormat, String> {
+        match s {
+            "json" => Ok(MetricsFormat::Json),
+            "openmetrics" => Ok(MetricsFormat::OpenMetrics),
+            "table" => Ok(MetricsFormat::Table),
+            other => Err(format!(
+                "unknown metrics format `{other}` (expected json|openmetrics|table)"
+            )),
+        }
+    }
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -36,10 +63,40 @@ pub enum Command {
         dir: Option<String>,
         /// Also print natural-language insights.
         insights: bool,
-        /// Optional path for a JSON metrics snapshot of the run.
+        /// Optional path for a metrics snapshot of the run.
         metrics: Option<String>,
+        /// Format of the `--metrics` snapshot file.
+        metrics_format: MetricsFormat,
         /// Also print the per-stage timing/cardinality table.
         verbose_stages: bool,
+        /// Optional path for a live JSONL trace of span/counter events.
+        trace_log: Option<String>,
+    },
+    /// `irma explain <trace> --rule "A, B => C" [--keyword K] [--jobs N]
+    ///  [--seed S] [--dir DIR] [--provenance FILE] [--c-lift X]
+    ///  [--c-supp Y]` — replay the generation/pruning decision path for
+    /// one rule.
+    Explain {
+        /// Trace profile name.
+        trace: String,
+        /// The rule to explain: comma-separated antecedent labels, `=>`,
+        /// comma-separated consequent labels.
+        rule: String,
+        /// Analysis keyword (defaults to the rule's first consequent
+        /// label).
+        keyword: Option<String>,
+        /// Jobs to generate when `--dir` is absent.
+        jobs: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Optional directory holding `<trace>_scheduler.csv` etc.
+        dir: Option<String>,
+        /// Optional path for the full provenance JSONL dump.
+        provenance: Option<String>,
+        /// Override for the `C_lift` pruning margin.
+        c_lift: Option<f64>,
+        /// Override for the `C_supp` pruning margin.
+        c_supp: Option<f64>,
     },
     /// `irma experiments [--pai N] [--supercloud N] [--philly N] [--seed S]
     ///  [--export DIR]`
@@ -166,7 +223,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "dir",
                     "insights",
                     "metrics",
+                    "metrics-format",
                     "verbose-stages",
+                    "trace-log",
                 ],
             )?;
             Ok(Command::Analyze {
@@ -181,7 +240,57 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 dir: flags.get("dir").cloned(),
                 insights: get_parse(&flags, "insights", false)?,
                 metrics: flags.get("metrics").cloned(),
+                metrics_format: get_parse(&flags, "metrics-format", MetricsFormat::Json)?,
                 verbose_stages: get_parse(&flags, "verbose-stages", false)?,
+                trace_log: flags.get("trace-log").cloned(),
+            })
+        }
+        "explain" => {
+            let (positional, flags) = split_flags(rest)?;
+            known_flags(
+                &flags,
+                &[
+                    "rule",
+                    "keyword",
+                    "jobs",
+                    "seed",
+                    "dir",
+                    "provenance",
+                    "c-lift",
+                    "c-supp",
+                ],
+            )?;
+            let rule = flags
+                .get("rule")
+                .cloned()
+                .ok_or_else(|| ParseError("explain needs --rule \"A, B => C\"".to_string()))?;
+            if !rule.contains("=>") {
+                return Err(ParseError(format!(
+                    "--rule must contain `=>` separating antecedent and consequent (got `{rule}`)"
+                )));
+            }
+            Ok(Command::Explain {
+                trace: trace_arg(&positional)?,
+                rule,
+                keyword: flags.get("keyword").cloned(),
+                jobs: get_parse(&flags, "jobs", 20_000)?,
+                seed: get_parse(&flags, "seed", 0xdcc0)?,
+                dir: flags.get("dir").cloned(),
+                provenance: flags.get("provenance").cloned(),
+                c_lift: flags
+                    .get("c-lift")
+                    .map(|raw| {
+                        raw.parse()
+                            .map_err(|_| ParseError(format!("invalid value for --c-lift: `{raw}`")))
+                    })
+                    .transpose()?,
+                c_supp: flags
+                    .get("c-supp")
+                    .map(|raw| {
+                        raw.parse()
+                            .map_err(|_| ParseError(format!("invalid value for --c-supp: `{raw}`")))
+                    })
+                    .transpose()?,
             })
         }
         "experiments" => {
@@ -225,12 +334,24 @@ USAGE:
       Generate a synthetic trace and write its scheduler/monitoring CSVs.
   irma analyze <trace> [--keyword K] [--jobs N] [--seed S] [--top N]
                [--dir DIR] [--insights true] [--metrics FILE]
-               [--verbose-stages true]
+               [--metrics-format json|openmetrics|table]
+               [--verbose-stages true] [--trace-log FILE]
       Run the full workflow and print the keyword's cause/characteristic
       rules. With --dir, read CSVs previously written by `generate`.
-      --metrics writes a JSON snapshot of per-stage timers, cardinalities,
-      and per-condition prune counts; --verbose-stages prints the same
-      trace as a table on stderr.
+      --metrics writes a snapshot of per-stage timers, cardinalities, and
+      per-condition prune counts (JSON by default; --metrics-format
+      switches to OpenMetrics exposition or the stage table);
+      --verbose-stages prints the stage table on stderr; --trace-log
+      streams span_open/span_close/counter events as JSONL while the run
+      executes (tail -f friendly).
+  irma explain <trace> --rule \"A, B => C\" [--keyword K] [--jobs N]
+               [--seed S] [--dir DIR] [--provenance FILE]
+               [--c-lift X] [--c-supp Y]
+      Replay the decision path for one rule: its support/confidence/lift
+      inputs, the generation threshold or pruning condition that killed
+      it (winner/loser edges, including marking chains), or why it
+      survived. --keyword defaults to the rule's first consequent label;
+      --provenance dumps every rule's record as JSONL.
   irma experiments [--pai N] [--supercloud N] [--philly N] [--seed S]
                    [--export DIR]
       Regenerate every paper table and figure (optionally exporting the
@@ -330,6 +451,66 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_trace_log_and_metrics_format() {
+        let cmd = parse(&argv(
+            "analyze pai --metrics /tmp/m.om --metrics-format openmetrics --trace-log /tmp/t.jsonl",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Analyze {
+                metrics,
+                metrics_format,
+                trace_log,
+                ..
+            } => {
+                assert_eq!(metrics.as_deref(), Some("/tmp/m.om"));
+                assert_eq!(metrics_format, MetricsFormat::OpenMetrics);
+                assert_eq!(trace_log.as_deref(), Some("/tmp/t.jsonl"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("analyze pai --metrics-format yaml")).is_err());
+    }
+
+    #[test]
+    fn parses_explain() {
+        let args = vec![
+            "explain".to_string(),
+            "pai".to_string(),
+            "--rule".to_string(),
+            "Runtime = Bin1 => SM Util = 0%".to_string(),
+            "--c-lift".to_string(),
+            "1.0".to_string(),
+        ];
+        match parse(&args).unwrap() {
+            Command::Explain {
+                trace,
+                rule,
+                keyword,
+                c_lift,
+                c_supp,
+                ..
+            } => {
+                assert_eq!(trace, "pai");
+                assert_eq!(rule, "Runtime = Bin1 => SM Util = 0%");
+                assert_eq!(keyword, None);
+                assert_eq!(c_lift, Some(1.0));
+                assert_eq!(c_supp, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // --rule is mandatory and must contain `=>`.
+        assert!(parse(&argv("explain pai")).is_err());
+        let bad = vec![
+            "explain".to_string(),
+            "pai".to_string(),
+            "--rule".to_string(),
+            "no arrow here".to_string(),
+        ];
+        assert!(parse(&bad).is_err());
     }
 
     #[test]

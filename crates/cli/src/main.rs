@@ -8,13 +8,13 @@ mod args;
 use std::path::Path;
 use std::process::ExitCode;
 
-use args::{parse, Command, USAGE};
+use args::{parse, Command, MetricsFormat, USAGE};
 use irma_core::experiments::run_all;
 use irma_core::export::export_all;
 use irma_core::insights::insight_report;
 use irma_core::{
-    analyze_with, failure_prediction, pai_spec, philly_spec, prepare, prepare_all, supercloud_spec,
-    AnalysisConfig, ExperimentScale, Metrics,
+    analyze_traced, analyze_with, failure_prediction, pai_spec, philly_spec, prepare, prepare_all,
+    supercloud_spec, AnalysisConfig, EventSink, ExperimentScale, Metrics, Provenance,
 };
 use irma_synth::{pai, philly, read_merged_csv_dir, supercloud, TraceConfig};
 
@@ -39,6 +39,26 @@ fn generate_bundle(trace: &str, jobs: usize, seed: u64) -> irma_synth::TraceBund
         "philly" => philly(&config),
         other => unreachable!("trace validated by parser: {other}"),
     }
+}
+
+/// Splits `"A, B => C"` into antecedent and consequent label lists.
+fn parse_rule_spec(rule: &str) -> Result<(Vec<String>, Vec<String>), String> {
+    let (lhs, rhs) = rule
+        .split_once("=>")
+        .ok_or_else(|| format!("--rule must contain `=>` (got `{rule}`)"))?;
+    let side = |s: &str| -> Vec<String> {
+        s.split(',')
+            .map(|label| label.trim().to_string())
+            .filter(|label| !label.is_empty())
+            .collect()
+    };
+    let (ante, cons) = (side(lhs), side(rhs));
+    if ante.is_empty() || cons.is_empty() {
+        return Err(format!(
+            "--rule needs labels on both sides of `=>` (got `{rule}`)"
+        ));
+    }
+    Ok((ante, cons))
 }
 
 fn run(command: Command) -> Result<(), String> {
@@ -70,7 +90,9 @@ fn run(command: Command) -> Result<(), String> {
             dir,
             insights,
             metrics: metrics_path,
+            metrics_format,
             verbose_stages,
+            trace_log,
         } => {
             let merged = match dir {
                 Some(dir) => read_merged_csv_dir(Path::new(&dir), &trace)
@@ -78,11 +100,17 @@ fn run(command: Command) -> Result<(), String> {
                 None => generate_bundle(&trace, jobs, seed).merged(),
             };
             // The sink stays a no-op unless somebody asked for output.
-            let metrics = if metrics_path.is_some() || verbose_stages {
+            let mut metrics = if metrics_path.is_some() || verbose_stages {
                 Metrics::enabled()
             } else {
                 Metrics::disabled()
             };
+            if let Some(path) = &trace_log {
+                let sink = EventSink::create(Path::new(path))
+                    .map_err(|e| format!("creating trace log {path}: {e}"))?;
+                metrics = metrics.with_event_sink(sink);
+                eprintln!("streaming trace events to {path}");
+            }
             let analysis = analyze_with(
                 &merged,
                 &spec_for(&trace),
@@ -100,10 +128,88 @@ fn run(command: Command) -> Result<(), String> {
                     eprint!("{}", snapshot.render_table());
                 }
                 if let Some(path) = metrics_path {
-                    std::fs::write(&path, snapshot.to_json())
+                    let rendered = match metrics_format {
+                        MetricsFormat::Json => snapshot.to_json(),
+                        MetricsFormat::OpenMetrics => snapshot.to_openmetrics(),
+                        MetricsFormat::Table => snapshot.render_table(),
+                    };
+                    std::fs::write(&path, rendered)
                         .map_err(|e| format!("writing metrics to {path}: {e}"))?;
                     eprintln!("wrote metrics {path}");
                 }
+            }
+            Ok(())
+        }
+        Command::Explain {
+            trace,
+            rule,
+            keyword,
+            jobs,
+            seed,
+            dir,
+            provenance: provenance_path,
+            c_lift,
+            c_supp,
+        } => {
+            let merged = match dir {
+                Some(dir) => read_merged_csv_dir(Path::new(&dir), &trace)
+                    .map_err(|e| format!("reading trace CSVs: {e}"))?,
+                None => generate_bundle(&trace, jobs, seed).merged(),
+            };
+            let (ante_labels, cons_labels) = parse_rule_spec(&rule)?;
+            let keyword = keyword.unwrap_or_else(|| cons_labels[0].clone());
+
+            let mut config = AnalysisConfig::default();
+            if let Some(c) = c_lift {
+                config.prune.c_lift = c;
+            }
+            if let Some(c) = c_supp {
+                config.prune.c_supp = c;
+            }
+            config.prune.validate().map_err(|e| e.to_string())?;
+
+            let provenance = Provenance::enabled();
+            let metrics = Metrics::disabled();
+            let analysis =
+                analyze_traced(&merged, &spec_for(&trace), &config, &metrics, &provenance);
+            analysis
+                .keyword_traced(&keyword, &metrics, &provenance)
+                .ok_or_else(|| format!("keyword `{keyword}` is not an item of this trace"))?;
+
+            let resolve = |labels: &[String]| -> Result<Vec<u32>, String> {
+                let mut ids = labels
+                    .iter()
+                    .map(|label| {
+                        analysis.item(label).ok_or_else(|| {
+                            format!(
+                                "`{label}` is not an item of this trace (never emitted, or \
+                                 dropped by the prevalence cut)"
+                            )
+                        })
+                    })
+                    .collect::<Result<Vec<u32>, String>>()?;
+                ids.sort_unstable();
+                Ok(ids)
+            };
+            let ante = resolve(&ante_labels)?;
+            let cons = resolve(&cons_labels)?;
+
+            let labeler = |id: u32| analysis.encoded.catalog.label(id).to_string();
+            println!(
+                "trace: {trace}  keyword: {keyword}  C_lift={:.2}  C_supp={:.2}",
+                config.prune.c_lift, config.prune.c_supp
+            );
+            match provenance.render_explain(&ante, &cons, &labeler) {
+                Some(text) => print!("{text}"),
+                None => println!(
+                    "rule was never a candidate: its itemset is not frequent at the \
+                     configured support threshold"
+                ),
+            }
+            if let Some(path) = provenance_path {
+                std::fs::write(&path, provenance.to_jsonl(&labeler))
+                    .map_err(|e| format!("writing provenance to {path}: {e}"))?;
+                eprintln!("wrote provenance {path}");
             }
             Ok(())
         }

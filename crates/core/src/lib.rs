@@ -41,8 +41,8 @@ pub use specs::{
     pai_spec, philly_spec, supercloud_spec, KW_FAILED, KW_KILLED, KW_MULTI_GPU, KW_SM_ZERO,
 };
 pub use traces::{prepare, prepare_all, ExperimentScale, TraceAnalysis};
-pub use workflow::{analyze, analyze_with, Analysis, AnalysisConfig};
+pub use workflow::{analyze, analyze_traced, analyze_with, Analysis, AnalysisConfig};
 
-// Observability handle, re-exported so workflow callers need not depend
+// Observability handles, re-exported so workflow callers need not depend
 // on `irma-obs` directly.
-pub use irma_obs::Metrics;
+pub use irma_obs::{EventSink, Metrics, Provenance};

@@ -8,9 +8,9 @@
 
 use irma_data::Frame;
 use irma_mine::{Algorithm, FrequentItemsets, ItemId, MinerConfig};
-use irma_obs::Metrics;
+use irma_obs::{Metrics, Provenance};
 use irma_prep::{encode_with, Encoded, EncoderSpec};
-use irma_rules::{generate_rules_with, KeywordAnalysis, PruneParams, Rule, RuleConfig};
+use irma_rules::{generate_rules_traced, KeywordAnalysis, PruneParams, Rule, RuleConfig};
 
 /// Every knob of the paper's workflow.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -53,11 +53,28 @@ pub fn analyze_with(
     config: &AnalysisConfig,
     metrics: &Metrics,
 ) -> Analysis {
+    analyze_traced(frame, spec, config, metrics, &Provenance::disabled())
+}
+
+/// [`analyze_with`] plus per-rule decision lineage: every candidate rule
+/// (survivor or threshold-filtered) lands in `provenance`; follow with
+/// [`Analysis::keyword_traced`] to add the pruning decisions. The whole
+/// run nests under one `core.analyze` root span.
+pub fn analyze_traced(
+    frame: &Frame,
+    spec: &EncoderSpec,
+    config: &AnalysisConfig,
+    metrics: &Metrics,
+    provenance: &Provenance,
+) -> Analysis {
+    let mut root = metrics.span("core.analyze");
     let encoded = encode_with(frame, spec, metrics);
     let frequent = config
         .algorithm
         .mine_with(&encoded.db, &config.miner, metrics);
-    let rules = generate_rules_with(&frequent, &config.rules, metrics);
+    let rules = generate_rules_traced(&frequent, &config.rules, metrics, provenance);
+    root.field("jobs", encoded.db.len() as u64);
+    root.field("rules", rules.len() as u64);
     Analysis {
         encoded,
         frequent,
@@ -83,12 +100,25 @@ impl Analysis {
     /// [`Analysis::keyword`] with observability: the pruning stage emits
     /// a `rules.prune` event with per-condition counts into `metrics`.
     pub fn keyword_with(&self, label: &str, metrics: &Metrics) -> Option<KeywordAnalysis> {
+        self.keyword_traced(label, metrics, &Provenance::disabled())
+    }
+
+    /// [`Analysis::keyword_with`] plus per-rule decision lineage in
+    /// `provenance` (winner/loser edges for every pruning decision; see
+    /// [`irma_rules::prune_rules_traced`]).
+    pub fn keyword_traced(
+        &self,
+        label: &str,
+        metrics: &Metrics,
+        provenance: &Provenance,
+    ) -> Option<KeywordAnalysis> {
         let id = self.item(label)?;
-        Some(KeywordAnalysis::run_with(
+        Some(KeywordAnalysis::run_traced(
             &self.rules,
             id,
             &self.config.prune,
             metrics,
+            provenance,
         ))
     }
 
@@ -313,6 +343,7 @@ mod tests {
         let _ = analysis.keyword_with("SM Util = 0%", &metrics);
         let snap = metrics.snapshot();
         for stage in [
+            "core.analyze",
             "prep.fit",
             "prep.transform",
             "mine.tree_build",
@@ -321,6 +352,16 @@ mod tests {
             "rules.prune",
         ] {
             assert!(snap.stage(stage).is_some(), "missing stage event {stage}");
+        }
+        // Pipeline stages nest under the core.analyze root span.
+        let root = snap.stage("core.analyze").unwrap();
+        assert_eq!(root.parent, None);
+        for stage in ["prep.fit", "mine.mine", "rules.generate"] {
+            assert_eq!(
+                snap.stage(stage).unwrap().parent,
+                Some(root.id),
+                "{stage} should nest under core.analyze"
+            );
         }
         assert_eq!(
             snap.stage("prep.transform")
@@ -336,6 +377,41 @@ mod tests {
         let json = snap.to_json();
         assert!(json.contains("\"stage\": \"mine.tree_build\""), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn traced_run_explains_kept_and_filtered_rules() {
+        let mut csv = String::from("runtime,sm\n");
+        for i in 0..20 {
+            let (rt, sm) = if i < 8 { (10.0, 0.0) } else { (5_000.0, 70.0) };
+            csv.push_str(&format!("{},{}\n", rt + i as f64, sm));
+        }
+        let frame = read_csv_str(&csv).unwrap();
+        let spec = irma_prep::EncoderSpec::new(vec![
+            FeatureSpec::numeric("runtime", "Runtime"),
+            FeatureSpec::numeric_zero("sm", "SM Util", ZeroBin::percent()),
+        ]);
+        let mut config = AnalysisConfig::default();
+        config.rules.min_lift = 1.2;
+        let provenance = Provenance::enabled();
+        let analysis = analyze_traced(&frame, &spec, &config, &Metrics::disabled(), &provenance);
+        let kw = analysis
+            .keyword_traced("SM Util = 0%", &Metrics::disabled(), &provenance)
+            .unwrap();
+        assert!(!kw.causes.is_empty());
+        // Every kept cause rule has a KEPT verdict in its explanation.
+        let labeler = |id: u32| analysis.encoded.catalog.label(id).to_string();
+        for rule in &kw.causes {
+            let text = provenance
+                .render_explain(rule.antecedent.items(), rule.consequent.items(), &labeler)
+                .expect("kept rule is recorded");
+            assert!(text.contains("verdict: KEPT"), "{text}");
+        }
+        // Candidate rules below the lift floor are recorded as filtered.
+        assert!(provenance
+            .records()
+            .iter()
+            .any(|r| r.filtered.is_some() || r.kept == Some(false)));
     }
 
     #[test]

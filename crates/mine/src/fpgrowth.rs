@@ -327,6 +327,10 @@ pub fn fpgrowth_with(
                 let mut local_stats = MineStats::default();
                 let count = tree.rank_counts[rank as usize];
                 let item = tree.rank_to_item[rank as usize];
+                // Explicit child span: each rank's subtree is one unit of
+                // parallel work, nested under `mine.mine` (implicit
+                // parenting is ambiguous across worker threads).
+                let mut rank_span = span.child("mine.conditional_tree");
                 local.push((Itemset::singleton(item), count));
                 if config.max_len > 1 {
                     let base = tree.pattern_base(rank);
@@ -349,6 +353,8 @@ pub fn fpgrowth_with(
                         }
                     }
                 }
+                rank_span.field("item", item as u64);
+                rank_span.field("itemsets_out", local.len() as u64);
                 (local, local_stats)
             })
             .collect();
@@ -485,6 +491,20 @@ mod tests {
         let mine = snap.stage("mine.mine").expect("mine event");
         assert_eq!(mine.field("itemsets_out"), Some(fi.len() as u64));
         assert!(mine.field("conditional_trees").unwrap() > 0);
+        // The parallel fan-out nests one conditional-tree span per
+        // frequent item under `mine.mine`.
+        let children: Vec<_> = snap
+            .stages
+            .iter()
+            .filter(|e| e.stage == "mine.conditional_tree")
+            .collect();
+        assert_eq!(children.len(), 5);
+        assert!(children.iter().all(|c| c.parent == Some(mine.id)));
+        let per_rank: u64 = children
+            .iter()
+            .map(|c| c.field("itemsets_out").unwrap())
+            .sum();
+        assert_eq!(per_rank, fi.len() as u64);
         // Disabled-path result is identical.
         let plain = fpgrowth(&db, &MinerConfig::with_min_support(0.2));
         assert_eq!(plain.as_slice(), fi.as_slice());

@@ -1,0 +1,123 @@
+//! Streaming JSONL event log for live pipeline tracing.
+//!
+//! A [`Snapshot`](crate::Snapshot) only exists after the run; an
+//! [`EventSink`] writes one JSON object per line *while the run
+//! executes*, so a long mining job can be tailed (`tail -f trace.jsonl`)
+//! instead of inspected post-mortem. Three event kinds are emitted:
+//!
+//! ```json
+//! {"event":"span_open","run":"<id>","seq":0,"offset_us":12,"span":1,"parent":null,"stage":"prep.fit"}
+//! {"event":"span_close","run":"<id>","seq":3,"offset_us":480,"span":1,"stage":"prep.fit","wall_us":468,"fields":{"rows_in":20}}
+//! {"event":"counter","run":"<id>","seq":4,"offset_us":501,"name":"prune.condition1","by":3,"total":3}
+//! ```
+//!
+//! `seq` is a per-registry monotonic sequence number and `offset_us` the
+//! microseconds since the registry was created, so readers can order and
+//! align events without trusting wall-clock timestamps. `run` is a random
+//! id minted when the sink's registry is enabled; it distinguishes
+//! interleaved traces when several runs append to one file.
+//!
+//! Every line is flushed as it is written (the whole point is tailing);
+//! write errors are deliberately swallowed — tracing is best-effort and
+//! must never fail the analysis it observes.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// A line-oriented JSONL event writer; see the module docs for the
+/// schema. Attach one to a recording registry with
+/// [`Metrics::with_event_sink`](crate::Metrics::with_event_sink).
+pub struct EventSink {
+    writer: Box<dyn Write + Send>,
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSink").finish_non_exhaustive()
+    }
+}
+
+impl EventSink {
+    /// Wraps any writer (a file, a pipe, a test buffer).
+    pub fn from_writer(writer: Box<dyn Write + Send>) -> EventSink {
+        EventSink { writer }
+    }
+
+    /// Creates (truncating) a JSONL trace file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<EventSink> {
+        Ok(EventSink::from_writer(Box::new(File::create(path)?)))
+    }
+
+    /// A sink writing into a shared in-memory buffer, plus a handle to
+    /// read it back — the test/bench harness's sink.
+    pub fn shared_buffer() -> (EventSink, Arc<Mutex<Vec<u8>>>) {
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        let writer = SharedBuffer {
+            buffer: Arc::clone(&buffer),
+        };
+        (EventSink::from_writer(Box::new(writer)), buffer)
+    }
+
+    /// Writes one already-serialized JSON object as a line and flushes,
+    /// ignoring IO errors (tracing must never fail the traced run).
+    pub(crate) fn emit(&mut self, line: &str) {
+        let _ = writeln!(self.writer, "{line}");
+        let _ = self.writer.flush();
+    }
+}
+
+struct SharedBuffer {
+    buffer: Arc<Mutex<Vec<u8>>>,
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.buffer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Mints a run id from the wall clock and the process id: unique enough
+/// to tell interleaved traces apart, with no RNG dependency.
+pub(crate) fn fresh_run_id() -> String {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    // SplitMix64 finalizer scrambles the low-entropy inputs.
+    let mut z = nanos ^ ((std::process::id() as u64) << 32);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    format!("{:016x}", z ^ (z >> 31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_buffer_collects_lines() {
+        let (mut sink, buffer) = EventSink::shared_buffer();
+        sink.emit("{\"event\":\"counter\"}");
+        sink.emit("{\"event\":\"span_open\"}");
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("{\"event\":\"counter\"}\n"));
+    }
+
+    #[test]
+    fn run_ids_are_hex_and_distinct_across_time() {
+        let id = fresh_run_id();
+        assert_eq!(id.len(), 16);
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

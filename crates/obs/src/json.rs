@@ -5,12 +5,14 @@
 //!
 //! ```json
 //! {
+//!   "run_id":   "<hex id>",
 //!   "counters": { "<name>": <u64>, ... },
 //!   "gauges":   { "<name>": <f64|null>, ... },
 //!   "timers":   { "<name>": { "count": <usize>, "total_ms": <f64>,
 //!                              "p50_ms": <f64>, "p95_ms": <f64>,
 //!                              "max_ms": <f64> }, ... },
-//!   "stages":   [ { "stage": "<name>", "wall_ms": <f64>,
+//!   "stages":   [ { "id": <u64>, "parent": <u64|null>,
+//!                   "stage": "<name>", "wall_ms": <f64>,
 //!                   "fields": { "<name>": <u64>, ... } }, ... ]
 //! }
 //! ```
@@ -22,7 +24,7 @@ use std::time::Duration;
 use crate::Snapshot;
 
 /// Escapes a string for use inside JSON quotes.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -38,7 +40,7 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn f64_value(x: f64) -> String {
+pub(crate) fn f64_value(x: f64) -> String {
     if x.is_finite() {
         // `{:?}` prints a shortest-roundtrip literal that always contains
         // a decimal point or exponent — a valid JSON number either way.
@@ -107,7 +109,9 @@ pub(crate) fn snapshot_to_json(snapshot: &Snapshot) -> String {
                 "      ",
             );
             format!(
-                "    {{\n      \"stage\": \"{}\",\n      \"wall_ms\": {},\n      \"fields\": {fields}\n    }}",
+                "    {{\n      \"id\": {},\n      \"parent\": {},\n      \"stage\": \"{}\",\n      \"wall_ms\": {},\n      \"fields\": {fields}\n    }}",
+                event.id,
+                event.parent.map_or("null".to_string(), |p| p.to_string()),
                 escape(&event.stage),
                 millis(event.wall)
             )
@@ -119,7 +123,8 @@ pub(crate) fn snapshot_to_json(snapshot: &Snapshot) -> String {
         format!("[\n{}\n  ]", stages.join(",\n"))
     };
     format!(
-        "{{\n  \"counters\": {counters},\n  \"gauges\": {gauges},\n  \"timers\": {timers},\n  \"stages\": {stages}\n}}\n"
+        "{{\n  \"run_id\": \"{}\",\n  \"counters\": {counters},\n  \"gauges\": {gauges},\n  \"timers\": {timers},\n  \"stages\": {stages}\n}}\n",
+        escape(&snapshot.run_id)
     )
 }
 
@@ -133,7 +138,7 @@ mod tests {
         let json = Snapshot::default().to_json();
         assert_eq!(
             json,
-            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"timers\": {},\n  \"stages\": []\n}\n"
+            "{\n  \"run_id\": \"\",\n  \"counters\": {},\n  \"gauges\": {},\n  \"timers\": {},\n  \"stages\": []\n}\n"
         );
     }
 
@@ -172,6 +177,8 @@ mod tests {
         assert_eq!(escape("\u{1}"), "\\u0001");
         let snapshot = Snapshot {
             stages: vec![StageEvent {
+                id: 1,
+                parent: None,
                 stage: "we\"ird".to_string(),
                 wall: Duration::ZERO,
                 fields: Vec::new(),

@@ -13,6 +13,21 @@
 //!   ([`Snapshot::render_table`]) for the CLI's `--metrics` /
 //!   `--verbose-stages` flags.
 //!
+//! Three extensions layer on top of the flat registry:
+//!
+//! * **Hierarchical spans** — every span carries an id and an optional
+//!   parent (implicit: the innermost still-open span on this registry;
+//!   explicit: [`StageSpan::child`] for parallel fan-out, where "last
+//!   open" is ambiguous across threads), so traces nest
+//!   (`mine.mine` > `mine.conditional_tree`).
+//! * **Streaming event log** — [`Metrics::with_event_sink`] attaches an
+//!   [`EventSink`] that writes `span_open` / `span_close` / `counter`
+//!   JSONL lines *live* (see [`event`](EventSink) docs for the schema),
+//!   so long runs can be tailed instead of snapshotted post-mortem.
+//! * **[`Provenance`]** — a per-rule decision recorder (generation
+//!   thresholds, pruning winner/loser edges) backing the CLI `explain`
+//!   subcommand.
+//!
 //! The default sink is **disabled**: [`Metrics::default`] carries no
 //! allocation and every method is a branch on `None`, so instrumented
 //! library code pays nothing when nobody asked for metrics. Cloning a
@@ -36,7 +51,15 @@
 
 #![warn(missing_docs)]
 
+mod event;
 mod json;
+mod openmetrics;
+mod provenance;
+
+pub use event::EventSink;
+pub use provenance::{
+    GenFilter, Provenance, PruneRole, PruneStep, RuleInfo, RuleKey, RuleProvenance,
+};
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -47,6 +70,12 @@ use std::time::{Duration, Instant};
 /// out, rules pruned per condition, ...).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageEvent {
+    /// Registry-unique span id (1-based, in open order).
+    pub id: u64,
+    /// The enclosing span's id, or `None` for a root span. Implicitly the
+    /// innermost span still open when this one opened; explicitly set by
+    /// [`StageSpan::child`].
+    pub parent: Option<u64>,
     /// Stage name, dot-namespaced by crate (`prep.fit`, `mine.mine`, ...).
     pub stage: String,
     /// Wall-clock time spent inside the stage's span.
@@ -63,12 +92,64 @@ impl StageEvent {
 }
 
 /// Everything a recording sink accumulates.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Registry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     timers: BTreeMap<String, Vec<Duration>>,
     stages: Vec<StageEvent>,
+    /// Last span id handed out (ids are 1-based so `parent: 0` never
+    /// appears in a trace).
+    next_span: u64,
+    /// Stack of currently open span ids; the top is the implicit parent
+    /// for the next `span()` call on this registry.
+    open_spans: Vec<u64>,
+    /// Monotonic event sequence number for the JSONL log.
+    seq: u64,
+    /// Registry creation time; event `offset_us` values are relative to
+    /// this, so readers never depend on wall-clock timestamps.
+    start: Instant,
+    /// Random id distinguishing this run's events in a shared trace file.
+    run_id: String,
+    /// Optional live JSONL event log.
+    sink: Option<EventSink>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            timers: BTreeMap::new(),
+            stages: Vec::new(),
+            next_span: 0,
+            open_spans: Vec::new(),
+            seq: 0,
+            start: Instant::now(),
+            run_id: event::fresh_run_id(),
+            sink: None,
+        }
+    }
+}
+
+impl Registry {
+    /// Writes one event line to the attached sink, if any, stamping the
+    /// shared envelope (`event`, `run`, `seq`, `offset_us`).
+    fn emit_event(&mut self, kind: &str, body: &str) {
+        if self.sink.is_none() {
+            return;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        let offset_us = self.start.elapsed().as_micros() as u64;
+        let line = format!(
+            "{{\"event\":\"{kind}\",\"run\":\"{}\",\"seq\":{seq},\"offset_us\":{offset_us},{body}}}",
+            self.run_id
+        );
+        if let Some(sink) = self.sink.as_mut() {
+            sink.emit(&line);
+        }
+    }
 }
 
 /// A cloneable handle to a metrics sink; the pipeline's instrumentation
@@ -109,10 +190,44 @@ impl Metrics {
             .map(|sink| sink.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
+    /// Attaches a live JSONL event log to this handle's registry,
+    /// enabling the handle first if it was disabled. All clones share the
+    /// sink; events start flowing immediately.
+    pub fn with_event_sink(self, sink: EventSink) -> Metrics {
+        let metrics = if self.is_enabled() {
+            self
+        } else {
+            Metrics::enabled()
+        };
+        if let Some(mut reg) = metrics.lock() {
+            reg.sink = Some(sink);
+        }
+        metrics
+    }
+
+    /// The registry's run id (stamped on every event line); empty on a
+    /// disabled handle.
+    pub fn run_id(&self) -> String {
+        self.lock()
+            .map(|reg| reg.run_id.clone())
+            .unwrap_or_default()
+    }
+
     /// Adds `by` to a monotonic counter.
     pub fn incr(&self, name: &str, by: u64) {
         if let Some(mut reg) = self.lock() {
-            *reg.counters.entry(name.to_string()).or_insert(0) += by;
+            let total = {
+                let slot = reg.counters.entry(name.to_string()).or_insert(0);
+                *slot += by;
+                *slot
+            };
+            reg.emit_event(
+                "counter",
+                &format!(
+                    "\"name\":\"{}\",\"by\":{by},\"total\":{total}",
+                    json::escape(name)
+                ),
+            );
         }
     }
 
@@ -134,14 +249,40 @@ impl Metrics {
     /// records its wall time under the timer `stage` and appends a
     /// [`StageEvent`] carrying every [`StageSpan::field`] set meanwhile.
     ///
+    /// The span's parent is the innermost span still open on this
+    /// registry, which is right for single-threaded nesting; spans opened
+    /// from parallel workers should use [`StageSpan::child`] instead.
+    ///
     /// On a disabled handle the span is inert (no clock read).
     pub fn span(&self, stage: &str) -> StageSpan {
+        self.span_with_parent(stage, None)
+    }
+
+    fn span_with_parent(&self, stage: &str, explicit_parent: Option<u64>) -> StageSpan {
+        let Some(mut reg) = self.lock() else {
+            return StageSpan { state: None };
+        };
+        reg.next_span += 1;
+        let id = reg.next_span;
+        let parent = explicit_parent.or_else(|| reg.open_spans.last().copied());
+        reg.open_spans.push(id);
+        reg.emit_event(
+            "span_open",
+            &format!(
+                "\"span\":{id},\"parent\":{},\"stage\":\"{}\"",
+                parent.map_or("null".to_string(), |p| p.to_string()),
+                json::escape(stage)
+            ),
+        );
+        drop(reg);
         StageSpan {
-            state: self.sink.as_ref().map(|_| SpanState {
+            state: Some(SpanState {
                 metrics: self.clone(),
                 stage: stage.to_string(),
                 start: Instant::now(),
                 fields: Vec::new(),
+                id,
+                parent,
             }),
         }
     }
@@ -161,6 +302,7 @@ impl Metrics {
                 .map(|(name, samples)| TimerStats::from_samples(name.clone(), samples))
                 .collect(),
             stages: reg.stages.clone(),
+            run_id: reg.run_id.clone(),
         }
     }
 }
@@ -170,6 +312,8 @@ struct SpanState {
     stage: String,
     start: Instant,
     fields: Vec<(String, u64)>,
+    id: u64,
+    parent: Option<u64>,
 }
 
 impl std::fmt::Debug for SpanState {
@@ -196,6 +340,16 @@ impl StageSpan {
             state.fields.push((name.to_string(), value));
         }
     }
+
+    /// Opens a child span with `self` as its explicit parent. Use this
+    /// from parallel workers, where the registry's "innermost open span"
+    /// is ambiguous across threads (inert when `self` is inert).
+    pub fn child(&self, stage: &str) -> StageSpan {
+        match &self.state {
+            Some(state) => state.metrics.span_with_parent(stage, Some(state.id)),
+            None => StageSpan { state: None },
+        }
+    }
 }
 
 impl Drop for StageSpan {
@@ -205,6 +359,8 @@ impl Drop for StageSpan {
             stage,
             start,
             fields,
+            id,
+            parent,
         }) = self.state.take()
         else {
             return;
@@ -213,8 +369,26 @@ impl Drop for StageSpan {
         let Some(mut reg) = metrics.lock() else {
             return;
         };
+        if let Some(pos) = reg.open_spans.iter().rposition(|&open| open == id) {
+            reg.open_spans.remove(pos);
+        }
+        let fields_json = fields
+            .iter()
+            .map(|(name, value)| format!("\"{}\":{value}", json::escape(name)))
+            .collect::<Vec<_>>()
+            .join(",");
+        reg.emit_event(
+            "span_close",
+            &format!(
+                "\"span\":{id},\"stage\":\"{}\",\"wall_us\":{},\"fields\":{{{fields_json}}}",
+                json::escape(&stage),
+                wall.as_micros()
+            ),
+        );
         reg.timers.entry(stage.clone()).or_default().push(wall);
         reg.stages.push(StageEvent {
+            id,
+            parent,
             stage,
             wall,
             fields,
@@ -273,6 +447,9 @@ pub struct Snapshot {
     /// Pipeline trace: one [`StageEvent`] per completed span, in
     /// completion order.
     pub stages: Vec<StageEvent>,
+    /// The registry's run id (ties the snapshot to its JSONL trace);
+    /// empty for a default/disabled snapshot.
+    pub run_id: String,
 }
 
 impl Snapshot {
@@ -287,8 +464,36 @@ impl Snapshot {
         json::snapshot_to_json(self)
     }
 
+    /// Serializes counters/gauges/timers in OpenMetrics text format
+    /// (`# TYPE` lines, `_total` counters, `_seconds` summaries, terminal
+    /// `# EOF`); see `openmetrics.rs` for the mapping, mirrored in
+    /// DESIGN.md.
+    pub fn to_openmetrics(&self) -> String {
+        openmetrics::snapshot_to_openmetrics(self)
+    }
+
+    /// Span nesting depth of one stage event (0 for roots), following
+    /// parent links through the snapshot's trace.
+    fn stage_depth(&self, event: &StageEvent) -> usize {
+        let mut depth = 0;
+        let mut parent = event.parent;
+        while let Some(id) = parent {
+            depth += 1;
+            if depth >= 16 {
+                break; // cycles cannot arise, but stay defensive
+            }
+            parent = self
+                .stages
+                .iter()
+                .find(|e| e.id == id)
+                .and_then(|e| e.parent);
+        }
+        depth
+    }
+
     /// Renders the pipeline trace plus counters as an aligned,
-    /// human-readable table (the CLI's `--verbose-stages` output).
+    /// human-readable table (the CLI's `--verbose-stages` output); nested
+    /// spans indent under their parent.
     pub fn render_table(&self) -> String {
         let mut out = String::from("stage                        wall          details\n");
         for event in &self.stages {
@@ -298,9 +503,10 @@ impl Snapshot {
                 .map(|(name, value)| format!("{name}={value}"))
                 .collect::<Vec<_>>()
                 .join(" ");
+            let name = format!("{}{}", "  ".repeat(self.stage_depth(event)), event.stage);
             out.push_str(&format!(
                 "{:<28} {:>10}    {}\n",
-                event.stage,
+                name,
                 format_duration(event.wall),
                 fields
             ));
@@ -431,6 +637,121 @@ mod tests {
         let snapshot = metrics.snapshot();
         let names: Vec<&str> = snapshot.stages.iter().map(|e| e.stage.as_str()).collect();
         assert_eq!(names, vec!["inner", "outer"]);
+    }
+
+    #[test]
+    fn nested_spans_get_implicit_parents() {
+        let metrics = Metrics::enabled();
+        let outer = metrics.span("outer");
+        let inner = metrics.span("inner");
+        drop(inner);
+        drop(outer);
+        let snapshot = metrics.snapshot();
+        let outer = snapshot.stage("outer").unwrap();
+        let inner = snapshot.stage("inner").unwrap();
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert!(inner.id > outer.id);
+    }
+
+    #[test]
+    fn sibling_after_drop_is_not_a_child() {
+        let metrics = Metrics::enabled();
+        drop(metrics.span("first"));
+        drop(metrics.span("second"));
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.stage("second").unwrap().parent, None);
+    }
+
+    #[test]
+    fn child_spans_carry_explicit_parent_across_threads() {
+        let metrics = Metrics::enabled();
+        {
+            let span = metrics.span("mine.mine");
+            std::thread::scope(|scope| {
+                for _ in 0..3 {
+                    let span = &span;
+                    scope.spawn(move || {
+                        let mut child = span.child("mine.conditional_tree");
+                        child.field("item", 1);
+                    });
+                }
+            });
+        }
+        let snapshot = metrics.snapshot();
+        let parent_id = snapshot.stage("mine.mine").unwrap().id;
+        let children: Vec<_> = snapshot
+            .stages
+            .iter()
+            .filter(|e| e.stage == "mine.conditional_tree")
+            .collect();
+        assert_eq!(children.len(), 3);
+        assert!(children.iter().all(|c| c.parent == Some(parent_id)));
+    }
+
+    #[test]
+    fn render_table_indents_children() {
+        let metrics = Metrics::enabled();
+        {
+            let outer = metrics.span("outer");
+            drop(outer.child("inner"));
+        }
+        let table = metrics.snapshot().render_table();
+        assert!(table.contains("\n  inner"), "{table}");
+    }
+
+    #[test]
+    fn event_sink_streams_span_and_counter_lines() {
+        let (sink, buffer) = EventSink::shared_buffer();
+        let metrics = Metrics::enabled().with_event_sink(sink);
+        {
+            let mut span = metrics.span("prep.fit");
+            span.field("rows_in", 20);
+            metrics.incr("hits", 2);
+            metrics.incr("hits", 3);
+        }
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        let run = metrics.run_id();
+        assert!(!run.is_empty());
+        assert!(
+            lines[0].contains("\"event\":\"span_open\"")
+                && lines[0].contains("\"span\":1,\"parent\":null,\"stage\":\"prep.fit\""),
+            "{text}"
+        );
+        assert!(
+            lines[1].contains("\"event\":\"counter\"")
+                && lines[1].contains("\"name\":\"hits\",\"by\":2,\"total\":2"),
+            "{text}"
+        );
+        assert!(lines[2].contains("\"total\":5"), "{text}");
+        assert!(
+            lines[3].contains("\"event\":\"span_close\"")
+                && lines[3].contains("\"fields\":{\"rows_in\":20}"),
+            "{text}"
+        );
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.contains(&format!("\"seq\":{i}")), "{text}");
+            assert!(line.contains(&format!("\"run\":\"{run}\"")), "{text}");
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn with_event_sink_enables_a_disabled_handle() {
+        let (sink, buffer) = EventSink::shared_buffer();
+        let metrics = Metrics::disabled().with_event_sink(sink);
+        assert!(metrics.is_enabled());
+        metrics.incr("c", 1);
+        assert!(!buffer.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn snapshot_carries_run_id() {
+        let metrics = Metrics::enabled();
+        assert_eq!(metrics.snapshot().run_id, metrics.run_id());
+        assert_eq!(Metrics::disabled().snapshot().run_id, "");
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! OpenMetrics text exposition for [`Snapshot`] — the format Prometheus
+//! and friends scrape, so an IRMA run can drop a file a node exporter's
+//! textfile collector picks up.
+//!
+//! Mapping:
+//!
+//! * counters → `# TYPE irma_<name> counter` + `irma_<name>_total <v>`
+//! * gauges   → `# TYPE irma_<name> gauge` + `irma_<name> <v>`
+//! * timers   → `# TYPE irma_<name>_seconds summary` with
+//!   `quantile="0.5"` / `quantile="0.95"` samples plus `_sum` / `_count`
+//!
+//! Names are sanitized (`mine.tree_build` → `irma_mine_tree_build`); the
+//! exposition ends with the mandatory `# EOF`. Stage events carry
+//! per-occurrence fields and ordering that metric samples cannot express;
+//! they stay in the JSON/JSONL exports.
+
+use crate::Snapshot;
+
+/// Sanitizes a registry name into an OpenMetrics metric name:
+/// `irma_` prefix, every non-`[a-zA-Z0-9_]` byte folded to `_`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("irma_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats an f64 sample the OpenMetrics way (non-finite values are
+/// legal here, unlike JSON).
+fn sample(x: f64) -> String {
+    if x.is_nan() {
+        "NaN".to_string()
+    } else if x == f64::INFINITY {
+        "+Inf".to_string()
+    } else if x == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{x:?}")
+    }
+}
+
+pub(crate) fn snapshot_to_openmetrics(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = sanitize(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name}_total {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = sanitize(name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", sample(*value)));
+    }
+    for timer in &snapshot.timers {
+        let name = format!("{}_seconds", sanitize(&timer.name));
+        out.push_str(&format!(
+            "# TYPE {name} summary\n\
+             {name}{{quantile=\"0.5\"}} {}\n\
+             {name}{{quantile=\"0.95\"}} {}\n\
+             {name}_sum {}\n\
+             {name}_count {}\n",
+            sample(timer.p50.as_secs_f64()),
+            sample(timer.p95.as_secs_f64()),
+            sample(timer.total.as_secs_f64()),
+            timer.count
+        ));
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metrics;
+    use std::collections::BTreeSet;
+    use std::time::Duration;
+
+    fn populated() -> Snapshot {
+        let metrics = Metrics::enabled();
+        metrics.incr("prune.condition1", 3);
+        metrics.incr("prune.condition2", 1);
+        metrics.gauge("stream.drift", 0.25);
+        metrics.record("mine.mine", Duration::from_millis(12));
+        metrics.record("mine.mine", Duration::from_millis(20));
+        metrics.snapshot()
+    }
+
+    #[test]
+    fn counters_get_total_suffix_and_type_line() {
+        let text = populated().to_openmetrics();
+        assert!(
+            text.contains("# TYPE irma_prune_condition1 counter\n"),
+            "{text}"
+        );
+        assert!(text.contains("irma_prune_condition1_total 3\n"), "{text}");
+    }
+
+    #[test]
+    fn timers_become_second_summaries() {
+        let text = populated().to_openmetrics();
+        assert!(
+            text.contains("# TYPE irma_mine_mine_seconds summary\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("irma_mine_mine_seconds{quantile=\"0.5\"} 0.012\n"),
+            "{text}"
+        );
+        assert!(text.contains("irma_mine_mine_seconds_sum 0.032"), "{text}");
+        assert!(text.contains("irma_mine_mine_seconds_count 2\n"), "{text}");
+    }
+
+    #[test]
+    fn type_precedes_samples_no_duplicate_names_and_eof_terminates() {
+        let text = populated().to_openmetrics();
+        assert!(text.ends_with("# EOF\n"), "{text}");
+        let mut declared = BTreeSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap().to_string();
+                assert!(declared.insert(name.clone()), "duplicate # TYPE {name}");
+            } else if line != "# EOF" {
+                // Every sample must belong to a previously declared family.
+                let sample_name = line
+                    .split([' ', '{'])
+                    .next()
+                    .unwrap()
+                    .trim_end_matches("_total")
+                    .trim_end_matches("_sum")
+                    .trim_end_matches("_count");
+                assert!(
+                    declared.contains(sample_name),
+                    "sample {line:?} before its # TYPE"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_just_eof() {
+        assert_eq!(Snapshot::default().to_openmetrics(), "# EOF\n");
+    }
+
+    #[test]
+    fn non_finite_gauges_render_openmetrics_spellings() {
+        let metrics = Metrics::enabled();
+        metrics.gauge("bad", f64::NAN);
+        metrics.gauge("hot", f64::INFINITY);
+        let text = metrics.snapshot().to_openmetrics();
+        assert!(text.contains("irma_bad NaN\n"), "{text}");
+        assert!(text.contains("irma_hot +Inf\n"), "{text}");
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize("mine.tree_build"), "irma_mine_tree_build");
+        assert_eq!(sanitize("weird-name:x"), "irma_weird_name_x");
+    }
+}

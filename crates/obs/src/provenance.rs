@@ -1,0 +1,593 @@
+//! Per-rule decision lineage ("why did rule X survive pruning while rule
+//! Y died?").
+//!
+//! The mining pipeline makes two kinds of per-rule decisions: generation
+//! thresholds (min lift/confidence/support) and the four keyword pruning
+//! conditions. A [`Provenance`] handle — same `Option<Arc<Mutex<..>>>`
+//! shape as [`Metrics`](crate::Metrics), disabled by default and one
+//! branch per call when disabled — records every such decision keyed by
+//! the rule's `(antecedent, consequent)` item ids, so the CLI `explain`
+//! subcommand can replay the exact path afterwards.
+//!
+//! Rules are identified by raw item ids (`u32`); this crate knows nothing
+//! about catalogs, so every renderer takes a `labeler` closure mapping an
+//! id to its human label.
+//!
+//! Pruning uses *marking* semantics (a rule dominated by an itself-dead
+//! rule is still removed), which makes chains the interesting case: the
+//! recorder keeps **every** winner/loser edge — including kills of
+//! already-dead rules (`effective: false`) — so
+//! [`Provenance::render_explain`] can walk the full chain, e.g. "A lost
+//! to B, and B itself lost to C".
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A rule's identity: sorted antecedent and consequent item ids.
+pub type RuleKey = (Vec<u32>, Vec<u32>);
+
+/// The metric inputs of one rule, as the recorder needs them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleInfo {
+    /// Antecedent item ids (sorted).
+    pub antecedent: Vec<u32>,
+    /// Consequent item ids (sorted).
+    pub consequent: Vec<u32>,
+    /// Absolute support count of the full itemset.
+    pub support_count: u64,
+    /// Rule support P(X, Y).
+    pub support: f64,
+    /// Rule confidence P(Y | X).
+    pub confidence: f64,
+    /// Rule lift.
+    pub lift: f64,
+}
+
+impl RuleInfo {
+    fn key(&self) -> RuleKey {
+        (self.antecedent.clone(), self.consequent.clone())
+    }
+}
+
+/// Why a candidate rule was dropped at generation time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenFilter {
+    /// Which threshold fired: `"lift"`, `"confidence"`, or `"support"`.
+    pub metric: &'static str,
+    /// The rule's value of that metric.
+    pub value: f64,
+    /// The configured floor it failed.
+    pub threshold: f64,
+}
+
+/// Which side of a pruning decision a rule was on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneRole {
+    /// This rule dominated the opponent.
+    Winner,
+    /// This rule was removed (or would have been, were it still alive).
+    Loser,
+}
+
+/// One pairwise pruning decision, recorded on both participants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneStep {
+    /// Paper condition number (1–4).
+    pub condition: u8,
+    /// This rule's side of the decision.
+    pub role: PruneRole,
+    /// The other rule of the nested pair.
+    pub opponent: RuleKey,
+    /// Which comparison decided: `"lift"`, `"support"`, or
+    /// `"lift+support"` (condition 2's two-part short-rule branch).
+    pub branch: &'static str,
+    /// The relaxation margin (`C_lift` or `C_supp`) used.
+    pub margin: f64,
+    /// Human-readable rendering of the comparison actually evaluated,
+    /// e.g. `1.50 x 1.11 = 1.67 >= 1.33`.
+    pub detail: String,
+    /// Whether the loser was still alive when the decision fired. A
+    /// `false` here is a marking-chain echo: the loser was already dead,
+    /// but the edge still documents domination.
+    pub effective: bool,
+}
+
+/// Everything recorded about one rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleProvenance {
+    /// The rule's metric inputs.
+    pub info: RuleInfo,
+    /// Set when the rule was dropped by a generation threshold.
+    pub filtered: Option<GenFilter>,
+    /// Pruning decisions this rule participated in, in evaluation order.
+    pub steps: Vec<PruneStep>,
+    /// Pairwise comparisons evaluated against this rule that decided
+    /// nothing (neither branch of the condition fired).
+    pub undecided_comparisons: u64,
+    /// Final pruning verdict: `Some(true)` kept, `Some(false)` pruned,
+    /// `None` when keyword pruning never saw the rule.
+    pub kept: Option<bool>,
+}
+
+impl RuleProvenance {
+    fn new(info: RuleInfo) -> RuleProvenance {
+        RuleProvenance {
+            info,
+            filtered: None,
+            steps: Vec::new(),
+            undecided_comparisons: 0,
+            kept: None,
+        }
+    }
+
+    /// The first effective losing decision, if the rule was pruned.
+    pub fn killed_by(&self) -> Option<&PruneStep> {
+        self.steps
+            .iter()
+            .find(|s| s.role == PruneRole::Loser && s.effective)
+    }
+}
+
+/// A cloneable handle to a provenance recorder; disabled (free) by
+/// default, mirroring [`Metrics`](crate::Metrics).
+#[derive(Debug, Clone, Default)]
+pub struct Provenance {
+    sink: Option<Arc<Mutex<BTreeMap<RuleKey, RuleProvenance>>>>,
+}
+
+impl Provenance {
+    /// A recording handle.
+    pub fn enabled() -> Provenance {
+        Provenance {
+            sink: Some(Arc::new(Mutex::new(BTreeMap::new()))),
+        }
+    }
+
+    /// The no-op handle (same as `Provenance::default`).
+    pub fn disabled() -> Provenance {
+        Provenance::default()
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    fn lock(&self) -> Option<MutexGuard<'_, BTreeMap<RuleKey, RuleProvenance>>> {
+        self.sink
+            .as_ref()
+            .map(|sink| sink.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Records a candidate rule seen at generation time; `filtered` names
+    /// the threshold that dropped it (or `None` when it passed).
+    pub fn record_candidate(&self, info: RuleInfo, filtered: Option<GenFilter>) {
+        if let Some(mut map) = self.lock() {
+            let entry = map
+                .entry(info.key())
+                .or_insert_with(|| RuleProvenance::new(info));
+            entry.filtered = filtered;
+        }
+    }
+
+    /// Records one pairwise pruning decision on both participants.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_decision(
+        &self,
+        condition: u8,
+        branch: &'static str,
+        margin: f64,
+        detail: &str,
+        winner: &RuleInfo,
+        loser: &RuleInfo,
+        effective: bool,
+    ) {
+        let Some(mut map) = self.lock() else {
+            return;
+        };
+        let mut push = |me: &RuleInfo, role: PruneRole, opponent: &RuleInfo| {
+            map.entry(me.key())
+                .or_insert_with(|| RuleProvenance::new(me.clone()))
+                .steps
+                .push(PruneStep {
+                    condition,
+                    role,
+                    opponent: opponent.key(),
+                    branch,
+                    margin,
+                    detail: detail.to_string(),
+                    effective,
+                });
+        };
+        push(winner, PruneRole::Winner, loser);
+        push(loser, PruneRole::Loser, winner);
+    }
+
+    /// Counts a pairwise comparison that decided nothing, on both rules.
+    pub fn record_undecided(&self, a: &RuleInfo, b: &RuleInfo) {
+        if let Some(mut map) = self.lock() {
+            for info in [a, b] {
+                map.entry(info.key())
+                    .or_insert_with(|| RuleProvenance::new(info.clone()))
+                    .undecided_comparisons += 1;
+            }
+        }
+    }
+
+    /// Records a rule's final pruning verdict.
+    pub fn mark_kept(&self, info: &RuleInfo, kept: bool) {
+        if let Some(mut map) = self.lock() {
+            map.entry(info.key())
+                .or_insert_with(|| RuleProvenance::new(info.clone()))
+                .kept = Some(kept);
+        }
+    }
+
+    /// The record for one rule key, if any decision touched it.
+    pub fn get(&self, antecedent: &[u32], consequent: &[u32]) -> Option<RuleProvenance> {
+        self.lock()?
+            .get(&(antecedent.to_vec(), consequent.to_vec()))
+            .cloned()
+    }
+
+    /// All records, sorted by rule key.
+    pub fn records(&self) -> Vec<RuleProvenance> {
+        self.lock()
+            .map(|map| map.values().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Serializes every record as one JSON object per line (JSONL), ids
+    /// and labels both included. Schema documented in DESIGN.md §4.
+    pub fn to_jsonl(&self, labeler: &dyn Fn(u32) -> String) -> String {
+        let mut out = String::new();
+        for record in self.records() {
+            out.push_str(&record_to_json(&record, labeler));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the decision path for one rule as human-readable text,
+    /// following winner edges through marking chains (a winner that was
+    /// itself pruned gets its own indented explanation, recursively).
+    ///
+    /// Returns `None` when the rule was never recorded.
+    pub fn render_explain(
+        &self,
+        antecedent: &[u32],
+        consequent: &[u32],
+        labeler: &dyn Fn(u32) -> String,
+    ) -> Option<String> {
+        let map = self.lock()?;
+        let key = (antecedent.to_vec(), consequent.to_vec());
+        map.get(&key)?;
+        let mut out = String::new();
+        let mut visited = Vec::new();
+        render_chain(&map, &key, labeler, 0, &mut visited, &mut out);
+        Some(out)
+    }
+}
+
+fn render_key(key: &RuleKey, labeler: &dyn Fn(u32) -> String) -> String {
+    let side = |items: &[u32]| {
+        items
+            .iter()
+            .map(|&i| labeler(i))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!("{{{}}} => {{{}}}", side(&key.0), side(&key.1))
+}
+
+/// Renders one rule's record at `depth`, then recurses into the winner of
+/// its fatal decision (marking chains). `visited` guards against cycles,
+/// which cannot arise from the pruner but are cheap to rule out.
+fn render_chain(
+    map: &BTreeMap<RuleKey, RuleProvenance>,
+    key: &RuleKey,
+    labeler: &dyn Fn(u32) -> String,
+    depth: usize,
+    visited: &mut Vec<RuleKey>,
+    out: &mut String,
+) {
+    const MAX_DEPTH: usize = 8;
+    let pad = "  ".repeat(depth);
+    let Some(record) = map.get(key) else {
+        out.push_str(&format!(
+            "{pad}{} (no recorded decisions)\n",
+            render_key(key, labeler)
+        ));
+        return;
+    };
+    let info = &record.info;
+    out.push_str(&format!(
+        "{pad}rule {}\n{pad}  supp={:.4} conf={:.4} lift={:.4} (count={})\n",
+        render_key(key, labeler),
+        info.support,
+        info.confidence,
+        info.lift,
+        info.support_count
+    ));
+    if let Some(filter) = &record.filtered {
+        out.push_str(&format!(
+            "{pad}  generation: dropped — {} {:.4} below threshold {:.4}\n",
+            filter.metric, filter.value, filter.threshold
+        ));
+    }
+    // A strong short rule can beat hundreds of longer ones; cap the win
+    // listing (losses are always shown — they are the interesting part).
+    const MAX_WINS: usize = 12;
+    let mut wins_shown = 0usize;
+    let mut wins_suppressed = 0usize;
+    for step in &record.steps {
+        if step.role == PruneRole::Winner {
+            wins_shown += 1;
+            if wins_shown > MAX_WINS {
+                wins_suppressed += 1;
+                continue;
+            }
+        }
+        let role = match step.role {
+            PruneRole::Winner => "beat",
+            PruneRole::Loser => "LOST to",
+        };
+        let echo = if step.effective {
+            ""
+        } else {
+            " [already dead]"
+        };
+        out.push_str(&format!(
+            "{pad}  condition {} ({} branch, C={:.2}): {role} {} — {}{echo}\n",
+            step.condition,
+            step.branch,
+            step.margin,
+            render_key(&step.opponent, labeler),
+            step.detail,
+        ));
+    }
+    if wins_suppressed > 0 {
+        out.push_str(&format!(
+            "{pad}  ... and {wins_suppressed} more win(s) not shown\n"
+        ));
+    }
+    if record.undecided_comparisons > 0 {
+        out.push_str(&format!(
+            "{pad}  {} pairwise comparison(s) decided nothing\n",
+            record.undecided_comparisons
+        ));
+    }
+    match record.kept {
+        Some(true) => out.push_str(&format!("{pad}  verdict: KEPT\n")),
+        Some(false) => {
+            if let Some(fatal) = record.killed_by() {
+                out.push_str(&format!(
+                    "{pad}  verdict: PRUNED by condition {} (winner: {})\n",
+                    fatal.condition,
+                    render_key(&fatal.opponent, labeler)
+                ));
+                // Marking chains: explain the winner's own fate, which may
+                // itself be "pruned" — that is exactly the chain operators
+                // need to see.
+                if depth < MAX_DEPTH && !visited.contains(&fatal.opponent) {
+                    visited.push(key.clone());
+                    let winner = fatal.opponent.clone();
+                    if !visited.contains(&winner) {
+                        out.push_str(&format!("{pad}  the winner's own fate:\n"));
+                        render_chain(map, &winner, labeler, depth + 2, visited, out);
+                    }
+                }
+            } else {
+                out.push_str(&format!("{pad}  verdict: PRUNED\n"));
+            }
+        }
+        None => {
+            if record.filtered.is_some() {
+                out.push_str(&format!("{pad}  verdict: never reached pruning\n"));
+            } else {
+                out.push_str(&format!(
+                    "{pad}  verdict: not part of this keyword analysis\n"
+                ));
+            }
+        }
+    }
+}
+
+fn json_items(items: &[u32], labeler: &dyn Fn(u32) -> String) -> (String, String) {
+    let ids = items
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let labels = items
+        .iter()
+        .map(|&i| format!("\"{}\"", crate::json::escape(&labeler(i))))
+        .collect::<Vec<_>>()
+        .join(",");
+    (format!("[{ids}]"), format!("[{labels}]"))
+}
+
+fn record_to_json(record: &RuleProvenance, labeler: &dyn Fn(u32) -> String) -> String {
+    let info = &record.info;
+    let (ante_ids, ante_labels) = json_items(&info.antecedent, labeler);
+    let (cons_ids, cons_labels) = json_items(&info.consequent, labeler);
+    let mut out = format!(
+        "{{\"antecedent\":{ante_ids},\"consequent\":{cons_ids},\
+         \"antecedent_labels\":{ante_labels},\"consequent_labels\":{cons_labels},\
+         \"support_count\":{},\"support\":{},\"confidence\":{},\"lift\":{}",
+        info.support_count,
+        crate::json::f64_value(info.support),
+        crate::json::f64_value(info.confidence),
+        crate::json::f64_value(info.lift),
+    );
+    match &record.filtered {
+        Some(f) => out.push_str(&format!(
+            ",\"filtered\":{{\"metric\":\"{}\",\"value\":{},\"threshold\":{}}}",
+            f.metric,
+            crate::json::f64_value(f.value),
+            crate::json::f64_value(f.threshold)
+        )),
+        None => out.push_str(",\"filtered\":null"),
+    }
+    out.push_str(",\"steps\":[");
+    for (i, step) in record.steps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (op_ante, _) = json_items(&step.opponent.0, labeler);
+        let (op_cons, _) = json_items(&step.opponent.1, labeler);
+        out.push_str(&format!(
+            "{{\"condition\":{},\"role\":\"{}\",\"opponent\":{{\"antecedent\":{op_ante},\"consequent\":{op_cons}}},\
+             \"branch\":\"{}\",\"margin\":{},\"detail\":\"{}\",\"effective\":{}}}",
+            step.condition,
+            match step.role {
+                PruneRole::Winner => "winner",
+                PruneRole::Loser => "loser",
+            },
+            step.branch,
+            crate::json::f64_value(step.margin),
+            crate::json::escape(&step.detail),
+            step.effective
+        ));
+    }
+    out.push_str(&format!(
+        "],\"undecided_comparisons\":{},\"kept\":{}}}",
+        record.undecided_comparisons,
+        match record.kept {
+            Some(true) => "true",
+            Some(false) => "false",
+            None => "null",
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(ante: &[u32], cons: &[u32], lift: f64) -> RuleInfo {
+        RuleInfo {
+            antecedent: ante.to_vec(),
+            consequent: cons.to_vec(),
+            support_count: 10,
+            support: 0.1,
+            confidence: 0.5,
+            lift,
+        }
+    }
+
+    fn labels(i: u32) -> String {
+        format!("item{i}")
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let p = Provenance::disabled();
+        assert!(!p.is_enabled());
+        p.record_candidate(info(&[0], &[1], 2.0), None);
+        p.mark_kept(&info(&[0], &[1], 2.0), true);
+        assert!(p.records().is_empty());
+        assert!(p.get(&[0], &[1]).is_none());
+        assert!(p.render_explain(&[0], &[1], &labels).is_none());
+        assert_eq!(p.to_jsonl(&labels), "");
+    }
+
+    #[test]
+    fn decisions_land_on_both_rules() {
+        let p = Provenance::enabled();
+        let winner = info(&[0], &[2], 3.0);
+        let loser = info(&[0, 1], &[2], 3.2);
+        p.record_decision(
+            1,
+            "lift",
+            1.5,
+            "1.50 x 3.00 = 4.50 >= 3.20",
+            &winner,
+            &loser,
+            true,
+        );
+        let w = p.get(&[0], &[2]).unwrap();
+        assert_eq!(w.steps[0].role, PruneRole::Winner);
+        let l = p.get(&[0, 1], &[2]).unwrap();
+        assert_eq!(l.steps[0].role, PruneRole::Loser);
+        assert!(l.killed_by().is_some());
+        assert_eq!(l.steps[0].opponent, (vec![0], vec![2]));
+    }
+
+    #[test]
+    fn explain_renders_marking_chain() {
+        // C kills B (B alive), B kills A: the chain A -> B -> C must all
+        // appear in A's explanation.
+        let p = Provenance::enabled();
+        let a = info(&[0], &[9], 2.0);
+        let b = info(&[0, 1], &[9], 2.1);
+        let c = info(&[0, 1, 2], &[9], 2.2);
+        p.record_decision(1, "support", 1.5, "s", &b, &a, true);
+        p.record_decision(1, "lift", 1.5, "l", &c, &b, true);
+        p.mark_kept(&a, false);
+        p.mark_kept(&b, false);
+        p.mark_kept(&c, true);
+        let text = p.render_explain(&[0], &[9], &labels).unwrap();
+        assert!(text.contains("LOST to {item0, item1} => {item9}"), "{text}");
+        assert!(text.contains("the winner's own fate:"), "{text}");
+        assert!(text.contains("{item0, item1, item2} => {item9}"), "{text}");
+        assert!(text.contains("verdict: KEPT"), "{text}");
+    }
+
+    #[test]
+    fn filtered_rules_explainable() {
+        let p = Provenance::enabled();
+        p.record_candidate(
+            info(&[0], &[1], 1.2),
+            Some(GenFilter {
+                metric: "lift",
+                value: 1.2,
+                threshold: 1.5,
+            }),
+        );
+        let text = p.render_explain(&[0], &[1], &labels).unwrap();
+        assert!(text.contains("generation: dropped"), "{text}");
+        assert!(text.contains("never reached pruning"), "{text}");
+    }
+
+    #[test]
+    fn jsonl_one_line_per_rule_and_balanced() {
+        let p = Provenance::enabled();
+        let winner = info(&[0], &[2], 3.0);
+        let loser = info(&[0, 1], &[2], 3.2);
+        p.record_candidate(winner.clone(), None);
+        p.record_candidate(loser.clone(), None);
+        p.record_decision(1, "lift", 1.5, "d", &winner, &loser, true);
+        p.mark_kept(&winner, true);
+        p.mark_kept(&loser, false);
+        let jsonl = p.to_jsonl(&labels);
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+            assert!(line.contains("\"antecedent_labels\":[\"item0\""), "{line}");
+        }
+        assert!(jsonl.contains("\"kept\":true"));
+        assert!(jsonl.contains("\"kept\":false"));
+    }
+
+    #[test]
+    fn undecided_comparisons_counted() {
+        let p = Provenance::enabled();
+        let a = info(&[0], &[2], 2.0);
+        let b = info(&[0, 1], &[2], 9.0);
+        p.record_undecided(&a, &b);
+        p.record_undecided(&a, &b);
+        assert_eq!(p.get(&[0], &[2]).unwrap().undecided_comparisons, 2);
+    }
+
+    #[test]
+    fn handle_is_send_sync_and_shared() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Provenance>();
+        let p = Provenance::enabled();
+        let clone = p.clone();
+        clone.record_candidate(info(&[3], &[4], 1.0), None);
+        assert!(p.get(&[3], &[4]).is_some());
+    }
+}

@@ -53,8 +53,8 @@ impl BinEdges {
         sorted.sort_unstable_by(f64::total_cmp);
         let edges = match scheme {
             BinningScheme::EqualFrequency => (1..n_bins)
-                .map(|i| quantile_sorted(&sorted, i as f64 / n_bins as f64))
-                .collect(),
+                .map(|i| try_quantile_sorted(&sorted, i as f64 / n_bins as f64))
+                .collect::<Option<Vec<f64>>>()?,
             BinningScheme::EqualWidth => {
                 let lo = sorted[0];
                 let hi = sorted[sorted.len() - 1];
@@ -97,23 +97,32 @@ impl BinEdges {
 ///
 /// Non-finite entries are ignored: total order puts `-NaN`/`-inf` before
 /// and `+inf`/`+NaN` after every finite value, so the finite region is a
-/// contiguous sub-slice and the quantile is taken over it alone. Panics
-/// when no finite value remains (the all-sentinel column is a caller
-/// decision — [`BinEdges::fit`] maps it to `None`).
-pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+/// contiguous sub-slice and the quantile is taken over it alone. Returns
+/// `None` when no finite value remains — the all-sentinel column (every
+/// sample NaN, e.g. a GPU metric on a CPU-only pool) is a caller decision,
+/// not a crash; [`BinEdges::fit`] propagates it as `None`.
+pub fn try_quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&q));
     let start = sorted.partition_point(|v| !v.is_finite() && v.is_sign_negative());
     let end = sorted.partition_point(|v| v.is_finite() || v.is_sign_negative());
     let finite = &sorted[start..end];
-    assert!(!finite.is_empty(), "no finite values to take a quantile of");
+    if finite.is_empty() {
+        return None;
+    }
     if finite.len() == 1 {
-        return finite[0];
+        return Some(finite[0]);
     }
     let pos = q * (finite.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
-    finite[lo] * (1.0 - frac) + finite[hi] * frac
+    Some(finite[lo] * (1.0 - frac) + finite[hi] * frac)
+}
+
+/// Infallible wrapper over [`try_quantile_sorted`] for callers that have
+/// already established at least one finite value. Panics otherwise.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    try_quantile_sorted(sorted, q).expect("no finite values to take a quantile of")
 }
 
 /// Detects a "standard value" spike: the modal value if it covers at least
@@ -250,6 +259,29 @@ mod tests {
         assert_eq!(quantile_sorted(&sorted, 0.0), 0.0);
         assert_eq!(quantile_sorted(&sorted, 0.5), 15.0);
         assert_eq!(quantile_sorted(&sorted, 1.0), 30.0);
+    }
+
+    #[test]
+    fn try_quantile_none_replaces_the_panic() {
+        // The old `quantile_sorted` asserted on an all-sentinel slice; the
+        // fallible form reports it as data, not a crash.
+        let mut sorted = vec![-f64::NAN, f64::NEG_INFINITY, f64::INFINITY, f64::NAN];
+        sorted.sort_unstable_by(f64::total_cmp);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(try_quantile_sorted(&sorted, q), None);
+        }
+        assert_eq!(try_quantile_sorted(&[], 0.5), None);
+        // One finite value among sentinels is enough for every quantile.
+        sorted.push(7.0);
+        sorted.sort_unstable_by(f64::total_cmp);
+        assert_eq!(try_quantile_sorted(&sorted, 0.0), Some(7.0));
+        assert_eq!(try_quantile_sorted(&sorted, 1.0), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no finite values")]
+    fn infallible_quantile_still_panics() {
+        quantile_sorted(&[f64::NAN], 0.5);
     }
 
     #[test]

@@ -31,7 +31,7 @@ mod binning;
 mod encode;
 mod spec;
 
-pub use binning::{detect_spike, quantile_sorted, BinEdges, BinningScheme};
+pub use binning::{detect_spike, quantile_sorted, try_quantile_sorted, BinEdges, BinningScheme};
 pub use encode::{
     encode, encode_with, fit, EncodeReport, Encoded, FittedEncoder, FrequencyFit, NumericFit,
 };

@@ -7,9 +7,9 @@
 //! confidence then lift, matching how the paper's tables are ordered.
 
 use irma_mine::{ItemCatalog, ItemId};
-use irma_obs::Metrics;
+use irma_obs::{Metrics, Provenance};
 
-use crate::prune::{prune_rules_with, PruneOutcome, PruneParams};
+use crate::prune::{prune_rules_traced, PruneOutcome, PruneParams};
 use crate::rule::{Rule, RuleRole};
 
 /// The pruned, classified rule set for one analysis keyword.
@@ -38,7 +38,19 @@ impl KeywordAnalysis {
         params: &PruneParams,
         metrics: &Metrics,
     ) -> KeywordAnalysis {
-        let outcome = prune_rules_with(rules, keyword, params, metrics);
+        KeywordAnalysis::run_traced(rules, keyword, params, metrics, &Provenance::disabled())
+    }
+
+    /// [`KeywordAnalysis::run_with`] plus per-rule decision lineage in
+    /// `provenance` (see [`prune_rules_traced`]).
+    pub fn run_traced(
+        rules: &[Rule],
+        keyword: ItemId,
+        params: &PruneParams,
+        metrics: &Metrics,
+        provenance: &Provenance,
+    ) -> KeywordAnalysis {
+        let outcome = prune_rules_traced(rules, keyword, params, metrics, provenance);
         let mut causes = Vec::new();
         let mut characteristics = Vec::new();
         for rule in &outcome.kept {

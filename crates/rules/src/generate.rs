@@ -7,7 +7,7 @@
 //! mined family; no database rescans. Itemsets are processed in parallel
 //! with rayon (each is independent).
 
-use irma_obs::Metrics;
+use irma_obs::{GenFilter, Metrics, Provenance};
 use rayon::prelude::*;
 
 use irma_mine::FrequentItemsets;
@@ -61,8 +61,20 @@ pub fn generate_rules_with(
     config: &RuleConfig,
     metrics: &Metrics,
 ) -> Vec<Rule> {
+    generate_rules_traced(frequent, config, metrics, &Provenance::disabled())
+}
+
+/// [`generate_rules_with`] plus per-candidate lineage: every candidate
+/// rule lands in `provenance` — either as a survivor or tagged with the
+/// first threshold (`lift`, `confidence`, `support`) that dropped it.
+pub fn generate_rules_traced(
+    frequent: &FrequentItemsets,
+    config: &RuleConfig,
+    metrics: &Metrics,
+    provenance: &Provenance,
+) -> Vec<Rule> {
     let mut span = metrics.span("rules.generate");
-    let rules = generate_rules_inner(frequent, config);
+    let rules = generate_rules_inner(frequent, config, provenance);
     span.field("itemsets_in", frequent.len() as u64);
     span.field(
         "candidate_itemsets",
@@ -72,7 +84,37 @@ pub fn generate_rules_with(
     rules
 }
 
-fn generate_rules_inner(frequent: &FrequentItemsets, config: &RuleConfig) -> Vec<Rule> {
+/// Which generation threshold (if any) rejects `rule`, checked in the
+/// order the filter short-circuits.
+fn gen_filter(rule: &Rule, config: &RuleConfig) -> Option<GenFilter> {
+    if rule.lift < config.min_lift {
+        Some(GenFilter {
+            metric: "lift",
+            value: rule.lift,
+            threshold: config.min_lift,
+        })
+    } else if rule.confidence < config.min_confidence {
+        Some(GenFilter {
+            metric: "confidence",
+            value: rule.confidence,
+            threshold: config.min_confidence,
+        })
+    } else if rule.support < config.min_support {
+        Some(GenFilter {
+            metric: "support",
+            value: rule.support,
+            threshold: config.min_support,
+        })
+    } else {
+        None
+    }
+}
+
+fn generate_rules_inner(
+    frequent: &FrequentItemsets,
+    config: &RuleConfig,
+    provenance: &Provenance,
+) -> Vec<Rule> {
     let n = frequent.n_transactions();
     let mut rules: Vec<Rule> = frequent
         .as_slice()
@@ -90,10 +132,11 @@ fn generate_rules_inner(frequent: &FrequentItemsets, config: &RuleConfig) -> Vec
                     .expect("downward closure: consequent must be frequent");
                 let rule =
                     Rule::from_counts(antecedent, consequent, *xy_count, x_count, y_count, n);
-                if rule.lift >= config.min_lift
-                    && rule.confidence >= config.min_confidence
-                    && rule.support >= config.min_support
-                {
+                let filtered = gen_filter(&rule, config);
+                if provenance.is_enabled() {
+                    provenance.record_candidate(rule.provenance_info(), filtered);
+                }
+                if filtered.is_none() {
                     local.push(rule);
                 }
             }

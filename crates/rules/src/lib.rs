@@ -41,8 +41,9 @@ mod rule;
 pub use analysis::KeywordAnalysis;
 pub use classify::{Evaluation, RuleClassifier};
 pub use compare::{compare_rules, label_rules, LabeledRule, RuleComparison};
-pub use generate::{generate_rules, generate_rules_with, RuleConfig};
+pub use generate::{generate_rules, generate_rules_traced, generate_rules_with, RuleConfig};
 pub use prune::{
-    prune_rules, prune_rules_with, PruneCondition, PruneOutcome, PruneParams, PruneRecord,
+    prune_rules, prune_rules_traced, prune_rules_with, PruneCondition, PruneOutcome, PruneParams,
+    PruneRecord,
 };
 pub use rule::{Rule, RuleRole};

@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 
 use irma_mine::{ItemId, Itemset};
-use irma_obs::Metrics;
+use irma_obs::{Metrics, Provenance};
 
 use crate::rule::{Rule, RuleRole};
 
@@ -122,6 +122,16 @@ impl PruneCondition {
             PruneCondition::Condition4 => "condition4",
         }
     }
+
+    /// The paper's condition number (1–4).
+    pub fn number(self) -> u8 {
+        match self {
+            PruneCondition::Condition1 => 1,
+            PruneCondition::Condition2 => 2,
+            PruneCondition::Condition3 => 3,
+            PruneCondition::Condition4 => 4,
+        }
+    }
 }
 
 /// Applies the four pruning conditions to `rules` for one `keyword`.
@@ -142,8 +152,22 @@ pub fn prune_rules_with(
     params: &PruneParams,
     metrics: &Metrics,
 ) -> PruneOutcome {
+    prune_rules_traced(rules, keyword, params, metrics, &Provenance::disabled())
+}
+
+/// [`prune_rules_with`] plus per-rule decision lineage: every pairwise
+/// winner/loser edge (including marking-chain echoes on already-dead
+/// rules), the branch and margin that decided it, undecided comparisons,
+/// and each relevant rule's final verdict land in `provenance`.
+pub fn prune_rules_traced(
+    rules: &[Rule],
+    keyword: ItemId,
+    params: &PruneParams,
+    metrics: &Metrics,
+    provenance: &Provenance,
+) -> PruneOutcome {
     let mut span = metrics.span("rules.prune");
-    let outcome = prune_rules_inner(rules, keyword, params);
+    let outcome = prune_rules_inner(rules, keyword, params, provenance);
     span.field("rules_in", outcome.total() as u64);
     span.field("kept", outcome.kept.len() as u64);
     for condition in PruneCondition::all() {
@@ -156,7 +180,12 @@ pub fn prune_rules_with(
     outcome
 }
 
-fn prune_rules_inner(rules: &[Rule], keyword: ItemId, params: &PruneParams) -> PruneOutcome {
+fn prune_rules_inner(
+    rules: &[Rule],
+    keyword: ItemId,
+    params: &PruneParams,
+    provenance: &Provenance,
+) -> PruneOutcome {
     params.validate().expect("invalid prune params");
 
     let mut relevant: Vec<Rule> = rules
@@ -181,7 +210,14 @@ fn prune_rules_inner(rules: &[Rule], keyword: ItemId, params: &PruneParams) -> P
             params,
             &mut alive,
             &mut pruned,
+            provenance,
         );
+    }
+
+    if provenance.is_enabled() {
+        for (rule, &is_alive) in relevant.iter().zip(&alive) {
+            provenance.mark_kept(&rule.provenance_info(), is_alive);
+        }
     }
 
     let kept: Vec<Rule> = relevant
@@ -194,6 +230,7 @@ fn prune_rules_inner(rules: &[Rule], keyword: ItemId, params: &PruneParams) -> P
 }
 
 /// Groups rule indices by a side and applies one condition within groups.
+#[allow(clippy::too_many_arguments)]
 fn apply_condition(
     condition: PruneCondition,
     rules: &[Rule],
@@ -201,6 +238,7 @@ fn apply_condition(
     params: &PruneParams,
     alive: &mut [bool],
     pruned: &mut Vec<PruneRecord>,
+    provenance: &Provenance,
 ) {
     // Conditions 1 and 4 compare rules sharing a consequent; 2 and 3 share
     // an antecedent.
@@ -253,23 +291,50 @@ fn apply_condition(
                     continue;
                 };
 
-                if let Some(loser) = decide(condition, &rules[short], &rules[long], keyword, params)
-                {
-                    let (loser_idx, winner_idx) = if loser == Loser::Short {
-                        (short, long)
-                    } else {
-                        (long, short)
-                    };
-                    // Marking semantics: the winner prunes even if it was
-                    // itself pruned earlier; record each loss once.
-                    if alive[loser_idx] {
-                        alive[loser_idx] = false;
-                        pruned.push(PruneRecord {
-                            rule: rules[loser_idx].clone(),
-                            condition,
-                            dominated_by: rules[winner_idx].key(),
-                        });
+                match decide(condition, &rules[short], &rules[long], keyword, params) {
+                    Verdict::Prune(decision) => {
+                        let (loser_idx, winner_idx) = if decision.loser == Loser::Short {
+                            (short, long)
+                        } else {
+                            (long, short)
+                        };
+                        if provenance.is_enabled() {
+                            provenance.record_decision(
+                                condition.number(),
+                                decision.branch,
+                                decision.margin,
+                                &render_detail(
+                                    condition,
+                                    &decision,
+                                    &rules[short],
+                                    &rules[long],
+                                    params,
+                                ),
+                                &rules[winner_idx].provenance_info(),
+                                &rules[loser_idx].provenance_info(),
+                                alive[loser_idx],
+                            );
+                        }
+                        // Marking semantics: the winner prunes even if it was
+                        // itself pruned earlier; record each loss once.
+                        if alive[loser_idx] {
+                            alive[loser_idx] = false;
+                            pruned.push(PruneRecord {
+                                rule: rules[loser_idx].clone(),
+                                condition,
+                                dominated_by: rules[winner_idx].key(),
+                            });
+                        }
                     }
+                    Verdict::Undecided => {
+                        if provenance.is_enabled() {
+                            provenance.record_undecided(
+                                &rules[short].provenance_info(),
+                                &rules[long].provenance_info(),
+                            );
+                        }
+                    }
+                    Verdict::NotApplicable => {}
                 }
             }
         }
@@ -285,66 +350,148 @@ enum Loser {
     Long,
 }
 
-/// Evaluates one condition for a nested pair; `None` = no prune.
+/// A firing condition: who loses, decided by which comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Decision {
+    loser: Loser,
+    /// The comparison that decided: `"lift"`, `"support"`, or
+    /// `"lift+support"` (condition 2's two-part short-rule branch).
+    branch: &'static str,
+    /// The relaxation margin the branch applied (`C_lift`, or `C_supp`
+    /// for condition 1's support branch).
+    margin: f64,
+}
+
+/// Outcome of evaluating one condition for a nested pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Verdict {
+    /// The condition's keyword placement doesn't match this pair.
+    NotApplicable,
+    /// The condition applies but neither branch fired; both rules stay.
+    Undecided,
+    /// One rule is pruned.
+    Prune(Decision),
+}
+
+/// Evaluates one condition for a nested pair.
 fn decide(
     condition: PruneCondition,
     short: &Rule,
     long: &Rule,
     keyword: ItemId,
     params: &PruneParams,
-) -> Option<Loser> {
+) -> Verdict {
     let (c_lift, c_supp) = (params.c_lift, params.c_supp);
+    let prune = |loser, branch, margin| {
+        Verdict::Prune(Decision {
+            loser,
+            branch,
+            margin,
+        })
+    };
     match condition {
         // Cause analysis: same consequent Y with K in Y; antecedents nested.
         PruneCondition::Condition1 => {
             if !short.consequent.contains(keyword) {
-                return None;
+                return Verdict::NotApplicable;
             }
             if c_lift * short.lift >= long.lift {
-                Some(Loser::Long)
+                prune(Loser::Long, "lift", c_lift)
             } else if c_supp * long.support >= short.support {
-                Some(Loser::Short)
+                prune(Loser::Short, "support", c_supp)
             } else {
-                None
+                Verdict::Undecided
             }
         }
         // Characteristic analysis: same antecedent X with K in X;
         // consequents nested.
         PruneCondition::Condition2 => {
             if !short.antecedent.contains(keyword) {
-                return None;
+                return Verdict::NotApplicable;
             }
             if c_lift * long.lift >= short.lift && c_supp * long.support >= short.support {
-                Some(Loser::Short)
+                prune(Loser::Short, "lift+support", c_lift)
             } else if c_lift * long.lift < short.lift {
-                Some(Loser::Long)
+                prune(Loser::Long, "lift", c_lift)
             } else {
-                None
+                Verdict::Undecided
             }
         }
         // Cause analysis: same antecedent; K in both nested consequents.
         PruneCondition::Condition3 => {
             if !(short.consequent.contains(keyword) && long.consequent.contains(keyword)) {
-                return None;
+                return Verdict::NotApplicable;
             }
             if c_lift * short.lift >= long.lift {
-                Some(Loser::Long)
+                prune(Loser::Long, "lift", c_lift)
             } else {
-                None
+                Verdict::Undecided
             }
         }
         // Characteristic analysis: same consequent; K in both nested
         // antecedents.
         PruneCondition::Condition4 => {
             if !(short.antecedent.contains(keyword) && long.antecedent.contains(keyword)) {
-                return None;
+                return Verdict::NotApplicable;
             }
             if c_lift * short.lift >= long.lift {
-                Some(Loser::Long)
+                prune(Loser::Long, "lift", c_lift)
             } else {
-                None
+                Verdict::Undecided
             }
         }
+    }
+}
+
+/// Renders the comparison a firing decision actually evaluated, for
+/// provenance traces (only built when a recorder is attached).
+fn render_detail(
+    condition: PruneCondition,
+    decision: &Decision,
+    short: &Rule,
+    long: &Rule,
+    params: &PruneParams,
+) -> String {
+    let (c_lift, c_supp) = (params.c_lift, params.c_supp);
+    match (condition, decision.branch) {
+        // Condition 2 short-rule branch: long covers short on both axes.
+        (PruneCondition::Condition2, "lift+support") => format!(
+            "C_lift x lift(long) = {:.2} x {:.4} = {:.4} >= lift(short) = {:.4} and \
+             C_supp x supp(long) = {:.2} x {:.4} = {:.4} >= supp(short) = {:.4}",
+            c_lift,
+            long.lift,
+            c_lift * long.lift,
+            short.lift,
+            c_supp,
+            long.support,
+            c_supp * long.support,
+            short.support
+        ),
+        // Condition 2 long-rule branch: even relaxed, long falls short.
+        (PruneCondition::Condition2, _) => format!(
+            "C_lift x lift(long) = {:.2} x {:.4} = {:.4} < lift(short) = {:.4}",
+            c_lift,
+            long.lift,
+            c_lift * long.lift,
+            short.lift
+        ),
+        // Condition 1 support branch: the long rule keeps enough support.
+        (PruneCondition::Condition1, "support") => format!(
+            "C_supp x supp(long) = {:.2} x {:.4} = {:.4} >= supp(short) = {:.4}",
+            c_supp,
+            long.support,
+            c_supp * long.support,
+            short.support
+        ),
+        // Conditions 1/3/4 lift branch: the short rule's lift, relaxed,
+        // covers the long rule's.
+        (_, _) => format!(
+            "C_lift x lift(short) = {:.2} x {:.4} = {:.4} >= lift(long) = {:.4}",
+            c_lift,
+            short.lift,
+            c_lift * short.lift,
+            long.lift
+        ),
     }
 }
 
@@ -508,6 +655,58 @@ mod tests {
         assert_eq!(event.field("kept"), Some(2));
         assert_eq!(event.field("pruned_condition1"), Some(1));
         assert_eq!(event.field("pruned_condition2"), Some(0));
+    }
+
+    #[test]
+    fn provenance_records_decisions_and_verdicts() {
+        // Same family as `dominated_rule_still_prunes`: r1 kills r2, dead
+        // r2 still dominates r3 (an echo edge), r1 also kills r3 first.
+        let r1 = mk(&[1], &[KW], 0.30, 5.0);
+        let r2 = mk(&[1, 2], &[KW], 0.20, 5.5);
+        let r3 = mk(&[1, 2, 3], &[KW], 0.18, 5.6);
+        let provenance = Provenance::enabled();
+        let out = prune_rules_traced(
+            &[r1.clone(), r2.clone(), r3.clone()],
+            KW,
+            &PruneParams::default(),
+            &Metrics::disabled(),
+            &provenance,
+        );
+        assert_eq!(out.kept, vec![r1]);
+
+        let rec1 = provenance.get(&[1], &[KW]).unwrap();
+        assert_eq!(rec1.kept, Some(true));
+        assert!(rec1.killed_by().is_none());
+        assert_eq!(rec1.steps.len(), 2); // beat r2 and r3
+
+        let rec3 = provenance.get(&[1, 2, 3], &[KW]).unwrap();
+        assert_eq!(rec3.kept, Some(false));
+        // Killed by r1 (pair order reaches (r1, r3) before (r2, r3)); the
+        // r2 edge is an echo on an already-dead rule.
+        assert_eq!(rec3.killed_by().unwrap().opponent, (vec![1], vec![KW]));
+        let echo = rec3
+            .steps
+            .iter()
+            .find(|s| s.opponent == (vec![1, 2], vec![KW]))
+            .expect("echo edge from dead r2 recorded");
+        assert!(!echo.effective);
+        assert!(echo.detail.contains("C_lift"), "{}", echo.detail);
+    }
+
+    #[test]
+    fn disabled_provenance_does_not_change_outcome() {
+        let r1 = mk(&[1], &[KW], 0.2, 3.0);
+        let r2 = mk(&[1, 2], &[KW], 0.1, 3.5);
+        let plain = prune_rules(&[r1.clone(), r2.clone()], KW, &PruneParams::default());
+        let traced = prune_rules_traced(
+            &[r1, r2],
+            KW,
+            &PruneParams::default(),
+            &Metrics::disabled(),
+            &Provenance::enabled(),
+        );
+        assert_eq!(plain.kept, traced.kept);
+        assert_eq!(plain.pruned, traced.pruned);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate the CLI's OpenMetrics exposition and JSONL trace log.
+
+Usage: check_openmetrics.py METRICS_FILE [TRACE_JSONL]
+
+Checks on the OpenMetrics file:
+
+* every sample line belongs to a metric family announced by a prior
+  `# TYPE` line (TYPE-before-samples);
+* no metric family is announced twice (no duplicate names);
+* summary suffixes (`_sum`, `_count`) and counter totals (`_total`)
+  resolve to their family name;
+* the exposition ends with exactly one `# EOF` line and nothing after it.
+
+Checks on the trace log (when given): every line parses as a JSON object
+carrying the envelope keys (`event`, `run`, `seq`, `offset_us`), `seq` is
+dense from 0, and every `span_close` closes a previously opened span.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def family_of(name: str) -> str:
+    """Strips the OpenMetrics sample suffixes down to the family name."""
+    for suffix in ("_total", "_sum", "_count", "_bucket", "_created"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_openmetrics(path: str) -> int:
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        fail(f"{path}: empty exposition")
+    if lines[-1] != "# EOF":
+        fail(f"{path}: last line must be '# EOF', got {lines[-1]!r}")
+    if lines.count("# EOF") != 1:
+        fail(f"{path}: '# EOF' must appear exactly once")
+
+    declared: dict[str, str] = {}
+    samples = 0
+    for n, line in enumerate(lines[:-1], start=1):
+        if not line:
+            fail(f"{path}:{n}: blank line inside exposition")
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) < 4 or parts[1] not in ("TYPE", "HELP", "UNIT"):
+                fail(f"{path}:{n}: malformed comment line {line!r}")
+            if parts[1] == "TYPE":
+                name, kind = parts[2], parts[3]
+                if name in declared:
+                    fail(f"{path}:{n}: duplicate TYPE for {name}")
+                declared[name] = kind
+            continue
+        # Sample line: <name>[{labels}] <value>
+        name = line.split("{", 1)[0].split(" ", 1)[0]
+        family = family_of(name)
+        if family not in declared:
+            fail(
+                f"{path}:{n}: sample {name!r} has no preceding "
+                f"'# TYPE {family} ...' line"
+            )
+        samples += 1
+    if samples == 0:
+        fail(f"{path}: no sample lines")
+    print(f"ok: {path}: {len(declared)} families, {samples} samples, EOF terminated")
+    return samples
+
+
+def check_trace(path: str) -> int:
+    envelope = ("event", "run", "seq", "offset_us")
+    open_spans: set[int] = set()
+    events = 0
+    with open(path, encoding="utf-8") as f:
+        for n, line in enumerate(f, start=1):
+            line = line.rstrip("\n")
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{n}: not valid JSON ({e}): {line!r}")
+            if not isinstance(record, dict):
+                fail(f"{path}:{n}: line is not a JSON object")
+            for key in envelope:
+                if key not in record:
+                    fail(f"{path}:{n}: missing envelope key {key!r}")
+            if record["seq"] != n - 1:
+                fail(f"{path}:{n}: seq {record['seq']} != {n - 1} (not dense)")
+            kind = record["event"]
+            if kind == "span_open":
+                open_spans.add(record["span"])
+                parent = record["parent"]
+                if parent is not None and parent not in open_spans:
+                    fail(f"{path}:{n}: parent span {parent} is not open")
+            elif kind == "span_close":
+                if record["span"] not in open_spans:
+                    fail(f"{path}:{n}: closing span {record['span']} never opened")
+                open_spans.remove(record["span"])
+            elif kind != "counter":
+                fail(f"{path}:{n}: unknown event kind {kind!r}")
+            events += 1
+    if events == 0:
+        fail(f"{path}: empty trace")
+    if open_spans:
+        fail(f"{path}: spans never closed: {sorted(open_spans)}")
+    print(f"ok: {path}: {events} events, all spans closed")
+    return events
+
+
+def main() -> None:
+    if len(sys.argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_openmetrics(sys.argv[1])
+    if len(sys.argv) == 3:
+        check_trace(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()
