@@ -10,18 +10,26 @@
 //! overhead over the disabled baseline bounds the instrumentation cost
 //! from above. The acceptance bar is <2% median overhead.
 //!
+//! The same bar applies to the execution-budget guard: the fallible
+//! pipeline with every cap armed (itemsets, tree bytes, a generous
+//! deadline) does one atomic `fetch_add` per emission plus a strided
+//! clock read, and must also stay within 2% of the unbudgeted baseline.
+//!
 //! Plain `Instant` timing rather than criterion: the unit of work is a
 //! multi-second end-to-end run, so a handful of interleaved samples and a
 //! median are more informative than criterion's statistics on 10+ warm
 //! iterations.
 
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use irma_core::{analyze_with, pai_spec, AnalysisConfig, EventSink, Metrics};
+use irma_core::{
+    analyze_with, pai_spec, try_analyze, AnalysisConfig, EventSink, ExecBudget, Metrics,
+};
 use irma_synth::{pai, TraceConfig};
 
 const SAMPLES: usize = 7;
+const VARIANTS: usize = 4;
 
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.total_cmp(b));
@@ -37,6 +45,17 @@ fn main() {
     let merged = pai(&config).merged();
     let spec = pai_spec();
     let analysis_config = AnalysisConfig::default();
+    // Every cap armed but none close to tripping: the steady-state cost
+    // of guarded mining, not the cost of degrading.
+    let budgeted_config = AnalysisConfig {
+        budget: ExecBudget {
+            max_itemsets: Some(u64::MAX / 2),
+            max_tree_bytes: Some(u64::MAX / 2),
+            deadline: Some(Duration::from_secs(3600)),
+            panic_after_emits: None,
+        },
+        ..AnalysisConfig::default()
+    };
 
     // Warm-up: page in the trace and populate allocator caches.
     let warm = analyze_with(&merged, &spec, &analysis_config, &Metrics::disabled());
@@ -47,30 +66,41 @@ fn main() {
     );
 
     // Variant 0: disabled handle (baseline, the gated comparison).
-    // Variant 1: enabled registry, no event sink (the gated variant).
+    // Variant 1: enabled registry, no event sink (gated, <2%).
     // Variant 2: enabled registry streaming JSONL to a null writer —
     //            informational only; it measures event serialization
     //            without charging the bench for filesystem throughput.
-    let mut samples_ms: [Vec<f64>; 3] = [
-        Vec::with_capacity(SAMPLES),
-        Vec::with_capacity(SAMPLES),
-        Vec::with_capacity(SAMPLES),
-    ];
+    // Variant 3: fallible pipeline, all budget caps armed, metrics
+    //            disabled (gated, <2% — the cost of the guard itself).
+    let mut samples_ms: [Vec<f64>; VARIANTS] = std::array::from_fn(|_| Vec::with_capacity(SAMPLES));
     for round in 0..SAMPLES {
         // Rotate the starting variant so drift (thermal, cache, allocator
         // state) hits all variants equally.
-        for slot in 0..3 {
-            let variant = (round + slot) % 3;
-            let metrics = match variant {
-                0 => Metrics::disabled(),
-                1 => Metrics::enabled(),
-                _ => Metrics::enabled()
-                    .with_event_sink(EventSink::from_writer(Box::new(std::io::sink()))),
+        for slot in 0..VARIANTS {
+            let variant = (round + slot) % VARIANTS;
+            let start;
+            let n_rules = match variant {
+                3 => {
+                    start = Instant::now();
+                    let analysis = try_analyze(&merged, &spec, &budgeted_config)
+                        .expect("generous budget cannot trip");
+                    assert!(analysis.degradation.is_none());
+                    analysis.rules.len()
+                }
+                _ => {
+                    let metrics = match variant {
+                        0 => Metrics::disabled(),
+                        1 => Metrics::enabled(),
+                        _ => Metrics::enabled()
+                            .with_event_sink(EventSink::from_writer(Box::new(std::io::sink()))),
+                    };
+                    start = Instant::now();
+                    let analysis = analyze_with(&merged, &spec, &analysis_config, &metrics);
+                    analysis.rules.len()
+                }
             };
-            let start = Instant::now();
-            let analysis = analyze_with(&merged, &spec, &analysis_config, &metrics);
             let elapsed = start.elapsed().as_secs_f64() * 1e3;
-            black_box(analysis.rules.len());
+            black_box(n_rules);
             samples_ms[variant].push(elapsed);
         }
     }
@@ -78,8 +108,10 @@ fn main() {
     let disabled = median(&mut samples_ms[0]);
     let enabled = median(&mut samples_ms[1]);
     let streaming = median(&mut samples_ms[2]);
+    let budgeted = median(&mut samples_ms[3]);
     let overhead = (enabled / disabled - 1.0) * 100.0;
     let streaming_overhead = (streaming / disabled - 1.0) * 100.0;
+    let budget_overhead = (budgeted / disabled - 1.0) * 100.0;
     println!(
         "pai end-to-end, {} jobs, median of {SAMPLES}:",
         config.n_jobs
@@ -87,9 +119,18 @@ fn main() {
     println!("  disabled sink:  {disabled:9.1} ms  (baseline)");
     println!("  enabled sink:   {enabled:9.1} ms  ({overhead:+.2}%)");
     println!("  streaming sink: {streaming:9.1} ms  ({streaming_overhead:+.2}%, informational)");
+    println!("  budget guard:   {budgeted:9.1} ms  ({budget_overhead:+.2}%)");
     println!(
         "instrumentation overhead {overhead:+.2}% — {}",
         if overhead < 2.0 {
+            "PASS (<2%)"
+        } else {
+            "FAIL (>=2%)"
+        }
+    );
+    println!(
+        "budget-guard overhead {budget_overhead:+.2}% — {}",
+        if budget_overhead < 2.0 {
             "PASS (<2%)"
         } else {
             "FAIL (>=2%)"

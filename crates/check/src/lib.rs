@@ -14,10 +14,14 @@
 //! * [`oracle`] — brute-force reference implementations, deliberately
 //!   written in the most obvious way possible (enumerate every itemset
 //!   mask, count by scanning);
+//! * [`fault`] — seeded fault-injection plans ([`fault::FaultPlan`]) for
+//!   the chaos suite: corrupted CSV text, injected stage panics, forced
+//!   budget trips, and failing trace-log writers;
 //! * `tests/` — the property suites themselves: `differential` (miners vs
 //!   oracle vs each other), `rule_invariants`, `prune_invariants`,
-//!   `binning_invariants`, `roundtrip` (CSV + sacct), and `regressions`
-//!   (deterministic locks on previously found bugs).
+//!   `binning_invariants`, `roundtrip` (CSV + sacct), `regressions`
+//!   (deterministic locks on previously found bugs), and `chaos` (the
+//!   fault-tolerance contract of `irma_core::try_analyze`).
 //!
 //! ## Corpus replay
 //!
@@ -34,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod generators;
 pub mod oracle;
 

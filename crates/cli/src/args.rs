@@ -4,6 +4,7 @@
 //! the grammar is small enough that a flag map suffices.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Output format for the `--metrics` snapshot file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,6 +72,12 @@ pub enum Command {
         verbose_stages: bool,
         /// Optional path for a live JSONL trace of span/counter events.
         trace_log: Option<String>,
+        /// Cap on mined itemsets before the degradation ladder kicks in.
+        budget_itemsets: Option<u64>,
+        /// Cap on estimated FP-tree memory, in MiB.
+        budget_tree_mb: Option<u64>,
+        /// Wall-clock deadline for the whole mining run (e.g. `250ms`).
+        deadline: Option<Duration>,
     },
     /// `irma explain <trace> --rule "A, B => C" [--keyword K] [--jobs N]
     ///  [--seed S] [--dir DIR] [--provenance FILE] [--c-lift X]
@@ -173,6 +180,28 @@ fn get_parse<T: std::str::FromStr>(
     }
 }
 
+/// Parses a human-friendly duration: an integer immediately followed by
+/// a unit (`us`, `ms`, `s`, `m`), e.g. `500us`, `250ms`, `2s`, `5m`.
+pub fn parse_duration(raw: &str) -> Result<Duration, String> {
+    let raw = raw.trim();
+    let split = raw
+        .find(|c: char| !c.is_ascii_digit())
+        .ok_or_else(|| format!("duration `{raw}` is missing a unit (us|ms|s|m)"))?;
+    let (digits, unit) = raw.split_at(split);
+    let value: u64 = digits
+        .parse()
+        .map_err(|_| format!("duration `{raw}` needs an integer before the unit"))?;
+    match unit {
+        "us" => Ok(Duration::from_micros(value)),
+        "ms" => Ok(Duration::from_millis(value)),
+        "s" => Ok(Duration::from_secs(value)),
+        "m" => Ok(Duration::from_secs(value * 60)),
+        other => Err(format!(
+            "unknown duration unit `{other}` in `{raw}` (expected us|ms|s|m)"
+        )),
+    }
+}
+
 fn known_flags(flags: &HashMap<String, String>, allowed: &[&str]) -> Result<(), ParseError> {
     for key in flags.keys() {
         if !allowed.contains(&key.as_str()) {
@@ -226,6 +255,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "metrics-format",
                     "verbose-stages",
                     "trace-log",
+                    "budget-itemsets",
+                    "budget-tree-mb",
+                    "deadline",
                 ],
             )?;
             Ok(Command::Analyze {
@@ -243,6 +275,29 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 metrics_format: get_parse(&flags, "metrics-format", MetricsFormat::Json)?,
                 verbose_stages: get_parse(&flags, "verbose-stages", false)?,
                 trace_log: flags.get("trace-log").cloned(),
+                budget_itemsets: flags
+                    .get("budget-itemsets")
+                    .map(|raw| {
+                        raw.parse().map_err(|_| {
+                            ParseError(format!("invalid value for --budget-itemsets: `{raw}`"))
+                        })
+                    })
+                    .transpose()?,
+                budget_tree_mb: flags
+                    .get("budget-tree-mb")
+                    .map(|raw| {
+                        raw.parse().map_err(|_| {
+                            ParseError(format!("invalid value for --budget-tree-mb: `{raw}`"))
+                        })
+                    })
+                    .transpose()?,
+                deadline: flags
+                    .get("deadline")
+                    .map(|raw| {
+                        parse_duration(raw)
+                            .map_err(|e| ParseError(format!("invalid --deadline: {e}")))
+                    })
+                    .transpose()?,
             })
         }
         "explain" => {
@@ -336,6 +391,7 @@ USAGE:
                [--dir DIR] [--insights true] [--metrics FILE]
                [--metrics-format json|openmetrics|table]
                [--verbose-stages true] [--trace-log FILE]
+               [--budget-itemsets N] [--budget-tree-mb N] [--deadline DUR]
       Run the full workflow and print the keyword's cause/characteristic
       rules. With --dir, read CSVs previously written by `generate`.
       --metrics writes a snapshot of per-stage timers, cardinalities, and
@@ -344,6 +400,20 @@ USAGE:
       --verbose-stages prints the stage table on stderr; --trace-log
       streams span_open/span_close/counter events as JSONL while the run
       executes (tail -f friendly).
+      --budget-itemsets / --budget-tree-mb / --deadline bound the run
+      (DUR like 500us, 250ms, 2s, 5m). On a breach the workflow retries
+      with raised min-support and lowered max itemset length and flags
+      the result as degraded (exit code 4); if the ladder runs out, the
+      run fails with a typed error (exit code 5) instead of aborting.
+
+EXIT CODES:
+  0  success
+  1  runtime error (IO, bad keyword, ...)
+  2  usage error
+  4  degraded success: budgets forced relaxed mining knobs; stderr and
+     the metrics snapshot carry the degradation report
+  5  pipeline error: typed stage failure (parse|encode|mine|rules|
+     budget|worker_panic)
   irma explain <trace> --rule \"A, B => C\" [--keyword K] [--jobs N]
                [--seed S] [--dir DIR] [--provenance FILE]
                [--c-lift X] [--c-supp Y]
@@ -511,6 +581,63 @@ mod tests {
             "no arrow here".to_string(),
         ];
         assert!(parse(&bad).is_err());
+    }
+
+    #[test]
+    fn parses_budget_flags() {
+        let cmd = parse(&argv(
+            "analyze pai --budget-itemsets 5000 --budget-tree-mb 64 --deadline 250ms",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Analyze {
+                budget_itemsets,
+                budget_tree_mb,
+                deadline,
+                ..
+            } => {
+                assert_eq!(budget_itemsets, Some(5000));
+                assert_eq!(budget_tree_mb, Some(64));
+                assert_eq!(deadline, Some(Duration::from_millis(250)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: unlimited.
+        match parse(&argv("analyze pai")).unwrap() {
+            Command::Analyze {
+                budget_itemsets,
+                budget_tree_mb,
+                deadline,
+                ..
+            } => {
+                assert_eq!(budget_itemsets, None);
+                assert_eq!(budget_tree_mb, None);
+                assert_eq!(deadline, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("analyze pai --deadline fast")).is_err());
+        assert!(parse(&argv("analyze pai --budget-itemsets many")).is_err());
+    }
+
+    #[test]
+    fn duration_grammar() {
+        assert_eq!(parse_duration("500us"), Ok(Duration::from_micros(500)));
+        assert_eq!(parse_duration("1ms"), Ok(Duration::from_millis(1)));
+        assert_eq!(parse_duration("2s"), Ok(Duration::from_secs(2)));
+        assert_eq!(parse_duration("5m"), Ok(Duration::from_secs(300)));
+        assert!(parse_duration("").is_err());
+        assert!(parse_duration("12").is_err());
+        assert!(parse_duration("ms").is_err());
+        assert!(parse_duration("1h").is_err());
+        assert!(parse_duration("-5s").is_err());
+    }
+
+    #[test]
+    fn usage_documents_exit_codes_and_budgets() {
+        assert!(USAGE.contains("--deadline"));
+        assert!(USAGE.contains("EXIT CODES"));
+        assert!(USAGE.contains("4  degraded success"));
     }
 
     #[test]

@@ -13,10 +13,37 @@ use irma_core::experiments::run_all;
 use irma_core::export::export_all;
 use irma_core::insights::insight_report;
 use irma_core::{
-    analyze_traced, analyze_with, failure_prediction, pai_spec, philly_spec, prepare, prepare_all,
-    supercloud_spec, AnalysisConfig, EventSink, ExperimentScale, Metrics, Provenance,
+    analyze_traced, failure_prediction, pai_spec, philly_spec, prepare, prepare_all,
+    supercloud_spec, try_analyze_traced, AnalysisConfig, EventSink, ExecBudget, ExperimentScale,
+    Metrics, PipelineError, Provenance,
 };
 use irma_synth::{pai, philly, read_merged_csv_dir, supercloud, TraceConfig};
+
+/// How a successful subcommand finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// Full-fidelity result — exit code 0.
+    Success,
+    /// The degradation ladder relaxed the mining knobs — exit code 4, so
+    /// scripts can tell a best-effort answer from a complete one.
+    Degraded,
+}
+
+/// Why a subcommand failed.
+#[derive(Debug)]
+enum Failure {
+    /// IO problems, unknown keywords, ... — exit code 1.
+    Runtime(String),
+    /// A typed pipeline failure from the fault-tolerant entry points —
+    /// exit code 5 (never a panic/abort, i.e. never 101).
+    Pipeline(PipelineError),
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Failure {
+        Failure::Runtime(message)
+    }
+}
 
 fn spec_for(trace: &str) -> irma_prep::EncoderSpec {
     match trace {
@@ -61,11 +88,11 @@ fn parse_rule_spec(rule: &str) -> Result<(Vec<String>, Vec<String>), String> {
     Ok((ante, cons))
 }
 
-fn run(command: Command) -> Result<(), String> {
+fn run(command: Command) -> Result<Outcome, Failure> {
     match command {
         Command::Help => {
             print!("{USAGE}");
-            Ok(())
+            Ok(Outcome::Success)
         }
         Command::Generate {
             trace,
@@ -79,7 +106,7 @@ fn run(command: Command) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             println!("wrote {}", sched.display());
             println!("wrote {}", mon.display());
-            Ok(())
+            Ok(Outcome::Success)
         }
         Command::Analyze {
             trace,
@@ -93,6 +120,9 @@ fn run(command: Command) -> Result<(), String> {
             metrics_format,
             verbose_stages,
             trace_log,
+            budget_itemsets,
+            budget_tree_mb,
+            deadline,
         } => {
             let merged = match dir {
                 Some(dir) => read_merged_csv_dir(Path::new(&dir), &trace)
@@ -111,12 +141,33 @@ fn run(command: Command) -> Result<(), String> {
                 metrics = metrics.with_event_sink(sink);
                 eprintln!("streaming trace events to {path}");
             }
-            let analysis = analyze_with(
+            let config = AnalysisConfig {
+                budget: ExecBudget {
+                    max_itemsets: budget_itemsets,
+                    max_tree_bytes: budget_tree_mb.map(|mb| mb.saturating_mul(1 << 20)),
+                    deadline,
+                    panic_after_emits: None,
+                },
+                ..AnalysisConfig::default()
+            };
+            let analysis = try_analyze_traced(
                 &merged,
                 &spec_for(&trace),
-                &AnalysisConfig::default(),
+                &config,
                 &metrics,
-            );
+                &Provenance::disabled(),
+            )
+            .map_err(Failure::Pipeline)?;
+            if let Some(degradation) = &analysis.degradation {
+                eprintln!(
+                    "warning: degraded result — budget breached {} time(s) \
+                     ({}); final knobs: min_support={:.4}, max_len={}",
+                    degradation.steps.len(),
+                    degradation.steps[0].breach,
+                    degradation.final_min_support,
+                    degradation.final_max_len,
+                );
+            }
             eprintln!("{}", analysis.summary());
             print!("{}", analysis.render_keyword_with(&keyword, top, &metrics));
             if insights {
@@ -138,7 +189,11 @@ fn run(command: Command) -> Result<(), String> {
                     eprintln!("wrote metrics {path}");
                 }
             }
-            Ok(())
+            if analysis.degradation.is_some() {
+                Ok(Outcome::Degraded)
+            } else {
+                Ok(Outcome::Success)
+            }
         }
         Command::Explain {
             trace,
@@ -211,7 +266,7 @@ fn run(command: Command) -> Result<(), String> {
                     .map_err(|e| format!("writing provenance to {path}: {e}"))?;
                 eprintln!("wrote provenance {path}");
             }
-            Ok(())
+            Ok(Outcome::Success)
         }
         Command::Experiments {
             pai,
@@ -232,7 +287,7 @@ fn run(command: Command) -> Result<(), String> {
                 let files = export_all(&traces, Path::new(&dir)).map_err(|e| e.to_string())?;
                 eprintln!("exported {} CSV files to {dir}", files.len());
             }
-            Ok(())
+            Ok(Outcome::Success)
         }
         Command::Predict {
             trace,
@@ -260,7 +315,7 @@ fn run(command: Command) -> Result<(), String> {
                 e.accuracy(),
                 e.base_rate()
             );
-            Ok(())
+            Ok(Outcome::Success)
         }
     }
 }
@@ -269,10 +324,15 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match parse(&argv) {
         Ok(command) => match run(command) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(message) => {
+            Ok(Outcome::Success) => ExitCode::SUCCESS,
+            Ok(Outcome::Degraded) => ExitCode::from(4),
+            Err(Failure::Runtime(message)) => {
                 eprintln!("error: {message}");
                 ExitCode::FAILURE
+            }
+            Err(Failure::Pipeline(err)) => {
+                eprintln!("pipeline error [{}]: {err}", err.stage());
+                ExitCode::from(5)
             }
         },
         Err(err) => {

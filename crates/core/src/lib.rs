@@ -26,6 +26,7 @@
 
 pub mod experiments;
 pub mod export;
+pub mod fault;
 pub mod insights;
 pub mod predict;
 pub mod report;
@@ -34,6 +35,10 @@ pub mod stats;
 pub mod traces;
 pub mod workflow;
 
+pub use fault::{
+    try_analyze, try_analyze_csv, try_analyze_traced, try_analyze_traced_hooked, Degradation,
+    DegradationStep, PipelineError, StageHooks, MAX_DEGRADATION_RETRIES,
+};
 pub use predict::{
     failure_prediction, prediction_experiment, PredictionExperiment, PredictionResult,
 };
@@ -43,6 +48,7 @@ pub use specs::{
 pub use traces::{prepare, prepare_all, ExperimentScale, TraceAnalysis};
 pub use workflow::{analyze, analyze_traced, analyze_with, Analysis, AnalysisConfig};
 
-// Observability handles, re-exported so workflow callers need not depend
-// on `irma-obs` directly.
+// Budget types and observability handles, re-exported so workflow
+// callers need not depend on `irma-mine`/`irma-obs` directly.
+pub use irma_mine::{BudgetBreach, CancelToken, ExecBudget};
 pub use irma_obs::{EventSink, Metrics, Provenance};

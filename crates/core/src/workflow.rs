@@ -7,7 +7,7 @@
 //! "all high-quality rules in a single execution" design §V highlights.
 
 use irma_data::Frame;
-use irma_mine::{Algorithm, FrequentItemsets, ItemId, MinerConfig};
+use irma_mine::{Algorithm, ExecBudget, FrequentItemsets, ItemId, MinerConfig};
 use irma_obs::{Metrics, Provenance};
 use irma_prep::{encode_with, Encoded, EncoderSpec};
 use irma_rules::{generate_rules_traced, KeywordAnalysis, PruneParams, Rule, RuleConfig};
@@ -23,6 +23,11 @@ pub struct AnalysisConfig {
     pub rules: RuleConfig,
     /// The four pruning conditions' relaxation margins.
     pub prune: PruneParams,
+    /// Execution budget (itemsets, estimated tree memory, wall-clock
+    /// deadline). Only the fallible entry points ([`crate::try_analyze`]
+    /// and friends) enforce it; [`analyze`] ignores it, preserving the
+    /// paper's unbounded offline behaviour. Unlimited by default.
+    pub budget: ExecBudget,
 }
 
 /// The output of one full workflow run over a merged trace frame.
@@ -34,8 +39,13 @@ pub struct Analysis {
     pub frequent: FrequentItemsets,
     /// All rules passing the generation thresholds (pre-pruning).
     pub rules: Vec<Rule>,
-    /// The configuration that produced this analysis.
+    /// The configuration that produced this analysis (with the miner
+    /// knobs actually used — relaxed ones if the degradation ladder ran).
     pub config: AnalysisConfig,
+    /// Present iff the degradation ladder relaxed the mining knobs to fit
+    /// [`AnalysisConfig::budget`]; `None` for full-fidelity results (and
+    /// always for the infallible [`analyze`] family).
+    pub degradation: Option<crate::fault::Degradation>,
 }
 
 /// Runs encode -> mine -> generate over a merged per-job frame.
@@ -80,6 +90,7 @@ pub fn analyze_traced(
         frequent,
         rules,
         config: config.clone(),
+        degradation: None,
     }
 }
 

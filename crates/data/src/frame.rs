@@ -171,12 +171,14 @@ impl Frame {
 
     /// Materializes the given row indices (allowing repeats / reorders).
     pub fn take(&self, indices: &[usize]) -> Frame {
-        let mut out = Frame::new();
-        for (name, col) in self.names.iter().zip(&self.columns) {
-            out.add_column(name, col.take(indices))
-                .expect("copying a valid frame cannot fail");
+        // Built field-by-field rather than via `add_column` so copying a
+        // valid frame is infallible by construction: names stay unique
+        // and every taken column has `indices.len()` rows.
+        Frame {
+            names: self.names.clone(),
+            columns: self.columns.iter().map(|col| col.take(indices)).collect(),
+            index: self.index.clone(),
         }
-        out
     }
 
     /// Adds a column computed row-by-row from the existing frame.

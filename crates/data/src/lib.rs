@@ -21,6 +21,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// The parse path is fed raw production CSV/sacct text: every failure
+// must come back as a typed `DataError`, never a panic. Tests are
+// exempt — an `unwrap` there is an assertion.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod column;
 mod csv;

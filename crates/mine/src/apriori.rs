@@ -10,6 +10,7 @@ use std::collections::{HashMap, HashSet};
 
 use rayon::prelude::*;
 
+use crate::budget::{BudgetGuard, MineError};
 use crate::counts::{FrequentItemsets, MinerConfig};
 use crate::db::TransactionDb;
 use crate::item::{ItemId, Itemset};
@@ -58,6 +59,15 @@ impl CandidateTrie {
     /// Adds every candidate contained in `txn` to `hits`.
     fn count_into(&self, txn: &[ItemId], hits: &mut Vec<u32>) {
         self.walk(0, txn, hits);
+    }
+
+    /// Rough heap-footprint estimate for budget accounting: node overhead
+    /// plus ~16 bytes per child edge (hash-map entry).
+    fn estimated_bytes(&self) -> u64 {
+        let edges: usize = self.children.iter().map(|m| m.len()).sum();
+        let per_node =
+            std::mem::size_of::<HashMap<ItemId, u32>>() + std::mem::size_of::<Option<u32>>();
+        (self.children.len() * per_node + edges * 16) as u64
     }
 
     fn walk(&self, node: usize, txn: &[ItemId], hits: &mut Vec<u32>) {
@@ -117,8 +127,26 @@ fn generate_candidates(frequent_k: &[Itemset]) -> Vec<Itemset> {
 /// Output-equivalent to [`crate::fpgrowth`]; kept as the performance
 /// baseline and as a cross-check oracle in property tests.
 pub fn apriori(db: &TransactionDb, config: &MinerConfig) -> FrequentItemsets {
-    config.validate().expect("invalid miner config");
+    match try_apriori(db, config, &BudgetGuard::unlimited()) {
+        Ok(frequent) => frequent,
+        // Unlimited guard: only a config error can surface here, matching
+        // the panic the infallible signature always had.
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`apriori`] made fault-tolerant: itemset/deadline budgets are checked
+/// once per level (level-wise search has no deep recursion to interleave
+/// checks into) and per emitted itemset, and a cancelled token makes the
+/// parallel counting fold skip its remaining transactions.
+pub fn try_apriori(
+    db: &TransactionDb,
+    config: &MinerConfig,
+    guard: &BudgetGuard,
+) -> Result<FrequentItemsets, MineError> {
+    config.validate().map_err(MineError::InvalidConfig)?;
     let min_count = config.min_count(db.len());
+    guard.checkpoint_now()?;
     let mut all: Vec<(Itemset, u64)> = Vec::new();
 
     // L1.
@@ -130,11 +158,13 @@ pub fn apriori(db: &TransactionDb, config: &MinerConfig) -> FrequentItemsets {
         .map(|(i, _)| Itemset::singleton(i as ItemId))
         .collect();
     for set in &frequent_k {
+        guard.charge_itemsets(1)?;
         all.push((set.clone(), counts[set.items()[0] as usize]));
     }
 
     let mut k = 1;
     while !frequent_k.is_empty() && k < config.max_len {
+        guard.checkpoint_now()?;
         frequent_k.sort_unstable();
         let candidates = generate_candidates(&frequent_k);
         if candidates.is_empty() {
@@ -144,24 +174,32 @@ pub fn apriori(db: &TransactionDb, config: &MinerConfig) -> FrequentItemsets {
         for (idx, c) in candidates.iter().enumerate() {
             trie.insert(c.items(), idx as u32);
         }
+        guard.charge_tree_bytes(trie.estimated_bytes())?;
 
         // Parallel support counting: per-chunk local count arrays, reduced.
+        // The fold cannot early-exit, so on cancellation it degrades to a
+        // no-op per transaction and the post-level checkpoint reports the
+        // breach.
+        let token = guard.token();
         let n = candidates.len();
         let chunk_counts: Vec<Vec<u64>> = (0..db.len())
             .into_par_iter()
             .fold(
                 || (vec![0u64; n], Vec::new()),
                 |(mut local, mut hits), t| {
-                    hits.clear();
-                    trie.count_into(db.transaction(t), &mut hits);
-                    for &idx in &hits {
-                        local[idx as usize] += 1;
+                    if !token.is_cancelled() {
+                        hits.clear();
+                        trie.count_into(db.transaction(t), &mut hits);
+                        for &idx in &hits {
+                            local[idx as usize] += 1;
+                        }
                     }
                     (local, hits)
                 },
             )
             .map(|(local, _)| local)
             .collect();
+        guard.checkpoint_now()?;
         let mut totals = vec![0u64; n];
         for local in chunk_counts {
             for (t, l) in totals.iter_mut().zip(local) {
@@ -172,6 +210,7 @@ pub fn apriori(db: &TransactionDb, config: &MinerConfig) -> FrequentItemsets {
         frequent_k = Vec::new();
         for (candidate, count) in candidates.into_iter().zip(totals) {
             if count >= min_count {
+                guard.charge_itemsets(1)?;
                 all.push((candidate.clone(), count));
                 frequent_k.push(candidate);
             }
@@ -179,7 +218,7 @@ pub fn apriori(db: &TransactionDb, config: &MinerConfig) -> FrequentItemsets {
         k += 1;
     }
 
-    FrequentItemsets::new(all, db.len())
+    Ok(FrequentItemsets::new(all, db.len()))
 }
 
 #[cfg(test)]

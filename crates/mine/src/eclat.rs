@@ -7,6 +7,7 @@
 
 use rayon::prelude::*;
 
+use crate::budget::{BudgetBreach, BudgetGuard, MineError};
 use crate::counts::{FrequentItemsets, MinerConfig};
 use crate::db::TransactionDb;
 use crate::item::{ItemId, Itemset};
@@ -30,16 +31,23 @@ fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
 }
 
 /// Depth-first extension of `prefix` by items from `tail`.
+///
+/// Budget-aware: checkpoints the guard at every recursion entry (the DFS
+/// is the hot loop, so this is where a deadline is noticed) and charges
+/// one itemset per emission.
 fn extend(
     prefix: &[ItemId],
     tail: &[(ItemId, Vec<u32>)],
     min_count: u64,
     max_len: usize,
     out: &mut Vec<(Itemset, u64)>,
-) {
+    guard: &BudgetGuard,
+) -> Result<(), BudgetBreach> {
+    guard.checkpoint()?;
     for (pos, (item, tids)) in tail.iter().enumerate() {
         let mut itemset: Vec<ItemId> = prefix.to_vec();
         itemset.push(*item);
+        guard.charge_itemsets(1)?;
         out.push((Itemset::from_items(itemset.clone()), tids.len() as u64));
         if itemset.len() >= max_len {
             continue;
@@ -53,15 +61,34 @@ fn extend(
             }
         }
         if !next_tail.is_empty() {
-            extend(&itemset, &next_tail, min_count, max_len, out);
+            extend(&itemset, &next_tail, min_count, max_len, out, guard)?;
         }
     }
+    Ok(())
 }
 
 /// Mines all frequent itemsets with the Eclat algorithm.
 pub fn eclat(db: &TransactionDb, config: &MinerConfig) -> FrequentItemsets {
-    config.validate().expect("invalid miner config");
+    match try_eclat(db, config, &BudgetGuard::unlimited()) {
+        Ok(frequent) => frequent,
+        // Unlimited guard: only a config error can surface here, matching
+        // the panic the infallible signature always had.
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`eclat`] made fault-tolerant: budget breaches come back as
+/// [`MineError::Budget`]. In the parallel fan-out each prefix subtree
+/// returns its own `Result`; the lowest-position error wins so the
+/// reported breach is deterministic.
+pub fn try_eclat(
+    db: &TransactionDb,
+    config: &MinerConfig,
+    guard: &BudgetGuard,
+) -> Result<FrequentItemsets, MineError> {
+    config.validate().map_err(MineError::InvalidConfig)?;
     let min_count = config.min_count(db.len());
+    guard.checkpoint_now()?;
 
     // Vertical layout: tid-list per item.
     let mut tidlists: Vec<Vec<u32>> = vec![Vec::new(); db.n_items()];
@@ -78,11 +105,13 @@ pub fn eclat(db: &TransactionDb, config: &MinerConfig) -> FrequentItemsets {
         .collect();
 
     let out: Vec<(Itemset, u64)> = if config.parallel {
-        (0..frequent.len())
+        let chunks: Vec<Result<Vec<(Itemset, u64)>, BudgetBreach>> = (0..frequent.len())
             .into_par_iter()
             .map(|pos| {
                 let (item, tids) = &frequent[pos];
-                let mut local = vec![(Itemset::singleton(*item), tids.len() as u64)];
+                let mut local = Vec::new();
+                guard.charge_itemsets(1)?;
+                local.push((Itemset::singleton(*item), tids.len() as u64));
                 if config.max_len > 1 {
                     let mut tail: Vec<(ItemId, Vec<u32>)> = Vec::new();
                     for (other, other_tids) in &frequent[pos + 1..] {
@@ -92,20 +121,31 @@ pub fn eclat(db: &TransactionDb, config: &MinerConfig) -> FrequentItemsets {
                         }
                     }
                     if !tail.is_empty() {
-                        extend(&[*item], &tail, min_count, config.max_len, &mut local);
+                        extend(
+                            &[*item],
+                            &tail,
+                            min_count,
+                            config.max_len,
+                            &mut local,
+                            guard,
+                        )?;
                     }
                 }
-                local
+                Ok(local)
             })
-            .flatten()
-            .collect()
+            .collect();
+        let mut out = Vec::new();
+        for chunk in chunks {
+            out.extend(chunk?);
+        }
+        out
     } else {
         let mut out = Vec::new();
-        extend(&[], &frequent, min_count, config.max_len, &mut out);
+        extend(&[], &frequent, min_count, config.max_len, &mut out, guard)?;
         out
     };
 
-    FrequentItemsets::new(out, db.len())
+    Ok(FrequentItemsets::new(out, db.len()))
 }
 
 #[cfg(test)]

@@ -14,9 +14,12 @@
 //! * the top level of the recursion optionally fans out across rayon
 //!   workers (the conditional subtrees are independent).
 
+use std::panic::AssertUnwindSafe;
+
 use irma_obs::Metrics;
 use rayon::prelude::*;
 
+use crate::budget::{BudgetBreach, BudgetGuard, MineError};
 use crate::counts::{FrequentItemsets, MinerConfig};
 use crate::db::TransactionDb;
 use crate::item::{ItemId, Itemset};
@@ -163,6 +166,18 @@ impl FpTree {
         }
     }
 
+    /// Estimated arena footprint: nodes, per-node child slots, headers,
+    /// and the rank tables. An upper bound on what `build` allocated,
+    /// charged against [`BudgetGuard::charge_tree_bytes`].
+    fn estimated_bytes(&self) -> u64 {
+        let node = std::mem::size_of::<FpNode>() as u64;
+        let child_slot = std::mem::size_of::<(u32, u32)>() as u64;
+        let nodes = self.nodes.len() as u64;
+        // Every non-root node occupies exactly one child slot and one
+        // header slot.
+        nodes * node + nodes.saturating_sub(1) * (child_slot + 4) + self.n_ranks() as u64 * 12
+    }
+
     /// The conditional pattern base of `rank`: weighted prefix paths of
     /// global item ids (unsorted; `build` re-ranks anyway).
     fn pattern_base(&self, rank: u32) -> Vec<(Vec<ItemId>, u64)> {
@@ -191,10 +206,11 @@ fn emit_single_path(
     suffix: &[ItemId],
     max_len: usize,
     out: &mut Vec<(Itemset, u64)>,
-) {
+    guard: &BudgetGuard,
+) -> Result<(), BudgetBreach> {
     let budget = max_len.saturating_sub(suffix.len());
     if budget == 0 || path.is_empty() {
-        return;
+        return Ok(());
     }
     let n = path.len();
     for mask in 1u32..(1 << n) {
@@ -206,8 +222,10 @@ fn emit_single_path(
         let count = path[deepest as usize].1;
         let mut items: Vec<ItemId> = suffix.to_vec();
         items.extend((0..n).filter(|&i| mask & (1 << i) != 0).map(|i| path[i].0));
+        guard.charge_itemsets(1)?;
         out.push((Itemset::from_items(items), count));
     }
+    Ok(())
 }
 
 /// Per-run mining statistics, accumulated locally (no synchronization in
@@ -227,7 +245,9 @@ impl MineStats {
     }
 }
 
-/// Recursive FP-Growth over a (conditional) tree.
+/// Recursive FP-Growth over a (conditional) tree. The budget guard is
+/// polled once per call and charged per emitted itemset / built tree, so
+/// a breach surfaces within one conditional subtree of work.
 fn mine_tree(
     tree: &FpTree,
     suffix: &[ItemId],
@@ -235,17 +255,18 @@ fn mine_tree(
     max_len: usize,
     out: &mut Vec<(Itemset, u64)>,
     stats: &mut MineStats,
-) {
+    guard: &BudgetGuard,
+) -> Result<(), BudgetBreach> {
     if suffix.len() >= max_len {
-        return;
+        return Ok(());
     }
+    guard.checkpoint()?;
     // Single-prefix-path shortcut: subset enumeration replaces recursion.
     // Paths wider than the u32 subset mask fall through to the general case.
     if let Some(path) = tree.single_path() {
         if path.len() <= 31 {
             stats.single_path_hits += 1;
-            emit_single_path(&path, suffix, max_len, out);
-            return;
+            return emit_single_path(&path, suffix, max_len, out, guard);
         }
     }
     for rank in (0..tree.n_ranks() as u32).rev() {
@@ -253,6 +274,7 @@ fn mine_tree(
         let item = tree.rank_to_item[rank as usize];
         let mut itemset: Vec<ItemId> = suffix.to_vec();
         itemset.push(item);
+        guard.charge_itemsets(1)?;
         out.push((Itemset::from_items(itemset.clone()), count));
         if itemset.len() < max_len {
             let base = tree.pattern_base(rank);
@@ -262,13 +284,15 @@ fn mine_tree(
                     item_universe(&base),
                     min_count,
                 );
+                guard.charge_tree_bytes(cond.estimated_bytes())?;
                 stats.conditional_trees += 1;
                 if cond.n_ranks() > 0 {
-                    mine_tree(&cond, &itemset, min_count, max_len, out, stats);
+                    mine_tree(&cond, &itemset, min_count, max_len, out, stats, guard)?;
                 }
             }
         }
     }
+    Ok(())
 }
 
 /// Smallest universe covering all items in a pattern base.
@@ -299,8 +323,40 @@ pub fn fpgrowth_with(
     config: &MinerConfig,
     metrics: &Metrics,
 ) -> FrequentItemsets {
-    config.validate().expect("invalid miner config");
+    match try_fpgrowth_with(db, config, metrics, &BudgetGuard::unlimited()) {
+        Ok(frequent) => frequent,
+        // An unlimited guard never trips and contains no injected faults,
+        // so the only reachable error is a config one — the panic the
+        // infallible signature always had.
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Renders a `catch_unwind` payload for a [`MineError::WorkerPanic`].
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`fpgrowth_with`] made fault-tolerant: budget breaches come back as
+/// [`MineError::Budget`], an invalid config as [`MineError::InvalidConfig`],
+/// and a panic inside one rank's parallel subtree is contained by a
+/// per-rank `catch_unwind` and surfaced as [`MineError::WorkerPanic`]
+/// (lowest poisoned rank wins, so the error is deterministic).
+pub fn try_fpgrowth_with(
+    db: &TransactionDb,
+    config: &MinerConfig,
+    metrics: &Metrics,
+    guard: &BudgetGuard,
+) -> Result<FrequentItemsets, MineError> {
+    config.validate().map_err(MineError::InvalidConfig)?;
     let min_count = config.min_count(db.len());
+    guard.checkpoint_now()?;
 
     let mut span = metrics.span("mine.tree_build");
     let tree = FpTree::build(db.iter().map(|t| (t, 1)), db.n_items(), min_count);
@@ -308,6 +364,8 @@ pub fn fpgrowth_with(
     span.field("frequent_items", tree.n_ranks() as u64);
     span.field("tree_nodes", tree.nodes.len() as u64);
     drop(span);
+    guard.charge_tree_bytes(tree.estimated_bytes())?;
+    guard.checkpoint_now()?;
 
     let mut span = metrics.span("mine.mine");
     let mut out: Vec<(Itemset, u64)> = Vec::new();
@@ -315,55 +373,77 @@ pub fn fpgrowth_with(
     if tree.n_ranks() == 0 {
         span.field("itemsets_out", 0);
         drop(span);
-        return FrequentItemsets::new(out, db.len());
+        return Ok(FrequentItemsets::new(out, db.len()));
     }
 
     if config.parallel {
         // Top-level fan-out: each rank's conditional subtree is independent.
-        let chunks: Vec<(Vec<(Itemset, u64)>, MineStats)> = (0..tree.n_ranks() as u32)
+        // Each unit of work runs inside its own catch_unwind, so one
+        // poisoned worker yields a typed error instead of unwinding
+        // through the thread-pool join.
+        type RankResult = Result<(Vec<(Itemset, u64)>, MineStats), MineError>;
+        let chunks: Vec<RankResult> = (0..tree.n_ranks() as u32)
             .into_par_iter()
             .map(|rank| {
-                let mut local = Vec::new();
-                let mut local_stats = MineStats::default();
-                let count = tree.rank_counts[rank as usize];
-                let item = tree.rank_to_item[rank as usize];
-                // Explicit child span: each rank's subtree is one unit of
-                // parallel work, nested under `mine.mine` (implicit
-                // parenting is ambiguous across worker threads).
-                let mut rank_span = span.child("mine.conditional_tree");
-                local.push((Itemset::singleton(item), count));
-                if config.max_len > 1 {
-                    let base = tree.pattern_base(rank);
-                    if !base.is_empty() {
-                        let cond = FpTree::build(
-                            base.iter().map(|(p, w)| (p.as_slice(), *w)),
-                            item_universe(&base),
-                            min_count,
-                        );
-                        local_stats.conditional_trees += 1;
-                        if cond.n_ranks() > 0 {
-                            mine_tree(
-                                &cond,
-                                &[item],
+                std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<_, BudgetBreach> {
+                    let mut local = Vec::new();
+                    let mut local_stats = MineStats::default();
+                    let count = tree.rank_counts[rank as usize];
+                    let item = tree.rank_to_item[rank as usize];
+                    // Explicit child span: each rank's subtree is one unit of
+                    // parallel work, nested under `mine.mine` (implicit
+                    // parenting is ambiguous across worker threads).
+                    let mut rank_span = span.child("mine.conditional_tree");
+                    guard.charge_itemsets(1)?;
+                    local.push((Itemset::singleton(item), count));
+                    if config.max_len > 1 {
+                        let base = tree.pattern_base(rank);
+                        if !base.is_empty() {
+                            let cond = FpTree::build(
+                                base.iter().map(|(p, w)| (p.as_slice(), *w)),
+                                item_universe(&base),
                                 min_count,
-                                config.max_len,
-                                &mut local,
-                                &mut local_stats,
                             );
+                            guard.charge_tree_bytes(cond.estimated_bytes())?;
+                            local_stats.conditional_trees += 1;
+                            if cond.n_ranks() > 0 {
+                                mine_tree(
+                                    &cond,
+                                    &[item],
+                                    min_count,
+                                    config.max_len,
+                                    &mut local,
+                                    &mut local_stats,
+                                    guard,
+                                )?;
+                            }
                         }
                     }
-                }
-                rank_span.field("item", item as u64);
-                rank_span.field("itemsets_out", local.len() as u64);
-                (local, local_stats)
+                    rank_span.field("item", item as u64);
+                    rank_span.field("itemsets_out", local.len() as u64);
+                    Ok((local, local_stats))
+                }))
+                .map_err(|payload| MineError::WorkerPanic {
+                    message: panic_message(payload),
+                })
+                .and_then(|r| r.map_err(MineError::from))
             })
             .collect();
-        for (chunk, chunk_stats) in chunks {
+        for chunk in chunks {
+            let (chunk, chunk_stats) = chunk?;
             out.extend(chunk);
             stats.merge(chunk_stats);
         }
     } else {
-        mine_tree(&tree, &[], min_count, config.max_len, &mut out, &mut stats);
+        mine_tree(
+            &tree,
+            &[],
+            min_count,
+            config.max_len,
+            &mut out,
+            &mut stats,
+            guard,
+        )?;
     }
 
     span.field("itemsets_out", out.len() as u64);
@@ -371,7 +451,7 @@ pub fn fpgrowth_with(
     span.field("single_path_shortcuts", stats.single_path_hits);
     drop(span);
 
-    FrequentItemsets::new(out, db.len())
+    Ok(FrequentItemsets::new(out, db.len()))
 }
 
 #[cfg(test)]

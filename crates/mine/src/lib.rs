@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod apriori;
+mod budget;
 mod condense;
 mod counts;
 mod db;
@@ -37,12 +38,13 @@ mod fpgrowth;
 mod item;
 mod stream;
 
-pub use apriori::apriori;
+pub use apriori::{apriori, try_apriori};
+pub use budget::{BudgetBreach, BudgetGuard, CancelToken, ExecBudget, MineError};
 pub use condense::{closed_itemsets, maximal_itemsets, support_from_closed};
 pub use counts::{mine_top_k, FrequentItemsets, MinerConfig};
 pub use db::TransactionDb;
-pub use eclat::eclat;
-pub use fpgrowth::{fpgrowth, fpgrowth_with};
+pub use eclat::{eclat, try_eclat};
+pub use fpgrowth::{fpgrowth, fpgrowth_with, try_fpgrowth_with};
 pub use item::{is_sorted_subset, ItemCatalog, ItemId, Itemset};
 pub use stream::SlidingWindowMiner;
 
@@ -84,6 +86,32 @@ impl Algorithm {
                 span.field("transactions_in", db.len() as u64);
                 span.field("itemsets_out", frequent.len() as u64);
                 frequent
+            }
+        }
+    }
+
+    /// [`Algorithm::mine_with`] made fault-tolerant: runs the selected
+    /// miner under `guard`, so budget breaches, invalid configs, and
+    /// (for FP-Growth's fan-out) contained worker panics come back as a
+    /// typed [`MineError`] instead of unwinding.
+    pub fn try_mine_with(
+        self,
+        db: &TransactionDb,
+        config: &MinerConfig,
+        metrics: &irma_obs::Metrics,
+        guard: &BudgetGuard,
+    ) -> Result<FrequentItemsets, MineError> {
+        match self {
+            Algorithm::FpGrowth => try_fpgrowth_with(db, config, metrics, guard),
+            Algorithm::Apriori | Algorithm::Eclat => {
+                let mut span = metrics.span("mine.mine");
+                let frequent = match self {
+                    Algorithm::Apriori => try_apriori(db, config, guard)?,
+                    _ => try_eclat(db, config, guard)?,
+                };
+                span.field("transactions_in", db.len() as u64);
+                span.field("itemsets_out", frequent.len() as u64);
+                Ok(frequent)
             }
         }
     }

@@ -18,8 +18,11 @@
 //! interleaved traces when several runs append to one file.
 //!
 //! Every line is flushed as it is written (the whole point is tailing);
-//! write errors are deliberately swallowed — tracing is best-effort and
-//! must never fail the analysis it observes.
+//! write errors never fail the analysis they observe — tracing is
+//! best-effort — but they are *counted* by the owning registry and
+//! surface as a `trace_log_write_errors_total` counter plus a
+//! `degraded: true` flag in the snapshot, so a full disk or broken pipe
+//! cannot silently produce a truncated trace that looks complete.
 
 use std::fs::File;
 use std::io::Write;
@@ -60,11 +63,12 @@ impl EventSink {
         (EventSink::from_writer(Box::new(writer)), buffer)
     }
 
-    /// Writes one already-serialized JSON object as a line and flushes,
-    /// ignoring IO errors (tracing must never fail the traced run).
-    pub(crate) fn emit(&mut self, line: &str) {
-        let _ = writeln!(self.writer, "{line}");
-        let _ = self.writer.flush();
+    /// Writes one already-serialized JSON object as a line and flushes.
+    /// Returns `false` when the write or flush failed; the caller (the
+    /// registry) counts failures instead of letting tracing fail the
+    /// traced run.
+    pub(crate) fn emit(&mut self, line: &str) -> bool {
+        writeln!(self.writer, "{line}").is_ok() && self.writer.flush().is_ok()
     }
 }
 
@@ -107,11 +111,26 @@ mod tests {
     #[test]
     fn shared_buffer_collects_lines() {
         let (mut sink, buffer) = EventSink::shared_buffer();
-        sink.emit("{\"event\":\"counter\"}");
-        sink.emit("{\"event\":\"span_open\"}");
+        assert!(sink.emit("{\"event\":\"counter\"}"));
+        assert!(sink.emit("{\"event\":\"span_open\"}"));
         let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(text.starts_with("{\"event\":\"counter\"}\n"));
+    }
+
+    #[test]
+    fn failing_writer_reports_false() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = EventSink::from_writer(Box::new(Broken));
+        assert!(!sink.emit("{}"));
     }
 
     #[test]

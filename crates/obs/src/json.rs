@@ -6,6 +6,7 @@
 //! ```json
 //! {
 //!   "run_id":   "<hex id>",
+//!   "degraded": <bool>,
 //!   "counters": { "<name>": <u64>, ... },
 //!   "gauges":   { "<name>": <f64|null>, ... },
 //!   "timers":   { "<name>": { "count": <usize>, "total_ms": <f64>,
@@ -123,8 +124,9 @@ pub(crate) fn snapshot_to_json(snapshot: &Snapshot) -> String {
         format!("[\n{}\n  ]", stages.join(",\n"))
     };
     format!(
-        "{{\n  \"run_id\": \"{}\",\n  \"counters\": {counters},\n  \"gauges\": {gauges},\n  \"timers\": {timers},\n  \"stages\": {stages}\n}}\n",
-        escape(&snapshot.run_id)
+        "{{\n  \"run_id\": \"{}\",\n  \"degraded\": {},\n  \"counters\": {counters},\n  \"gauges\": {gauges},\n  \"timers\": {timers},\n  \"stages\": {stages}\n}}\n",
+        escape(&snapshot.run_id),
+        snapshot.degraded
     )
 }
 
@@ -138,8 +140,17 @@ mod tests {
         let json = Snapshot::default().to_json();
         assert_eq!(
             json,
-            "{\n  \"run_id\": \"\",\n  \"counters\": {},\n  \"gauges\": {},\n  \"timers\": {},\n  \"stages\": []\n}\n"
+            "{\n  \"run_id\": \"\",\n  \"degraded\": false,\n  \"counters\": {},\n  \"gauges\": {},\n  \"timers\": {},\n  \"stages\": []\n}\n"
         );
+    }
+
+    #[test]
+    fn degraded_snapshot_says_so() {
+        let snapshot = Snapshot {
+            degraded: true,
+            ..Snapshot::default()
+        };
+        assert!(snapshot.to_json().contains("\"degraded\": true"));
     }
 
     #[test]

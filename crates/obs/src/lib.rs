@@ -113,6 +113,13 @@ struct Registry {
     run_id: String,
     /// Optional live JSONL event log.
     sink: Option<EventSink>,
+    /// Event-log lines that failed to write (disk full, broken pipe).
+    /// Nonzero means the JSONL trace is incomplete, so the snapshot is
+    /// flagged degraded.
+    write_errors: u64,
+    /// Set by [`Metrics::mark_degraded`]: the run completed, but only
+    /// after the degradation ladder relaxed its mining knobs.
+    degraded: bool,
 }
 
 impl Default for Registry {
@@ -128,6 +135,8 @@ impl Default for Registry {
             start: Instant::now(),
             run_id: event::fresh_run_id(),
             sink: None,
+            write_errors: 0,
+            degraded: false,
         }
     }
 }
@@ -147,7 +156,9 @@ impl Registry {
             self.run_id
         );
         if let Some(sink) = self.sink.as_mut() {
-            sink.emit(&line);
+            if !sink.emit(&line) {
+                self.write_errors += 1;
+            }
         }
     }
 }
@@ -287,14 +298,44 @@ impl Metrics {
         }
     }
 
+    /// Flags this run as degraded: it completed, but only after the
+    /// degradation ladder relaxed its mining knobs (or some other
+    /// best-effort fallback fired). Sticky for the registry's lifetime so
+    /// a degraded answer can never be mistaken for a full-fidelity one.
+    pub fn mark_degraded(&self) {
+        if let Some(mut reg) = self.lock() {
+            reg.degraded = true;
+        }
+    }
+
+    /// Number of JSONL trace lines that failed to write (0 on a disabled
+    /// handle or when no event sink is attached).
+    pub fn trace_log_write_errors(&self) -> u64 {
+        self.lock().map(|reg| reg.write_errors).unwrap_or(0)
+    }
+
+    /// Whether the snapshot would carry `degraded: true` — either
+    /// [`Metrics::mark_degraded`] was called or event-log writes failed.
+    pub fn is_degraded(&self) -> bool {
+        self.lock()
+            .map(|reg| reg.degraded || reg.write_errors > 0)
+            .unwrap_or(false)
+    }
+
     /// A point-in-time copy of everything recorded so far. Empty (but
     /// valid) on a disabled handle.
     pub fn snapshot(&self) -> Snapshot {
         let Some(reg) = self.lock() else {
             return Snapshot::default();
         };
+        let mut counters = reg.counters.clone();
+        if reg.write_errors > 0 {
+            // Materialized on demand so the common error-free run keeps
+            // its counter list (and the tests pinning it) unchanged.
+            counters.insert("trace_log_write_errors_total".to_string(), reg.write_errors);
+        }
         Snapshot {
-            counters: reg.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            counters: counters.into_iter().collect(),
             gauges: reg.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
             timers: reg
                 .timers
@@ -303,6 +344,7 @@ impl Metrics {
                 .collect(),
             stages: reg.stages.clone(),
             run_id: reg.run_id.clone(),
+            degraded: reg.degraded || reg.write_errors > 0,
         }
     }
 }
@@ -450,6 +492,10 @@ pub struct Snapshot {
     /// The registry's run id (ties the snapshot to its JSONL trace);
     /// empty for a default/disabled snapshot.
     pub run_id: String,
+    /// True when this run's answer is best-effort: the degradation
+    /// ladder relaxed the mining knobs, or trace-log writes failed (see
+    /// the `trace_log_write_errors_total` counter).
+    pub degraded: bool,
 }
 
 impl Snapshot {
@@ -522,6 +568,11 @@ impl Snapshot {
             for (name, value) in &self.gauges {
                 out.push_str(&format!("  {name} = {value:.4}\n"));
             }
+        }
+        if self.degraded {
+            out.push_str(
+                "DEGRADED: best-effort result (relaxed knobs or trace-log write errors)\n",
+            );
         }
         out
     }
@@ -745,6 +796,64 @@ mod tests {
         assert!(metrics.is_enabled());
         metrics.incr("c", 1);
         assert!(!buffer.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn failing_sink_counts_write_errors_and_flags_degraded() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let metrics = Metrics::enabled().with_event_sink(EventSink::from_writer(Box::new(Broken)));
+        metrics.incr("hits", 1);
+        drop(metrics.span("stage"));
+        // One counter event + span_open + span_close, all failed.
+        assert_eq!(metrics.trace_log_write_errors(), 3);
+        assert!(metrics.is_degraded());
+        let snap = metrics.snapshot();
+        assert!(snap.degraded);
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(name, v)| name == "trace_log_write_errors_total" && *v == 3));
+        assert!(
+            snap.render_table().contains("DEGRADED"),
+            "{}",
+            snap.render_table()
+        );
+    }
+
+    #[test]
+    fn healthy_sink_reports_no_write_errors() {
+        let (sink, _buffer) = EventSink::shared_buffer();
+        let metrics = Metrics::enabled().with_event_sink(sink);
+        metrics.incr("hits", 1);
+        assert_eq!(metrics.trace_log_write_errors(), 0);
+        assert!(!metrics.is_degraded());
+        let snap = metrics.snapshot();
+        assert!(!snap.degraded);
+        assert!(snap
+            .counters
+            .iter()
+            .all(|(name, _)| name != "trace_log_write_errors_total"));
+    }
+
+    #[test]
+    fn mark_degraded_is_sticky_and_lands_in_snapshot() {
+        let metrics = Metrics::enabled();
+        assert!(!metrics.is_degraded());
+        metrics.mark_degraded();
+        assert!(metrics.is_degraded());
+        assert!(metrics.snapshot().degraded);
+        // A disabled handle silently ignores the mark.
+        let disabled = Metrics::disabled();
+        disabled.mark_degraded();
+        assert!(!disabled.is_degraded());
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! Mapping:
 //!
 //! * counters → `# TYPE irma_<name> counter` + `irma_<name>_total <v>`
+//!   (a registry name already ending in `_total` is not double-suffixed)
+//! * the snapshot's degraded flag → an always-present `irma_degraded`
+//!   gauge (0/1), so dashboards can alert on best-effort answers
 //! * gauges   → `# TYPE irma_<name> gauge` + `irma_<name> <v>`
 //! * timers   → `# TYPE irma_<name>_seconds summary` with
 //!   `quantile="0.5"` / `quantile="0.95"` samples plus `_sum` / `_count`
@@ -48,9 +51,16 @@ fn sample(x: f64) -> String {
 pub(crate) fn snapshot_to_openmetrics(snapshot: &Snapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
-        let name = sanitize(name);
+        // A registry counter already named `*_total` (the OpenMetrics
+        // convention leaking back in, e.g. `trace_log_write_errors_total`)
+        // must not grow a second suffix.
+        let name = sanitize(name.strip_suffix("_total").unwrap_or(name));
         out.push_str(&format!("# TYPE {name} counter\n{name}_total {value}\n"));
     }
+    out.push_str(&format!(
+        "# TYPE irma_degraded gauge\nirma_degraded {}\n",
+        u8::from(snapshot.degraded)
+    ));
     for (name, value) in &snapshot.gauges {
         let name = sanitize(name);
         out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", sample(*value)));
@@ -142,8 +152,38 @@ mod tests {
     }
 
     #[test]
-    fn empty_snapshot_is_just_eof() {
-        assert_eq!(Snapshot::default().to_openmetrics(), "# EOF\n");
+    fn empty_snapshot_is_degraded_gauge_plus_eof() {
+        assert_eq!(
+            Snapshot::default().to_openmetrics(),
+            "# TYPE irma_degraded gauge\nirma_degraded 0\n# EOF\n"
+        );
+    }
+
+    #[test]
+    fn degraded_snapshot_sets_the_gauge() {
+        let snapshot = Snapshot {
+            degraded: true,
+            ..Snapshot::default()
+        };
+        assert!(snapshot.to_openmetrics().contains("irma_degraded 1\n"));
+    }
+
+    #[test]
+    fn total_suffixed_counters_are_not_double_suffixed() {
+        let snapshot = Snapshot {
+            counters: vec![("trace_log_write_errors_total".to_string(), 2)],
+            ..Snapshot::default()
+        };
+        let text = snapshot.to_openmetrics();
+        assert!(
+            text.contains("# TYPE irma_trace_log_write_errors counter\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("irma_trace_log_write_errors_total 2\n"),
+            "{text}"
+        );
+        assert!(!text.contains("_total_total"), "{text}");
     }
 
     #[test]
