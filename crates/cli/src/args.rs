@@ -78,6 +78,8 @@ pub enum Command {
         budget_tree_mb: Option<u64>,
         /// Wall-clock deadline for the whole mining run (e.g. `250ms`).
         deadline: Option<Duration>,
+        /// Worker threads for the mining pool (default: one per core).
+        threads: Option<usize>,
     },
     /// `irma explain <trace> --rule "A, B => C" [--keyword K] [--jobs N]
     ///  [--seed S] [--dir DIR] [--provenance FILE] [--c-lift X]
@@ -258,6 +260,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "budget-itemsets",
                     "budget-tree-mb",
                     "deadline",
+                    "threads",
                 ],
             )?;
             Ok(Command::Analyze {
@@ -296,6 +299,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     .map(|raw| {
                         parse_duration(raw)
                             .map_err(|e| ParseError(format!("invalid --deadline: {e}")))
+                    })
+                    .transpose()?,
+                threads: flags
+                    .get("threads")
+                    .map(|raw| match raw.parse() {
+                        Ok(n) if n >= 1 => Ok(n),
+                        _ => Err(ParseError(format!(
+                            "invalid value for --threads: `{raw}` (need an integer >= 1)"
+                        ))),
                     })
                     .transpose()?,
             })
@@ -392,6 +404,7 @@ USAGE:
                [--metrics-format json|openmetrics|table]
                [--verbose-stages true] [--trace-log FILE]
                [--budget-itemsets N] [--budget-tree-mb N] [--deadline DUR]
+               [--threads N]
       Run the full workflow and print the keyword's cause/characteristic
       rules. With --dir, read CSVs previously written by `generate`.
       --metrics writes a snapshot of per-stage timers, cardinalities, and
@@ -405,6 +418,9 @@ USAGE:
       with raised min-support and lowered max itemset length and flags
       the result as degraded (exit code 4); if the ladder runs out, the
       run fails with a typed error (exit code 5) instead of aborting.
+      --threads pins the mining work-stealing pool to N workers
+      (default: one per core); --threads 1 forces fully sequential
+      mining, useful for timing baselines and deterministic profiles.
 
 EXIT CODES:
   0  success
@@ -618,6 +634,20 @@ mod tests {
         }
         assert!(parse(&argv("analyze pai --deadline fast")).is_err());
         assert!(parse(&argv("analyze pai --budget-itemsets many")).is_err());
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        match parse(&argv("analyze pai --threads 4")).unwrap() {
+            Command::Analyze { threads, .. } => assert_eq!(threads, Some(4)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("analyze pai")).unwrap() {
+            Command::Analyze { threads, .. } => assert_eq!(threads, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("analyze pai --threads 0")).is_err());
+        assert!(parse(&argv("analyze pai --threads lots")).is_err());
     }
 
     #[test]

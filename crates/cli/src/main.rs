@@ -123,6 +123,7 @@ fn run(command: Command) -> Result<Outcome, Failure> {
             budget_itemsets,
             budget_tree_mb,
             deadline,
+            threads,
         } => {
             let merged = match dir {
                 Some(dir) => read_merged_csv_dir(Path::new(&dir), &trace)
@@ -150,13 +151,25 @@ fn run(command: Command) -> Result<Outcome, Failure> {
                 },
                 ..AnalysisConfig::default()
             };
-            let analysis = try_analyze_traced(
-                &merged,
-                &spec_for(&trace),
-                &config,
-                &metrics,
-                &Provenance::disabled(),
-            )
+            let run_analysis = || {
+                try_analyze_traced(
+                    &merged,
+                    &spec_for(&trace),
+                    &config,
+                    &metrics,
+                    &Provenance::disabled(),
+                )
+            };
+            // --threads pins the work-stealing pool width; otherwise the
+            // global registry (one worker per core) serves the run.
+            let analysis = match threads {
+                Some(n) => rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()
+                    .map_err(|e| format!("building {n}-thread mining pool: {e}"))?
+                    .install(run_analysis),
+                None => run_analysis(),
+            }
             .map_err(Failure::Pipeline)?;
             if let Some(degradation) = &analysis.degradation {
                 eprintln!(

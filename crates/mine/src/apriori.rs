@@ -15,45 +15,93 @@ use crate::counts::{FrequentItemsets, MinerConfig};
 use crate::db::TransactionDb;
 use crate::item::{ItemId, Itemset};
 
+/// Fibonacci-multiplicative hasher for the trie's packed `(node, item)`
+/// edge keys: one `wrapping_mul` per lookup instead of SipHash's full
+/// permutation rounds. Safe here because the keys are program-generated
+/// dense indices, not attacker-controlled input.
+#[derive(Debug, Default)]
+struct EdgeHasher(u64);
+
+impl std::hash::Hasher for EdgeHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by the u64 edge keys).
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct EdgeHasherBuilder;
+
+impl std::hash::BuildHasher for EdgeHasherBuilder {
+    type Hasher = EdgeHasher;
+
+    fn build_hasher(&self) -> EdgeHasher {
+        EdgeHasher::default()
+    }
+}
+
 /// A candidate-counting trie: one level per itemset position.
 ///
 /// Each candidate of length k is a root-to-leaf path; counting walks every
 /// transaction through the trie, advancing only along items present in the
 /// transaction, so a transaction of length m visits at most C(m, k) paths —
 /// and far fewer in practice because the trie is sparse.
+///
+/// Edges live in ONE flat hash map keyed by the prefix hash
+/// `(node << 32) | item` instead of a per-node `HashMap` — no per-node
+/// allocation, one cache-friendly probe per child lookup, and a cheap
+/// multiplicative hash in place of SipHash.
 #[derive(Debug, Default)]
 struct CandidateTrie {
-    /// Flattened nodes; `children` maps item -> node index.
-    children: Vec<HashMap<ItemId, u32>>,
+    /// `(node << 32) | item` -> child node index.
+    edges: HashMap<u64, u32, EdgeHasherBuilder>,
     /// `leaf[n]` = candidate index if node `n` terminates a candidate.
     leaf: Vec<Option<u32>>,
+    /// Whether node `n` has any outgoing edge (pruning the walk without
+    /// probing the map).
+    has_children: Vec<bool>,
 }
 
 impl CandidateTrie {
     fn new() -> CandidateTrie {
         CandidateTrie {
-            children: vec![HashMap::new()],
+            edges: HashMap::default(),
             leaf: vec![None],
+            has_children: vec![false],
         }
+    }
+
+    fn edge_key(node: u32, item: ItemId) -> u64 {
+        (u64::from(node) << 32) | u64::from(item)
     }
 
     /// Inserts a candidate (sorted items) with its dense index.
     fn insert(&mut self, items: &[ItemId], candidate_idx: u32) {
-        let mut node = 0usize;
+        let mut node = 0u32;
         for &item in items {
-            let next = match self.children[node].get(&item) {
-                Some(&n) => n as usize,
-                None => {
-                    let n = self.children.len();
-                    self.children.push(HashMap::new());
-                    self.leaf.push(None);
-                    self.children[node].insert(item, n as u32);
-                    n
-                }
-            };
+            let next_free = self.leaf.len() as u32;
+            let next = *self
+                .edges
+                .entry(Self::edge_key(node, item))
+                .or_insert(next_free);
+            if next == next_free {
+                self.leaf.push(None);
+                self.has_children.push(false);
+                self.has_children[node as usize] = true;
+            }
             node = next;
         }
-        self.leaf[node] = Some(candidate_idx);
+        self.leaf[node as usize] = Some(candidate_idx);
     }
 
     /// Adds every candidate contained in `txn` to `hits`.
@@ -61,25 +109,24 @@ impl CandidateTrie {
         self.walk(0, txn, hits);
     }
 
-    /// Rough heap-footprint estimate for budget accounting: node overhead
-    /// plus ~16 bytes per child edge (hash-map entry).
+    /// Rough heap-footprint estimate for budget accounting: per-node
+    /// leaf/child flags plus ~16 bytes per edge (key + value + control
+    /// byte, rounded up).
     fn estimated_bytes(&self) -> u64 {
-        let edges: usize = self.children.iter().map(|m| m.len()).sum();
-        let per_node =
-            std::mem::size_of::<HashMap<ItemId, u32>>() + std::mem::size_of::<Option<u32>>();
-        (self.children.len() * per_node + edges * 16) as u64
+        let per_node = std::mem::size_of::<Option<u32>>() + 1;
+        (self.leaf.len() * per_node + self.edges.len() * 16) as u64
     }
 
-    fn walk(&self, node: usize, txn: &[ItemId], hits: &mut Vec<u32>) {
-        if let Some(idx) = self.leaf[node] {
+    fn walk(&self, node: u32, txn: &[ItemId], hits: &mut Vec<u32>) {
+        if let Some(idx) = self.leaf[node as usize] {
             hits.push(idx);
         }
-        if self.children[node].is_empty() {
+        if !self.has_children[node as usize] {
             return;
         }
         for (pos, &item) in txn.iter().enumerate() {
-            if let Some(&next) = self.children[node].get(&item) {
-                self.walk(next as usize, &txn[pos + 1..], hits);
+            if let Some(&next) = self.edges.get(&Self::edge_key(node, item)) {
+                self.walk(next, &txn[pos + 1..], hits);
             }
         }
     }

@@ -225,8 +225,18 @@ pub struct BudgetGuard {
     panic_after_emits: Option<u64>,
     emitted: AtomicU64,
     tree_bytes: AtomicU64,
-    /// Checkpoint counter for clock-read striding.
-    ticks: AtomicU64,
+}
+
+thread_local! {
+    /// Checkpoint counter for clock-read striding. Thread-local rather
+    /// than a field: under the work-stealing pool every worker in a
+    /// steal tree checkpoints against the same shared guard, and a
+    /// shared atomic counter would bounce its cache line between cores
+    /// on every recursion step. Per-thread counting preserves the
+    /// invariant that matters — each thread reads the clock at most once
+    /// per [`CHECK_STRIDE`] of its own checkpoints, starting with its
+    /// first.
+    static TICKS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
 impl Default for BudgetGuard {
@@ -259,7 +269,6 @@ impl BudgetGuard {
             panic_after_emits: budget.panic_after_emits,
             emitted: AtomicU64::new(0),
             tree_bytes: AtomicU64::new(0),
-            ticks: AtomicU64::new(0),
         }
     }
 
@@ -292,7 +301,11 @@ impl BudgetGuard {
         if !self.has_deadline {
             return Ok(());
         }
-        let tick = self.ticks.fetch_add(1, Ordering::Relaxed);
+        let tick = TICKS.with(|t| {
+            let tick = t.get();
+            t.set(tick.wrapping_add(1));
+            tick
+        });
         if tick.is_multiple_of(CHECK_STRIDE) {
             self.token.check(self.deadline_budget)?;
         }

@@ -4,6 +4,12 @@
 //! lists), depth-first prefix extension by tid-list intersection. Having a
 //! third miner with a completely different data layout makes the
 //! cross-miner equivalence property tests a strong oracle for all three.
+//!
+//! Tid-lists are density-adaptive ([`TidSet`]): above one set transaction
+//! in [`DENSE_CUTOVER_FACTOR`] they switch to packed `u64` bitset words,
+//! where intersection is a word-wise AND + popcount instead of a sorted
+//! merge — the classic diffset-era optimization for the dense top of the
+//! lattice, while the sparse deep prefixes keep compact sorted lists.
 
 use rayon::prelude::*;
 
@@ -11,6 +17,12 @@ use crate::budget::{BudgetBreach, BudgetGuard, MineError};
 use crate::counts::{FrequentItemsets, MinerConfig};
 use crate::db::TransactionDb;
 use crate::item::{ItemId, Itemset};
+
+/// Representation cutover: a tid-set covering at least `1 /
+/// DENSE_CUTOVER_FACTOR` of all transactions is stored dense. At 32, the
+/// dense words (`n_txns / 8` bytes) never exceed the sparse list they
+/// replace (`4 * count` bytes).
+const DENSE_CUTOVER_FACTOR: u64 = 32;
 
 /// Intersection of two sorted tid-lists.
 fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
@@ -30,6 +42,82 @@ fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
     out
 }
 
+/// A transaction-id set with a density-adaptive representation.
+#[derive(Debug, Clone)]
+enum TidSet {
+    /// Sorted tid list (low density).
+    Sparse(Vec<u32>),
+    /// Packed bitset over the transaction universe, with the set-bit
+    /// count cached (popcounted once at construction).
+    Dense { words: Vec<u64>, count: u64 },
+}
+
+impl TidSet {
+    /// Wraps a sorted tid list, densifying above the cutover.
+    fn from_sparse(tids: Vec<u32>, n_txns: usize) -> TidSet {
+        if !tids.is_empty() && tids.len() as u64 * DENSE_CUTOVER_FACTOR >= n_txns as u64 {
+            let mut words = vec![0u64; n_txns.div_ceil(64)];
+            for &tid in &tids {
+                words[(tid / 64) as usize] |= 1u64 << (tid % 64);
+            }
+            TidSet::Dense {
+                words,
+                count: tids.len() as u64,
+            }
+        } else {
+            TidSet::Sparse(tids)
+        }
+    }
+
+    /// Support count.
+    fn len(&self) -> u64 {
+        match self {
+            TidSet::Sparse(tids) => tids.len() as u64,
+            TidSet::Dense { count, .. } => *count,
+        }
+    }
+
+    /// Set intersection, picking the cheapest strategy per operand pair
+    /// and re-deciding the result's representation by density.
+    fn intersect(&self, other: &TidSet, n_txns: usize) -> TidSet {
+        match (self, other) {
+            (TidSet::Sparse(a), TidSet::Sparse(b)) => TidSet::Sparse(intersect(a, b)),
+            (TidSet::Dense { words: a, .. }, TidSet::Dense { words: b, .. }) => {
+                let words: Vec<u64> = a.iter().zip(b).map(|(x, y)| x & y).collect();
+                let count: u64 = words.iter().map(|w| w.count_ones() as u64).sum();
+                if count * DENSE_CUTOVER_FACTOR >= n_txns as u64 {
+                    TidSet::Dense { words, count }
+                } else {
+                    // The result fell below the cutover: decode the set
+                    // bits back into a sorted list so deeper levels pay
+                    // sparse-merge costs, not full-universe word scans.
+                    let mut tids = Vec::with_capacity(count as usize);
+                    for (index, &word) in words.iter().enumerate() {
+                        let mut word = word;
+                        while word != 0 {
+                            tids.push(index as u32 * 64 + word.trailing_zeros());
+                            word &= word - 1;
+                        }
+                    }
+                    TidSet::Sparse(tids)
+                }
+            }
+            (TidSet::Sparse(tids), TidSet::Dense { words, .. })
+            | (TidSet::Dense { words, .. }, TidSet::Sparse(tids)) => {
+                // Probe each sparse tid against the bitset. The result is
+                // no larger than the sparse operand, which was already
+                // below the cutover — so it stays sparse.
+                let out: Vec<u32> = tids
+                    .iter()
+                    .copied()
+                    .filter(|&tid| words[(tid / 64) as usize] & (1u64 << (tid % 64)) != 0)
+                    .collect();
+                TidSet::Sparse(out)
+            }
+        }
+    }
+}
+
 /// Depth-first extension of `prefix` by items from `tail`.
 ///
 /// Budget-aware: checkpoints the guard at every recursion entry (the DFS
@@ -37,7 +125,8 @@ fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
 /// one itemset per emission.
 fn extend(
     prefix: &[ItemId],
-    tail: &[(ItemId, Vec<u32>)],
+    tail: &[(ItemId, TidSet)],
+    n_txns: usize,
     min_count: u64,
     max_len: usize,
     out: &mut Vec<(Itemset, u64)>,
@@ -48,20 +137,20 @@ fn extend(
         let mut itemset: Vec<ItemId> = prefix.to_vec();
         itemset.push(*item);
         guard.charge_itemsets(1)?;
-        out.push((Itemset::from_items(itemset.clone()), tids.len() as u64));
+        out.push((Itemset::from_items(itemset.clone()), tids.len()));
         if itemset.len() >= max_len {
             continue;
         }
         // Conditional tail: remaining items intersected with this prefix.
-        let mut next_tail: Vec<(ItemId, Vec<u32>)> = Vec::new();
+        let mut next_tail: Vec<(ItemId, TidSet)> = Vec::new();
         for (other, other_tids) in &tail[pos + 1..] {
-            let joined = intersect(tids, other_tids);
-            if joined.len() as u64 >= min_count {
+            let joined = tids.intersect(other_tids, n_txns);
+            if joined.len() >= min_count {
                 next_tail.push((*other, joined));
             }
         }
         if !next_tail.is_empty() {
-            extend(&itemset, &next_tail, min_count, max_len, out, guard)?;
+            extend(&itemset, &next_tail, n_txns, min_count, max_len, out, guard)?;
         }
     }
     Ok(())
@@ -88,20 +177,21 @@ pub fn try_eclat(
 ) -> Result<FrequentItemsets, MineError> {
     config.validate().map_err(MineError::InvalidConfig)?;
     let min_count = config.min_count(db.len());
+    let n_txns = db.len();
     guard.checkpoint_now()?;
 
-    // Vertical layout: tid-list per item.
+    // Vertical layout: tid-list per item, densified above the cutover.
     let mut tidlists: Vec<Vec<u32>> = vec![Vec::new(); db.n_items()];
     for (tid, txn) in db.iter().enumerate() {
         for &item in txn {
             tidlists[item as usize].push(tid as u32);
         }
     }
-    let frequent: Vec<(ItemId, Vec<u32>)> = tidlists
+    let frequent: Vec<(ItemId, TidSet)> = tidlists
         .into_iter()
         .enumerate()
         .filter(|(_, tids)| tids.len() as u64 >= min_count)
-        .map(|(item, tids)| (item as ItemId, tids))
+        .map(|(item, tids)| (item as ItemId, TidSet::from_sparse(tids, n_txns)))
         .collect();
 
     let out: Vec<(Itemset, u64)> = if config.parallel {
@@ -111,12 +201,12 @@ pub fn try_eclat(
                 let (item, tids) = &frequent[pos];
                 let mut local = Vec::new();
                 guard.charge_itemsets(1)?;
-                local.push((Itemset::singleton(*item), tids.len() as u64));
+                local.push((Itemset::singleton(*item), tids.len()));
                 if config.max_len > 1 {
-                    let mut tail: Vec<(ItemId, Vec<u32>)> = Vec::new();
+                    let mut tail: Vec<(ItemId, TidSet)> = Vec::new();
                     for (other, other_tids) in &frequent[pos + 1..] {
-                        let joined = intersect(tids, other_tids);
-                        if joined.len() as u64 >= min_count {
+                        let joined = tids.intersect(other_tids, n_txns);
+                        if joined.len() >= min_count {
                             tail.push((*other, joined));
                         }
                     }
@@ -124,6 +214,7 @@ pub fn try_eclat(
                         extend(
                             &[*item],
                             &tail,
+                            n_txns,
                             min_count,
                             config.max_len,
                             &mut local,
@@ -141,7 +232,15 @@ pub fn try_eclat(
         out
     } else {
         let mut out = Vec::new();
-        extend(&[], &frequent, min_count, config.max_len, &mut out, guard)?;
+        extend(
+            &[],
+            &frequent,
+            n_txns,
+            min_count,
+            config.max_len,
+            &mut out,
+            guard,
+        )?;
         out
     };
 
@@ -174,6 +273,76 @@ mod tests {
         assert_eq!(intersect(&[1, 3, 5, 7], &[2, 3, 5, 9]), vec![3, 5]);
         assert_eq!(intersect(&[], &[1]), Vec::<u32>::new());
         assert_eq!(intersect(&[4], &[4]), vec![4]);
+    }
+
+    /// Every representation pairing (sparse/sparse, dense/dense, mixed)
+    /// must agree with the sorted-merge reference on the same sets.
+    #[test]
+    fn tidset_intersections_match_sparse_reference() {
+        // 128 transactions; a = multiples of 2, b = multiples of 3.
+        let n_txns = 128usize;
+        let a: Vec<u32> = (0..n_txns as u32).filter(|t| t % 2 == 0).collect();
+        let b: Vec<u32> = (0..n_txns as u32).filter(|t| t % 3 == 0).collect();
+        let expected = intersect(&a, &b);
+
+        let sparse_a = TidSet::Sparse(a.clone());
+        let sparse_b = TidSet::Sparse(b.clone());
+        let dense_a = TidSet::from_sparse(a.clone(), n_txns);
+        let dense_b = TidSet::from_sparse(b.clone(), n_txns);
+        assert!(matches!(dense_a, TidSet::Dense { .. }), "a is dense");
+        assert!(matches!(dense_b, TidSet::Dense { .. }), "b is dense");
+
+        for (x, y) in [
+            (&sparse_a, &sparse_b),
+            (&dense_a, &dense_b),
+            (&sparse_a, &dense_b),
+            (&dense_a, &sparse_b),
+        ] {
+            let joined = x.intersect(y, n_txns);
+            assert_eq!(joined.len(), expected.len() as u64);
+            let decoded: Vec<u32> = match joined {
+                TidSet::Sparse(tids) => tids,
+                TidSet::Dense { words, .. } => {
+                    let mut tids = Vec::new();
+                    for (index, &word) in words.iter().enumerate() {
+                        let mut word = word;
+                        while word != 0 {
+                            tids.push(index as u32 * 64 + word.trailing_zeros());
+                            word &= word - 1;
+                        }
+                    }
+                    tids
+                }
+            };
+            assert_eq!(decoded, expected);
+        }
+    }
+
+    /// A dense-by-construction set must sparsify once an intersection
+    /// drops it below the cutover, and never lose counts either way.
+    #[test]
+    fn dense_results_sparsify_below_cutover() {
+        let n_txns = 4096usize;
+        let all: Vec<u32> = (0..n_txns as u32).collect();
+        let few: Vec<u32> = (0..n_txns as u32).step_by(512).collect();
+        let dense = TidSet::from_sparse(all, n_txns);
+        let dense_few = {
+            // Force a dense/dense intersection whose result is tiny.
+            let mut words = vec![0u64; n_txns.div_ceil(64)];
+            for &tid in &few {
+                words[(tid / 64) as usize] |= 1u64 << (tid % 64);
+            }
+            TidSet::Dense {
+                words,
+                count: few.len() as u64,
+            }
+        };
+        let joined = dense.intersect(&dense_few, n_txns);
+        assert_eq!(joined.len(), few.len() as u64);
+        assert!(
+            matches!(joined, TidSet::Sparse(ref tids) if *tids == few),
+            "below-cutover result must decode to a sorted sparse list"
+        );
     }
 
     #[test]

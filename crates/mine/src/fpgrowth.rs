@@ -4,20 +4,28 @@
 //! (850k jobs for PAI) and Apriori's candidate generation blows up at 5%
 //! support (§III-C). This implementation is hand-rolled:
 //!
-//! * the FP-tree lives in a flat arena (`Vec<FpNode>`) — no `Rc`/`RefCell`
-//!   pointer chasing, no per-node allocation;
-//! * header "linked lists" are per-item vectors of node indices;
+//! * the FP-tree lives in a flat arena (`Vec<FpNode>`) with intrusive
+//!   `first_child` / `next_sibling` / `next_header` links — no `Rc`/
+//!   `RefCell` pointer chasing, no per-node allocation at all;
 //! * conditional trees are built from weighted prefix paths, re-ranked by
 //!   conditional frequency;
 //! * single-prefix-path subtrees short-circuit into direct subset
 //!   enumeration;
-//! * the top level of the recursion optionally fans out across rayon
-//!   workers (the conditional subtrees are independent).
+//! * every working structure the recursion needs (pattern base, build
+//!   scratch, conditional tree, path buffer) comes from a per-worker
+//!   [`Frame`] pool, so steady-state mining performs zero heap
+//!   allocation beyond the emitted itemsets themselves;
+//! * under `config.parallel`, the recursion fans out through
+//!   [`rayon::join`]: rank ranges split in two at *every* depth (above a
+//!   node-count threshold), so skewed conditional subtrees become
+//!   stealable tasks instead of serializing behind a static per-rank
+//!   chunking. Results are merged left-before-right in rank order, so
+//!   the output is identical regardless of which worker ran what.
 
+use std::cell::RefCell;
 use std::panic::AssertUnwindSafe;
 
-use irma_obs::Metrics;
-use rayon::prelude::*;
+use irma_obs::{Metrics, StageSpan};
 
 use crate::budget::{BudgetBreach, BudgetGuard, MineError};
 use crate::counts::{FrequentItemsets, MinerConfig};
@@ -26,8 +34,15 @@ use crate::item::{ItemId, Itemset};
 
 /// Sentinel rank used for the root node.
 const NO_ITEM: u32 = u32::MAX;
+/// Sentinel arena index terminating intrusive lists.
+const NO_NODE: u32 = u32::MAX;
+/// A conditional tree smaller than this mines inline rather than
+/// forking: the join/steal overhead would exceed the subtree's work.
+/// (The top level always forks — per-rank subtrees are the natural
+/// parallel units and each gets an observability span.)
+const FORK_NODE_THRESHOLD: usize = 128;
 
-/// One FP-tree node.
+/// One FP-tree node (32 bytes; all links are arena indices).
 #[derive(Debug, Clone)]
 struct FpNode {
     /// Rank (frequency-order index) of the item at this node.
@@ -36,16 +51,76 @@ struct FpNode {
     count: u64,
     /// Arena index of the parent (root's parent is itself).
     parent: u32,
-    /// Children as `(rank, node)` pairs, sorted by rank for binary search.
-    children: Vec<(u32, u32)>,
+    /// Head of this node's child list.
+    first_child: u32,
+    /// Next node in the parent's child list.
+    next_sibling: u32,
+    /// Next node holding the same rank (header chain).
+    next_header: u32,
+}
+
+/// The conditional pattern base of one rank: weighted prefix paths,
+/// stored flat (one item vector + `(start, end, weight)` spans) so a
+/// cleared base reuses its allocations on the next fill.
+#[derive(Debug, Default)]
+struct PatternBase {
+    items: Vec<ItemId>,
+    spans: Vec<(u32, u32, u64)>,
+    /// Smallest universe covering every item present (`max item + 1`).
+    universe: usize,
+}
+
+impl PatternBase {
+    fn clear(&mut self) {
+        self.items.clear();
+        self.spans.clear();
+        self.universe = 0;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Weighted paths in insertion order, borrowed from the flat store.
+    fn paths(&self) -> impl Iterator<Item = (&[ItemId], u64)> + '_ {
+        self.spans
+            .iter()
+            .map(move |&(start, end, weight)| (&self.items[start as usize..end as usize], weight))
+    }
+
+    /// Fills from an iterator of weighted paths, draining it exactly
+    /// once (the input may be a one-shot iterator).
+    fn fill<'a, I>(&mut self, paths: I)
+    where
+        I: IntoIterator<Item = (&'a [ItemId], u64)>,
+    {
+        self.clear();
+        for (path, weight) in paths {
+            let start = self.items.len() as u32;
+            self.items.extend_from_slice(path);
+            for &item in path {
+                self.universe = self.universe.max(item as usize + 1);
+            }
+            self.spans.push((start, self.items.len() as u32, weight));
+        }
+    }
+}
+
+/// Reusable buffers for [`FpTree::rebuild`]'s count/rank/insert passes.
+#[derive(Debug, Default)]
+struct BuildScratch {
+    counts: Vec<u64>,
+    item_to_rank: Vec<u32>,
+    frequent: Vec<ItemId>,
+    ranked: Vec<u32>,
 }
 
 /// An FP-tree over an item universe restricted to frequent items.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct FpTree {
     nodes: Vec<FpNode>,
-    /// Per-rank list of node indices holding that item.
-    headers: Vec<Vec<u32>>,
+    /// Per-rank head of the intrusive header chain (`NO_NODE` = empty).
+    headers: Vec<u32>,
     /// Per-rank total support count.
     rank_counts: Vec<u64>,
     /// Rank -> global item id.
@@ -53,92 +128,122 @@ struct FpTree {
 }
 
 impl FpTree {
-    /// Builds a tree from weighted paths of *global* item ids.
+    /// Builds a fresh tree from weighted paths of *global* item ids.
+    /// Convenience wrapper over [`PatternBase::fill`] + [`rebuild`] for
+    /// the root tree and tests; the recursion reuses pooled frames
+    /// instead.
     ///
-    /// Items below `min_count` are dropped; survivors are ranked by
-    /// descending count (ascending id tie-break, so results are
-    /// deterministic regardless of thread scheduling).
+    /// The input is drained exactly once, so one-shot iterators are
+    /// usable and whatever computation feeds `paths` never re-runs.
     ///
-    /// The input is drained exactly once: paths are materialized as
-    /// borrowed slices (pointer + length + weight each), then walked for
-    /// the counting and insertion phases. This keeps one-shot iterators
-    /// usable and avoids re-running whatever computation feeds `paths`.
+    /// [`rebuild`]: FpTree::rebuild
     fn build<'a, I>(paths: I, n_items: usize, min_count: u64) -> FpTree
     where
         I: IntoIterator<Item = (&'a [ItemId], u64)>,
     {
-        let paths: Vec<(&'a [ItemId], u64)> = paths.into_iter().collect();
-        let mut counts = vec![0u64; n_items];
-        for &(path, weight) in &paths {
+        let mut base = PatternBase::default();
+        base.fill(paths);
+        base.universe = base.universe.max(n_items);
+        let mut tree = FpTree::default();
+        let mut scratch = BuildScratch::default();
+        tree.rebuild(&base, min_count, &mut scratch);
+        tree
+    }
+
+    /// Rebuilds this tree in place from a pattern base, reusing every
+    /// allocation from the previous occupant.
+    ///
+    /// Items below `min_count` are dropped; survivors are ranked by
+    /// descending count (ascending id tie-break, so results are
+    /// deterministic regardless of thread scheduling).
+    fn rebuild(&mut self, base: &PatternBase, min_count: u64, scratch: &mut BuildScratch) {
+        let n_items = base.universe;
+        scratch.counts.clear();
+        scratch.counts.resize(n_items, 0);
+        for (path, weight) in base.paths() {
             for &item in path {
-                counts[item as usize] += weight;
+                scratch.counts[item as usize] += weight;
             }
         }
-        let mut frequent: Vec<ItemId> = (0..n_items as ItemId)
-            .filter(|&i| counts[i as usize] >= min_count)
-            .collect();
-        frequent.sort_unstable_by(|&a, &b| {
+        scratch.frequent.clear();
+        scratch
+            .frequent
+            .extend((0..n_items as ItemId).filter(|&i| scratch.counts[i as usize] >= min_count));
+        let counts = &scratch.counts;
+        scratch.frequent.sort_unstable_by(|&a, &b| {
             counts[b as usize]
                 .cmp(&counts[a as usize])
                 .then_with(|| a.cmp(&b))
         });
-        let mut item_to_rank = vec![NO_ITEM; n_items];
-        for (rank, &item) in frequent.iter().enumerate() {
-            item_to_rank[item as usize] = rank as u32;
+        scratch.item_to_rank.clear();
+        scratch.item_to_rank.resize(n_items, NO_ITEM);
+        for (rank, &item) in scratch.frequent.iter().enumerate() {
+            scratch.item_to_rank[item as usize] = rank as u32;
         }
-        let rank_counts: Vec<u64> = frequent.iter().map(|&i| counts[i as usize]).collect();
 
-        let mut tree = FpTree {
-            nodes: vec![FpNode {
-                rank: NO_ITEM,
-                count: 0,
-                parent: 0,
-                children: Vec::new(),
-            }],
-            headers: vec![Vec::new(); frequent.len()],
-            rank_counts,
-            rank_to_item: frequent,
-        };
+        self.nodes.clear();
+        self.nodes.push(FpNode {
+            rank: NO_ITEM,
+            count: 0,
+            parent: 0,
+            first_child: NO_NODE,
+            next_sibling: NO_NODE,
+            next_header: NO_NODE,
+        });
+        self.headers.clear();
+        self.headers.resize(scratch.frequent.len(), NO_NODE);
+        self.rank_counts.clear();
+        self.rank_counts
+            .extend(scratch.frequent.iter().map(|&i| scratch.counts[i as usize]));
+        self.rank_to_item.clear();
+        self.rank_to_item.extend_from_slice(&scratch.frequent);
 
-        let mut ranked: Vec<u32> = Vec::new();
-        for &(path, weight) in &paths {
-            ranked.clear();
-            ranked.extend(
+        for (path, weight) in base.paths() {
+            scratch.ranked.clear();
+            scratch.ranked.extend(
                 path.iter()
-                    .map(|&i| item_to_rank[i as usize])
+                    .map(|&i| scratch.item_to_rank[i as usize])
                     .filter(|&r| r != NO_ITEM),
             );
-            ranked.sort_unstable();
-            tree.insert(&ranked, weight);
+            scratch.ranked.sort_unstable();
+            self.insert(&scratch.ranked, weight);
         }
-        tree
     }
 
-    /// Inserts one ranked path with a weight.
+    /// Inserts one ranked path with a weight. Children are matched by a
+    /// linear scan and appended at the tail on a miss: ranked paths are
+    /// inserted in ascending-rank order, so the most frequent ranks land
+    /// near the front of each child list where the scan finds them
+    /// first.
     fn insert(&mut self, ranked: &[u32], weight: u64) {
         let mut node = 0u32;
         for &rank in ranked {
-            let pos = self.nodes[node as usize]
-                .children
-                .binary_search_by_key(&rank, |&(r, _)| r);
-            node = match pos {
-                Ok(i) => {
-                    let child = self.nodes[node as usize].children[i].1;
-                    self.nodes[child as usize].count += weight;
-                    child
+            let mut child = self.nodes[node as usize].first_child;
+            let mut last = NO_NODE;
+            while child != NO_NODE && self.nodes[child as usize].rank != rank {
+                last = child;
+                child = self.nodes[child as usize].next_sibling;
+            }
+            node = if child != NO_NODE {
+                self.nodes[child as usize].count += weight;
+                child
+            } else {
+                let new = self.nodes.len() as u32;
+                self.nodes.push(FpNode {
+                    rank,
+                    count: weight,
+                    parent: node,
+                    first_child: NO_NODE,
+                    next_sibling: NO_NODE,
+                    next_header: self.headers[rank as usize],
+                });
+                self.headers[rank as usize] = new;
+                if last == NO_NODE {
+                    self.nodes[node as usize].first_child = new;
+                } else {
+                    self.nodes[last as usize].next_sibling = new;
                 }
-                Err(i) => {
-                    let child = self.nodes.len() as u32;
-                    self.nodes.push(FpNode {
-                        rank,
-                        count: weight,
-                        parent: node,
-                        children: Vec::new(),
-                    });
-                    self.nodes[node as usize].children.insert(i, (rank, child));
-                    self.headers[rank as usize].push(child);
-                    child
-                }
+                new
             };
         }
     }
@@ -148,55 +253,101 @@ impl FpTree {
         self.rank_to_item.len()
     }
 
-    /// If the whole tree is one downward path, returns `(item, count)`
-    /// pairs along it (root excluded).
-    fn single_path(&self) -> Option<Vec<(ItemId, u64)>> {
-        let mut path = Vec::new();
+    /// If the whole tree is one downward path, fills `out` with its
+    /// `(item, count)` pairs (root excluded) and returns `true`. On
+    /// `false`, `out` holds a meaningless prefix.
+    fn single_path_into(&self, out: &mut Vec<(ItemId, u64)>) -> bool {
+        out.clear();
         let mut node = 0usize;
         loop {
-            match self.nodes[node].children.len() {
-                0 => return Some(path),
-                1 => {
-                    node = self.nodes[node].children[0].1 as usize;
-                    let n = &self.nodes[node];
-                    path.push((self.rank_to_item[n.rank as usize], n.count));
-                }
-                _ => return None,
+            let first = self.nodes[node].first_child;
+            if first == NO_NODE {
+                return true;
             }
+            if self.nodes[first as usize].next_sibling != NO_NODE {
+                return false;
+            }
+            node = first as usize;
+            let n = &self.nodes[node];
+            out.push((self.rank_to_item[n.rank as usize], n.count));
         }
     }
 
-    /// Estimated arena footprint: nodes, per-node child slots, headers,
-    /// and the rank tables. An upper bound on what `build` allocated,
-    /// charged against [`BudgetGuard::charge_tree_bytes`].
+    /// Estimated arena footprint: nodes plus the per-rank tables. An
+    /// upper bound on what `rebuild` grew the arena to, charged against
+    /// [`BudgetGuard::charge_tree_bytes`].
     fn estimated_bytes(&self) -> u64 {
         let node = std::mem::size_of::<FpNode>() as u64;
-        let child_slot = std::mem::size_of::<(u32, u32)>() as u64;
-        let nodes = self.nodes.len() as u64;
-        // Every non-root node occupies exactly one child slot and one
-        // header slot.
-        nodes * node + nodes.saturating_sub(1) * (child_slot + 4) + self.n_ranks() as u64 * 12
+        // headers (4) + rank_counts (8) + rank_to_item (4) per rank.
+        self.nodes.len() as u64 * node + self.n_ranks() as u64 * 16
     }
 
-    /// The conditional pattern base of `rank`: weighted prefix paths of
-    /// global item ids (unsorted; `build` re-ranks anyway).
-    fn pattern_base(&self, rank: u32) -> Vec<(Vec<ItemId>, u64)> {
-        let mut base = Vec::with_capacity(self.headers[rank as usize].len());
-        for &leaf in &self.headers[rank as usize] {
+    /// Writes the conditional pattern base of `rank` — weighted prefix
+    /// paths of global item ids — into a caller-provided scratch base
+    /// (unsorted; `rebuild` re-ranks anyway). Borrowed flat storage
+    /// replaces the former per-call `Vec<(Vec<ItemId>, u64)>`, so the
+    /// projection loop stops allocating once the pool is warm.
+    fn pattern_base_into(&self, rank: u32, out: &mut PatternBase) {
+        out.clear();
+        let mut leaf = self.headers[rank as usize];
+        while leaf != NO_NODE {
             let weight = self.nodes[leaf as usize].count;
-            let mut path = Vec::new();
+            let start = out.items.len() as u32;
             let mut node = self.nodes[leaf as usize].parent;
             while node != 0 {
                 let n = &self.nodes[node as usize];
-                path.push(self.rank_to_item[n.rank as usize]);
+                let item = self.rank_to_item[n.rank as usize];
+                out.universe = out.universe.max(item as usize + 1);
+                out.items.push(item);
                 node = n.parent;
             }
-            if !path.is_empty() {
-                base.push((path, weight));
+            let end = out.items.len() as u32;
+            if end > start {
+                out.spans.push((start, end, weight));
             }
+            leaf = self.nodes[leaf as usize].next_header;
         }
-        base
     }
+}
+
+/// One level of reusable mining state: a conditional tree, the pattern
+/// base feeding it, the build scratch, and a single-path buffer. Frames
+/// live in a per-worker pool ([`with_frame`]); each recursion level owns
+/// exactly one frame while active, so stolen subtasks on other workers
+/// draw from their own pools and nothing is shared.
+#[derive(Debug, Default)]
+struct Frame {
+    tree: FpTree,
+    base: PatternBase,
+    build: BuildScratch,
+    path: Vec<(ItemId, u64)>,
+}
+
+impl Frame {
+    fn clear(&mut self) {
+        // Buffers are overwritten by the next occupant; only the
+        // capacity is meant to survive. `clear` keeps the pool's memory
+        // bounded by the deepest recursion actually reached.
+        self.base.clear();
+        self.path.clear();
+    }
+}
+
+thread_local! {
+    static FRAME_POOL: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a pooled [`Frame`]: pops one (or allocates the first
+/// time this worker reaches this depth) and returns it afterwards. In
+/// steady state every pop is a hit and the recursion allocates nothing.
+fn with_frame<R>(f: impl FnOnce(&mut Frame) -> R) -> R {
+    let mut frame = FRAME_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_default();
+    let result = f(&mut frame);
+    frame.clear();
+    FRAME_POOL.with(|pool| pool.borrow_mut().push(frame));
+    result
 }
 
 /// Emits every non-empty subset of a single path, each with the count of
@@ -229,7 +380,7 @@ fn emit_single_path(
 }
 
 /// Per-run mining statistics, accumulated locally (no synchronization in
-/// the hot recursion) and reported once by [`fpgrowth_with`].
+/// the hot recursion) and merged in rank order by [`fpgrowth_with`].
 #[derive(Debug, Clone, Copy, Default)]
 struct MineStats {
     /// Conditional FP-trees built during the recursion.
@@ -245,63 +396,195 @@ impl MineStats {
     }
 }
 
-/// Recursive FP-Growth over a (conditional) tree. The budget guard is
-/// polled once per call and charged per emitted itemset / built tree, so
-/// a breach surfaces within one conditional subtree of work.
-fn mine_tree(
-    tree: &FpTree,
-    suffix: &[ItemId],
+/// Immutable mining parameters threaded through the recursion. The
+/// budget guard rides along by reference, so budget charges and
+/// cancellation checks from *stolen* subtasks hit the same shared
+/// accounting as the spawning worker's.
+struct MineCtx<'a> {
     min_count: u64,
     max_len: usize,
-    out: &mut Vec<(Itemset, u64)>,
-    stats: &mut MineStats,
-    guard: &BudgetGuard,
-) -> Result<(), BudgetBreach> {
-    if suffix.len() >= max_len {
-        return Ok(());
-    }
-    guard.checkpoint()?;
-    // Single-prefix-path shortcut: subset enumeration replaces recursion.
-    // Paths wider than the u32 subset mask fall through to the general case.
-    if let Some(path) = tree.single_path() {
-        if path.len() <= 31 {
-            stats.single_path_hits += 1;
-            return emit_single_path(&path, suffix, max_len, out, guard);
-        }
-    }
-    for rank in (0..tree.n_ranks() as u32).rev() {
-        let count = tree.rank_counts[rank as usize];
-        let item = tree.rank_to_item[rank as usize];
-        let mut itemset: Vec<ItemId> = suffix.to_vec();
-        itemset.push(item);
-        guard.charge_itemsets(1)?;
-        out.push((Itemset::from_items(itemset.clone()), count));
-        if itemset.len() < max_len {
-            let base = tree.pattern_base(rank);
-            if !base.is_empty() {
-                let cond = FpTree::build(
-                    base.iter().map(|(p, w)| (p.as_slice(), *w)),
-                    item_universe(&base),
-                    min_count,
-                );
-                guard.charge_tree_bytes(cond.estimated_bytes())?;
-                stats.conditional_trees += 1;
-                if cond.n_ranks() > 0 {
-                    mine_tree(&cond, &itemset, min_count, max_len, out, stats, guard)?;
-                }
-            }
-        }
-    }
-    Ok(())
+    /// Pool width captured once at mine start; 1 disables forking.
+    width: usize,
+    guard: &'a BudgetGuard,
 }
 
-/// Smallest universe covering all items in a pattern base.
-fn item_universe(base: &[(Vec<ItemId>, u64)]) -> usize {
-    base.iter()
-        .flat_map(|(p, _)| p.iter())
-        .map(|&i| i as usize + 1)
-        .max()
-        .unwrap_or(0)
+/// A batch of emitted itemsets from one subtree, merged in rank order.
+type Chunk = Vec<(Itemset, u64)>;
+
+/// Sequential recursive FP-Growth over a (conditional) tree. The budget
+/// guard is polled once per call and charged per emitted itemset / built
+/// tree, so a breach surfaces within one conditional subtree of work.
+fn mine_tree(
+    tree: &FpTree,
+    suffix: &mut Vec<ItemId>,
+    ctx: &MineCtx<'_>,
+    out: &mut Chunk,
+    stats: &mut MineStats,
+) -> Result<(), BudgetBreach> {
+    if suffix.len() >= ctx.max_len {
+        return Ok(());
+    }
+    ctx.guard.checkpoint()?;
+    with_frame(|frame| {
+        // Single-prefix-path shortcut: subset enumeration replaces
+        // recursion. Paths wider than the u32 subset mask fall through
+        // to the general case.
+        if tree.single_path_into(&mut frame.path) && frame.path.len() <= 31 {
+            stats.single_path_hits += 1;
+            return emit_single_path(&frame.path, suffix, ctx.max_len, out, ctx.guard);
+        }
+        for rank in (0..tree.n_ranks() as u32).rev() {
+            let count = tree.rank_counts[rank as usize];
+            let item = tree.rank_to_item[rank as usize];
+            suffix.push(item);
+            ctx.guard.charge_itemsets(1)?;
+            out.push((Itemset::from_items(suffix.iter().copied()), count));
+            if suffix.len() < ctx.max_len {
+                tree.pattern_base_into(rank, &mut frame.base);
+                if !frame.base.is_empty() {
+                    frame
+                        .tree
+                        .rebuild(&frame.base, ctx.min_count, &mut frame.build);
+                    ctx.guard.charge_tree_bytes(frame.tree.estimated_bytes())?;
+                    stats.conditional_trees += 1;
+                    if frame.tree.n_ranks() > 0 {
+                        mine_tree(&frame.tree, suffix, ctx, out, stats)?;
+                    }
+                }
+            }
+            suffix.pop();
+        }
+        Ok(())
+    })
+}
+
+/// Parallel recursive FP-Growth over the rank range `[lo, hi)` of
+/// `tree`. Ranges of two or more ranks split in half through
+/// [`rayon::join`], making the right half stealable — at *every*
+/// recursion depth once the tree clears [`FORK_NODE_THRESHOLD`] (the top
+/// level always splits). Chunks come back in rank order regardless of
+/// steal order; when several ranks fail, the lowest rank's error wins
+/// (left results are preferred), so errors are deterministic too.
+///
+/// `span` is the enclosing `mine.mine` span; it is threaded to top-level
+/// leaves only, which open one `mine.conditional_tree` child each —
+/// explicit parenting, because the implicit span stack is per-registry
+/// and ambiguous across worker threads.
+fn mine_ranks_par(
+    tree: &FpTree,
+    lo: u32,
+    hi: u32,
+    suffix: &[ItemId],
+    ctx: &MineCtx<'_>,
+    span: Option<&StageSpan>,
+) -> Result<(Vec<Chunk>, MineStats), MineError> {
+    if hi <= lo {
+        return Ok((Vec::new(), MineStats::default()));
+    }
+    if hi - lo == 1 {
+        // Leaf: one rank, inside its own catch_unwind so a poisoned
+        // worker — wherever its task was stolen to — yields a typed
+        // error instead of unwinding through the pool.
+        return match std::panic::catch_unwind(AssertUnwindSafe(|| {
+            mine_one_rank(tree, lo, suffix, ctx, span)
+        })) {
+            Ok(Ok((chunk, stats))) => Ok((vec![chunk], stats)),
+            Ok(Err(e)) => Err(e),
+            Err(payload) => Err(MineError::WorkerPanic {
+                message: panic_message(payload),
+            }),
+        };
+    }
+    let fork = ctx.width > 1 && (suffix.is_empty() || tree.nodes.len() >= FORK_NODE_THRESHOLD);
+    if fork {
+        let mid = lo + (hi - lo) / 2;
+        let (left, right) = rayon::join(
+            || mine_ranks_par(tree, lo, mid, suffix, ctx, span),
+            || mine_ranks_par(tree, mid, hi, suffix, ctx, span),
+        );
+        return match (left, right) {
+            (Ok((mut chunks, mut stats)), Ok((right_chunks, right_stats))) => {
+                chunks.extend(right_chunks);
+                stats.merge(right_stats);
+                Ok((chunks, stats))
+            }
+            (Err(e), _) => Err(e),
+            (_, Err(e)) => Err(e),
+        };
+    }
+    let mut chunks = Vec::with_capacity((hi - lo) as usize);
+    let mut stats = MineStats::default();
+    for rank in lo..hi {
+        let (sub, sub_stats) = mine_ranks_par(tree, rank, rank + 1, suffix, ctx, span)?;
+        chunks.extend(sub);
+        stats.merge(sub_stats);
+    }
+    Ok((chunks, stats))
+}
+
+/// Mines one rank's conditional subtree: emits the extended suffix, then
+/// projects, rebuilds, and recurses through [`mine_ranks_par`] so deep
+/// subtrees keep fanning out.
+fn mine_one_rank(
+    tree: &FpTree,
+    rank: u32,
+    suffix: &[ItemId],
+    ctx: &MineCtx<'_>,
+    parent: Option<&StageSpan>,
+) -> Result<(Chunk, MineStats), MineError> {
+    ctx.guard.checkpoint().map_err(MineError::from)?;
+    let count = tree.rank_counts[rank as usize];
+    let item = tree.rank_to_item[rank as usize];
+    // Explicit child span (top level only): each rank's subtree is one
+    // unit of parallel work, nested under `mine.mine` and attributed to
+    // the worker that actually ran it.
+    let mut span = parent.map(|s| s.child("mine.conditional_tree"));
+    let mut chunk: Chunk = Vec::new();
+    let mut stats = MineStats::default();
+    ctx.guard.charge_itemsets(1).map_err(MineError::from)?;
+    let mut items: Vec<ItemId> = Vec::with_capacity(suffix.len() + 1);
+    items.extend_from_slice(suffix);
+    items.push(item);
+    chunk.push((Itemset::from_items(items.iter().copied()), count));
+    if items.len() < ctx.max_len {
+        with_frame(|frame| -> Result<(), MineError> {
+            tree.pattern_base_into(rank, &mut frame.base);
+            if frame.base.is_empty() {
+                return Ok(());
+            }
+            frame
+                .tree
+                .rebuild(&frame.base, ctx.min_count, &mut frame.build);
+            ctx.guard
+                .charge_tree_bytes(frame.tree.estimated_bytes())
+                .map_err(MineError::from)?;
+            stats.conditional_trees += 1;
+            if frame.tree.n_ranks() == 0 {
+                return Ok(());
+            }
+            if frame.tree.single_path_into(&mut frame.path) && frame.path.len() <= 31 {
+                stats.single_path_hits += 1;
+                return emit_single_path(&frame.path, &items, ctx.max_len, &mut chunk, ctx.guard)
+                    .map_err(MineError::from);
+            }
+            let n_ranks = frame.tree.n_ranks() as u32;
+            let (sub_chunks, sub_stats) =
+                mine_ranks_par(&frame.tree, 0, n_ranks, &items, ctx, None)?;
+            for sub in sub_chunks {
+                chunk.extend(sub);
+            }
+            stats.merge(sub_stats);
+            Ok(())
+        })?;
+    }
+    if let Some(span) = span.as_mut() {
+        span.field("item", item as u64);
+        span.field("itemsets_out", chunk.len() as u64);
+        if let Some(worker) = rayon::current_thread_index() {
+            span.field("worker", worker as u64);
+        }
+    }
+    Ok((chunk, stats))
 }
 
 /// Mines all frequent itemsets with FP-Growth.
@@ -345,9 +628,10 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// [`fpgrowth_with`] made fault-tolerant: budget breaches come back as
 /// [`MineError::Budget`], an invalid config as [`MineError::InvalidConfig`],
-/// and a panic inside one rank's parallel subtree is contained by a
-/// per-rank `catch_unwind` and surfaced as [`MineError::WorkerPanic`]
-/// (lowest poisoned rank wins, so the error is deterministic).
+/// and a panic inside any parallel subtree — wherever it was stolen to —
+/// is contained by the nearest leaf's `catch_unwind` and surfaced as
+/// [`MineError::WorkerPanic`] (lowest poisoned rank wins when several
+/// fail, so the error is deterministic).
 pub fn try_fpgrowth_with(
     db: &TransactionDb,
     config: &MinerConfig,
@@ -368,7 +652,7 @@ pub fn try_fpgrowth_with(
     guard.checkpoint_now()?;
 
     let mut span = metrics.span("mine.mine");
-    let mut out: Vec<(Itemset, u64)> = Vec::new();
+    let mut out: Chunk = Vec::new();
     let mut stats = MineStats::default();
     if tree.n_ranks() == 0 {
         span.field("itemsets_out", 0);
@@ -376,74 +660,22 @@ pub fn try_fpgrowth_with(
         return Ok(FrequentItemsets::new(out, db.len()));
     }
 
+    let ctx = MineCtx {
+        min_count,
+        max_len: config.max_len,
+        width: rayon::current_num_threads(),
+        guard,
+    };
     if config.parallel {
-        // Top-level fan-out: each rank's conditional subtree is independent.
-        // Each unit of work runs inside its own catch_unwind, so one
-        // poisoned worker yields a typed error instead of unwinding
-        // through the thread-pool join.
-        type RankResult = Result<(Vec<(Itemset, u64)>, MineStats), MineError>;
-        let chunks: Vec<RankResult> = (0..tree.n_ranks() as u32)
-            .into_par_iter()
-            .map(|rank| {
-                std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<_, BudgetBreach> {
-                    let mut local = Vec::new();
-                    let mut local_stats = MineStats::default();
-                    let count = tree.rank_counts[rank as usize];
-                    let item = tree.rank_to_item[rank as usize];
-                    // Explicit child span: each rank's subtree is one unit of
-                    // parallel work, nested under `mine.mine` (implicit
-                    // parenting is ambiguous across worker threads).
-                    let mut rank_span = span.child("mine.conditional_tree");
-                    guard.charge_itemsets(1)?;
-                    local.push((Itemset::singleton(item), count));
-                    if config.max_len > 1 {
-                        let base = tree.pattern_base(rank);
-                        if !base.is_empty() {
-                            let cond = FpTree::build(
-                                base.iter().map(|(p, w)| (p.as_slice(), *w)),
-                                item_universe(&base),
-                                min_count,
-                            );
-                            guard.charge_tree_bytes(cond.estimated_bytes())?;
-                            local_stats.conditional_trees += 1;
-                            if cond.n_ranks() > 0 {
-                                mine_tree(
-                                    &cond,
-                                    &[item],
-                                    min_count,
-                                    config.max_len,
-                                    &mut local,
-                                    &mut local_stats,
-                                    guard,
-                                )?;
-                            }
-                        }
-                    }
-                    rank_span.field("item", item as u64);
-                    rank_span.field("itemsets_out", local.len() as u64);
-                    Ok((local, local_stats))
-                }))
-                .map_err(|payload| MineError::WorkerPanic {
-                    message: panic_message(payload),
-                })
-                .and_then(|r| r.map_err(MineError::from))
-            })
-            .collect();
+        let (chunks, par_stats) =
+            mine_ranks_par(&tree, 0, tree.n_ranks() as u32, &[], &ctx, Some(&span))?;
         for chunk in chunks {
-            let (chunk, chunk_stats) = chunk?;
             out.extend(chunk);
-            stats.merge(chunk_stats);
         }
+        stats.merge(par_stats);
     } else {
-        mine_tree(
-            &tree,
-            &[],
-            min_count,
-            config.max_len,
-            &mut out,
-            &mut stats,
-            guard,
-        )?;
+        let mut suffix: Vec<ItemId> = Vec::new();
+        mine_tree(&tree, &mut suffix, &ctx, &mut out, &mut stats)?;
     }
 
     span.field("itemsets_out", out.len() as u64);
@@ -518,6 +750,20 @@ mod tests {
         let seq = mine_with(&db, 0.2, false);
         let par = mine_with(&db, 0.2, true);
         assert_eq!(seq.as_slice(), par.as_slice());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_multithread_pool() {
+        let db = textbook_db();
+        let seq = mine_with(&db, 0.2, false);
+        for width in [2usize, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(width)
+                .build()
+                .unwrap();
+            let par = pool.install(|| mine_with(&db, 0.2, true));
+            assert_eq!(seq.as_slice(), par.as_slice(), "width {width}");
+        }
     }
 
     #[test]
@@ -615,6 +861,31 @@ mod tests {
             .position(|&i| i == 0)
             .expect("item 0 is frequent");
         assert_eq!(tree.rank_counts[rank0], 3);
+    }
+
+    /// Regression: `pattern_base` used to allocate a fresh
+    /// `Vec<(Vec<ItemId>, u64)>` per call. The scratch-buffer variant
+    /// must reuse the base's flat storage across fills.
+    #[test]
+    fn pattern_base_into_reuses_allocations() {
+        let db = textbook_db();
+        let tree = FpTree::build(db.iter().map(|t| (t, 1)), db.n_items(), 2);
+        let mut base = PatternBase::default();
+        // Warm the buffers on the deepest rank, then refill for every
+        // rank and check capacity never shrinks (no churn).
+        let last = tree.n_ranks() as u32 - 1;
+        tree.pattern_base_into(last, &mut base);
+        let warm_items = base.items.capacity();
+        let warm_spans = base.spans.capacity();
+        assert!(!base.is_empty(), "deepest rank has prefix paths");
+        for rank in 0..tree.n_ranks() as u32 {
+            tree.pattern_base_into(rank, &mut base);
+            assert!(base.items.capacity() >= warm_items);
+            assert!(base.spans.capacity() >= warm_spans);
+            // Paths never contain the rank's own item, only its prefix.
+            let item = tree.rank_to_item[rank as usize];
+            assert!(base.paths().all(|(path, _)| !path.contains(&item)));
+        }
     }
 
     #[test]

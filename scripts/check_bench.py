@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Gate a fresh mining-bench run against the committed baseline.
+
+Usage: check_bench.py BASELINE_JSON FRESH_JSON [--tolerance FRAC]
+
+Both files are `irma-bench/mining/v1` documents written by
+`cargo bench -p irma-bench --bench mining` (the committed baseline lives
+at the repository root as BENCH_5.json).
+
+Two kinds of check, with very different strictness:
+
+* **Itemset counts are exact.** For every (scale, miner, threads) row
+  present in both files, the fresh `itemsets` must equal the baseline's
+  — the workload is seeded and miners are deterministic, so any drift is
+  a correctness bug, not noise. This check ignores --tolerance.
+
+* **Wall time is bounded.** `best_wall_s` may exceed the baseline by at
+  most `--tolerance` (a fraction: 0.10 means +10%, the default for
+  same-machine runs). CI machines differ from the baseline host, so CI
+  passes a looser value; the default is meant for local, same-host
+  comparisons before re-committing the baseline.
+
+Rows present in only one file are reported but are not failures: scale
+and thread sweeps are environment-tunable (IRMA_BENCH_SCALES, ...), and
+smoke runs deliberately measure a subset.
+
+Exit code 0 on pass, 1 on any failure, 2 on usage/parse errors.
+"""
+
+import json
+import sys
+
+
+def fail_usage(msg: str) -> None:
+    print(f"error: {msg}", file=sys.stderr)
+    print(__doc__, file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail_usage(f"reading {path}: {e}")
+    if doc.get("schema") != "irma-bench/mining/v1":
+        fail_usage(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def keyed(doc: dict) -> dict:
+    rows = {}
+    for row in doc.get("results", []):
+        rows[(row["scale"], row["miner"], row["threads"])] = row
+    return rows
+
+
+def main(argv: list[str]) -> int:
+    tolerance = 0.10
+    paths = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--tolerance":
+            if i + 1 >= len(argv):
+                fail_usage("--tolerance needs a value")
+            try:
+                tolerance = float(argv[i + 1])
+            except ValueError:
+                fail_usage(f"bad --tolerance {argv[i + 1]!r}")
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if len(paths) != 2:
+        fail_usage("need exactly BASELINE_JSON and FRESH_JSON")
+
+    baseline = keyed(load(paths[0]))
+    fresh = keyed(load(paths[1]))
+    if not fresh:
+        fail_usage(f"{paths[1]} has no results")
+
+    failures = []
+    compared = 0
+    for key in sorted(fresh):
+        scale, miner, threads = key
+        label = f"{miner} @ {scale} jobs, {threads} thread(s)"
+        if key not in baseline:
+            print(f"note: {label}: not in baseline, skipping")
+            continue
+        base, new = baseline[key], fresh[key]
+        compared += 1
+        if new["itemsets"] != base["itemsets"]:
+            failures.append(
+                f"{label}: itemset count changed "
+                f"{base['itemsets']} -> {new['itemsets']} (correctness, not noise)"
+            )
+            continue
+        limit = base["best_wall_s"] * (1.0 + tolerance)
+        verdict = "ok" if new["best_wall_s"] <= limit else "REGRESSION"
+        print(
+            f"{verdict}: {label}: {new['best_wall_s']:.4f}s vs baseline "
+            f"{base['best_wall_s']:.4f}s (limit {limit:.4f}s)"
+        )
+        if new["best_wall_s"] > limit:
+            failures.append(
+                f"{label}: {new['best_wall_s']:.4f}s exceeds baseline "
+                f"{base['best_wall_s']:.4f}s by more than {tolerance:.0%}"
+            )
+    for key in sorted(set(baseline) - set(fresh)):
+        scale, miner, threads = key
+        print(f"note: {miner} @ {scale} jobs, {threads} thread(s): not re-measured")
+
+    if compared == 0:
+        failures.append("no overlapping rows between baseline and fresh run")
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {compared} overlapping row(s) within {tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -13,6 +13,16 @@ pub trait ParallelIterator: Sized + Send {
     /// Drains this part sequentially.
     fn seq(self) -> Self::Seq;
 
+    /// Number of *base* elements this part will drain, if cheaply known.
+    ///
+    /// This is a splitting hint, not an output-size promise: adapters
+    /// like `filter`/`flat_map_iter` report their input's length because
+    /// that is what `split_parts` divides. `None` disables adaptive
+    /// splitting (the part runs sequentially as one leaf).
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+
     /// Maps each element through `f`.
     fn map<R, F>(self, f: F) -> Map<Self, F>
     where
@@ -64,31 +74,54 @@ pub trait ParallelIterator: Sized + Send {
         }
     }
 
-    /// Materializes the iterator, running parts on scoped threads.
+    /// Materializes the iterator on the current work-stealing pool.
     ///
-    /// Results are concatenated in part order, so the output equals the
-    /// sequential result regardless of thread count.
+    /// The iterator is subdivided *adaptively*: starting from a grain of
+    /// `len / (width * 8)` base elements, each half of a [`crate::join`]
+    /// becomes a stealable task, so skewed parts keep splitting while
+    /// idle workers steal the halves. Leaf buffers are concatenated in
+    /// split order into one reserved output, so the result equals the
+    /// sequential result regardless of thread count or steal order.
     fn collect<C: FromIterator<Self::Item>>(self) -> C {
-        let threads = crate::current_num_threads();
-        if threads <= 1 {
+        let registry = crate::current_registry();
+        if registry.width() <= 1 || self.len_hint().is_some_and(|len| len <= 1) {
             return self.seq().collect();
         }
-        let parts = self.split_parts(threads);
-        if parts.len() <= 1 {
-            return parts.into_iter().flat_map(|p| p.seq()).collect();
+        let grain = self
+            .len_hint()
+            .map_or(1, |len| (len / (registry.width() * 8)).max(1));
+        let pieces = registry.in_worker(|| split_run(self, grain));
+        let total: usize = pieces.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for piece in pieces {
+            out.extend(piece);
         }
-        let buckets: Vec<Vec<Self::Item>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = parts
-                .into_iter()
-                .map(|part| scope.spawn(move || part.seq().collect::<Vec<_>>()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("parallel worker panicked"))
-                .collect()
-        });
-        buckets.into_iter().flatten().collect()
+        // For `C = Vec<_>` the std specialization reuses `out`'s
+        // allocation, so the parallel path writes each element once.
+        C::from_iter(out)
     }
+}
+
+/// Recursive splitting driver behind [`ParallelIterator::collect`]:
+/// parts above `grain` base elements split in two, the right half is
+/// pushed as a stealable job via [`crate::join`], and leaf results come
+/// back as per-leaf buffers in left-to-right split order.
+fn split_run<I: ParallelIterator>(iter: I, grain: usize) -> Vec<Vec<I::Item>> {
+    if iter.len_hint().is_none_or(|len| len <= grain.max(1)) {
+        return vec![iter.seq().collect()];
+    }
+    let mut parts = iter.split_parts(2);
+    if parts.len() <= 1 {
+        return parts.into_iter().map(|p| p.seq().collect()).collect();
+    }
+    let right = parts.pop().expect("split_parts(2) yielded two parts");
+    let left = parts.pop().expect("split_parts(2) yielded two parts");
+    let (mut left_pieces, right_pieces) = crate::join(
+        move || split_run(left, grain),
+        move || split_run(right, grain),
+    );
+    left_pieces.extend(right_pieces);
+    left_pieces
 }
 
 /// Conversion into a parallel iterator by value.
@@ -148,6 +181,10 @@ macro_rules! impl_par_range {
             fn seq(self) -> Self::Seq {
                 self.start..self.end
             }
+
+            fn len_hint(&self) -> Option<usize> {
+                Some((self.end.saturating_sub(self.start)) as usize)
+            }
         }
 
         impl IntoParallelIterator for std::ops::Range<$t> {
@@ -186,6 +223,10 @@ impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
 
     fn seq(self) -> Self::Seq {
         self.slice.iter()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.slice.len())
     }
 }
 
@@ -235,6 +276,10 @@ impl<T: Send> ParallelIterator for ParVec<T> {
     fn seq(self) -> Self::Seq {
         self.items.into_iter()
     }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.items.len())
+    }
 }
 
 impl<T: Send> IntoParallelIterator for Vec<T> {
@@ -276,6 +321,10 @@ where
     fn seq(self) -> Self::Seq {
         self.base.seq().map(self.f)
     }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.base.len_hint()
+    }
 }
 
 /// See [`ParallelIterator::filter`].
@@ -304,6 +353,10 @@ where
 
     fn seq(self) -> Self::Seq {
         self.base.seq().filter(self.p)
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.base.len_hint()
     }
 }
 
@@ -336,6 +389,10 @@ where
     fn seq(self) -> Self::Seq {
         self.base.seq().flat_map(self.f)
     }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.base.len_hint()
+    }
 }
 
 /// See [`ParallelIterator::flatten`].
@@ -363,6 +420,10 @@ where
 
     fn seq(self) -> Self::Seq {
         self.base.seq().flatten()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.base.len_hint()
     }
 }
 
@@ -400,6 +461,10 @@ where
     fn seq(self) -> Self::Seq {
         let acc = self.base.seq().fold((self.identity)(), self.fold_op);
         std::iter::once(acc)
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.base.len_hint()
     }
 }
 
@@ -451,6 +516,112 @@ mod tests {
     fn empty_range_collects_empty() {
         let out: Vec<u32> = (5u32..5).into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let (a, b) = pool.install(|| {
+            crate::join(
+                || (0u64..1000).sum::<u64>(),
+                || (0u64..1000).product::<u64>(),
+            )
+        });
+        assert_eq!(a, (0u64..1000).sum::<u64>());
+        assert_eq!(b, 0);
+    }
+
+    #[test]
+    fn join_propagates_panics_from_either_side() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        for side in 0..2 {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.install(|| {
+                    crate::join(
+                        || {
+                            if side == 0 {
+                                panic!("left boom")
+                            }
+                        },
+                        || {
+                            if side == 1 {
+                                panic!("right boom")
+                            }
+                        },
+                    )
+                })
+            }));
+            let payload = caught.expect_err("panic must propagate");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+            assert!(msg.contains("boom"), "unexpected payload: {msg:?}");
+        }
+    }
+
+    #[test]
+    fn nested_joins_subdivide() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap();
+        fn sum_range(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 64 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = crate::join(|| sum_range(lo, mid), || sum_range(mid, hi));
+                a + b
+            }
+        }
+        let total = pool.install(|| sum_range(0, 100_000));
+        assert_eq!(total, (0u64..100_000).sum::<u64>());
+    }
+
+    #[test]
+    fn skewed_flat_map_is_order_stable_across_widths_and_jitter() {
+        // Element i expands to i % 17 outputs — a skewed workload where
+        // static chunking would leave threads idle. The collected output
+        // must be byte-identical across widths and steal orders.
+        let expected: Vec<u64> = (0u64..2000)
+            .flat_map(|i| (0..(i % 17)).map(move |j| i * 100 + j))
+            .collect();
+        for width in [1usize, 2, 8] {
+            for seed in [0u64, 0x5eed, 0xdead_beef] {
+                let pool = crate::ThreadPoolBuilder::new()
+                    .num_threads(width)
+                    .steal_jitter(seed)
+                    .build()
+                    .unwrap();
+                let out: Vec<u64> = pool.install(|| {
+                    (0u64..2000)
+                        .into_par_iter()
+                        .flat_map_iter(|i| (0..(i % 17)).map(move |j| i * 100 + j))
+                        .collect()
+                });
+                assert_eq!(out, expected, "width={width} seed={seed:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn current_thread_index_is_none_off_pool_and_some_on_pool() {
+        assert_eq!(crate::current_thread_index(), None);
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let indices: Vec<Option<usize>> = pool.install(|| {
+            (0u32..64)
+                .into_par_iter()
+                .map(|_| crate::current_thread_index())
+                .collect()
+        });
+        assert!(indices.iter().all(|idx| matches!(idx, Some(i) if *i < 2)));
     }
 
     #[test]

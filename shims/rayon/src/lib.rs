@@ -1,24 +1,37 @@
 //! Offline stand-in for `rayon` (API subset used by the IRMA workspace).
 //!
-//! Instead of a work-stealing deque, a parallel iterator here is a value
-//! that knows how to **split itself into independent parts** and how to
-//! run each part as a plain sequential [`Iterator`]. Terminal operations
-//! ([`ParallelIterator::collect`]) split into one part per available
-//! thread, run the parts on scoped OS threads, and concatenate results in
-//! part order — so output ordering matches `rayon`'s deterministic
-//! collect semantics and, with one thread, the cost model degrades to a
-//! plain iterator chain.
+//! Unlike the earlier shim — which split work *statically* into
+//! `num_threads` eager chunks on scoped OS threads — this version runs a
+//! real work-stealing scheduler (see [`pool`]): per-worker deques plus a
+//! global injector, LIFO local pop / FIFO steal, and a [`join`]
+//! primitive that parallel iterators use to subdivide *adaptively*, so
+//! skewed workloads (one huge conditional tree among many small ones)
+//! keep every thread busy instead of idling behind the largest static
+//! chunk.
+//!
+//! Terminal operations still concatenate results in part order, so
+//! output ordering matches `rayon`'s deterministic collect semantics
+//! regardless of which worker ran which part — and with one thread the
+//! cost model degrades to a plain iterator chain.
 //!
 //! Supported: `into_par_iter()` on integer ranges and `Vec`, `par_iter()`
 //! on slices, `map` / `filter` / `flat_map_iter` / `flatten` / `fold`,
-//! `collect`, plus [`ThreadPoolBuilder`] / [`ThreadPool::install`] (which
-//! pins the number of parts for the duration of a closure).
+//! `collect`, [`join`], [`current_thread_index`], plus
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`] (which routes
+//! parallel operations to that pool's workers for the duration of a
+//! closure). Shim-only extension: [`ThreadPoolBuilder::steal_jitter`]
+//! seeds deterministic steal-order fuzzing for scheduler tests.
 
-use std::cell::Cell;
+use std::cell::RefCell;
+use std::sync::Arc;
 
 pub mod iter;
+pub mod pool;
 
 pub use iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+pub use pool::{current_thread_index, join};
+
+use pool::Registry;
 
 /// Everything a `use rayon::prelude::*` caller expects.
 pub mod prelude {
@@ -26,22 +39,32 @@ pub mod prelude {
 }
 
 thread_local! {
-    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// The registry parallel operations on this thread schedule into
+    /// (set by [`ThreadPool::install`] and on pool worker threads).
+    static CURRENT: RefCell<Option<Arc<Registry>>> = const { RefCell::new(None) };
 }
 
-/// Number of threads terminal operations will split into.
+pub(crate) fn current_registry() -> Arc<Registry> {
+    CURRENT
+        .with(|cell| cell.borrow().clone())
+        .unwrap_or_else(|| Arc::clone(pool::global_registry()))
+}
+
+pub(crate) fn set_current_registry(registry: Option<Arc<Registry>>) {
+    CURRENT.with(|cell| *cell.borrow_mut() = registry);
+}
+
+/// Number of threads cooperating on parallel operations started from
+/// this thread.
 pub fn current_num_threads() -> usize {
-    POOL_OVERRIDE.with(|cell| cell.get()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    })
+    current_registry().width()
 }
 
 /// Builder mirroring `rayon::ThreadPoolBuilder`.
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: Option<usize>,
+    jitter: u64,
 }
 
 /// Error type for [`ThreadPoolBuilder::build`] (construction cannot
@@ -69,42 +92,62 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Builds the pool.
+    /// Shim-only extension: seeds deterministic steal-order fuzzing.
+    /// Workers derive per-thread SplitMix64 streams from `seed` that
+    /// permute victim order and inject yields, so scheduler tests can
+    /// explore different steal interleavings reproducibly. A seed of 0
+    /// disables jitter (the default).
+    pub fn steal_jitter(mut self, seed: u64) -> ThreadPoolBuilder {
+        self.jitter = seed;
+        self
+    }
+
+    /// Builds the pool, spawning its worker threads.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = self.num_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
         Ok(ThreadPool {
-            num_threads: self.num_threads.unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            }),
+            registry: Registry::new(width, self.jitter),
         })
     }
 }
 
-/// A "pool": a pinned split width applied while [`install`]ed.
-///
-/// [`install`]: ThreadPool::install
+/// A work-stealing thread pool. Dropping the pool terminates and joins
+/// its workers.
 #[derive(Debug)]
 pub struct ThreadPool {
-    num_threads: usize,
+    registry: Arc<Registry>,
 }
 
 impl ThreadPool {
-    /// Runs `f` with parallel operations split into this pool's width.
+    /// Runs `f` with parallel operations scheduled onto this pool.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        let previous = POOL_OVERRIDE.with(|cell| cell.replace(Some(self.num_threads)));
-        struct Restore(Option<usize>);
+        let previous = CURRENT.with(|cell| cell.borrow_mut().replace(Arc::clone(&self.registry)));
+        struct Restore(Option<Arc<Registry>>);
         impl Drop for Restore {
             fn drop(&mut self) {
-                POOL_OVERRIDE.with(|cell| cell.set(self.0));
+                let previous = self.0.take();
+                CURRENT.with(|cell| *cell.borrow_mut() = previous);
             }
         }
         let _restore = Restore(previous);
         f()
     }
 
-    /// The pinned width.
+    /// The pool's width.
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.registry.width()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Workers hold an `Arc<Registry>` in their thread-locals, so the
+        // registry's strong count cannot reach zero until they exit —
+        // shut them down explicitly here.
+        self.registry.shutdown();
     }
 }

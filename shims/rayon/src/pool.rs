@@ -1,0 +1,484 @@
+//! The work-stealing scheduler behind the rayon shim.
+//!
+//! Each [`Registry`] owns `width - 1 >= 1` worker OS threads (a width-1
+//! registry runs everything inline and spawns nothing). Every worker has
+//! its own deque of pending jobs; a worker pushes and pops at the *back*
+//! of its own deque (LIFO, so the hottest, most cache-local work runs
+//! first) and steals from the *front* of a victim's deque or of the
+//! shared injector (FIFO, so thieves take the oldest — largest — pending
+//! subtree). This is the classic Blumofe–Leiserson discipline rayon
+//! itself uses; the deques here are mutex-guarded `VecDeque`s rather
+//! than lock-free Chase–Lev arrays, which keeps the shim dependency-free
+//! and auditable while preserving the scheduling behaviour.
+//!
+//! The sole fork primitive is [`join`]: it pushes the right-hand closure
+//! as a stealable job, runs the left-hand closure inline, and then
+//! either pops the right job back (nobody stole it — the common, fast
+//! path) or *works while waiting*: executing other pending jobs until
+//! the thief finishes. Panics in either closure are captured and
+//! re-thrown on the joining thread, so a panic anywhere in a steal tree
+//! surfaces exactly where sequential code would have raised it — which
+//! is what lets the miners keep their per-rank `catch_unwind`
+//! attribution no matter which worker actually ran the subtree.
+//!
+//! For deterministic steal-order fuzzing, a registry can be built with a
+//! jitter seed ([`crate::ThreadPoolBuilder::steal_jitter`]): workers
+//! then derive a per-thread SplitMix64 stream that perturbs victim
+//! order and injects yields, exploring different interleavings while
+//! the seed pins each run's decisions.
+
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// A type-erased pointer to a [`StackJob`] pinned on some stack frame.
+///
+/// Safety contract: the frame that created the job blocks (working or
+/// parked) until the job's `done` flag is set, so the pointee outlives
+/// every access through this reference.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// Safety: see the contract on the struct — JobRefs only travel between
+// threads while the owning frame keeps the pointee alive.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Runs the job. Must be called at most once per underlying job.
+    unsafe fn run(self) {
+        (self.execute)(self.data)
+    }
+}
+
+/// A job whose closure and result slot live in the spawning stack frame.
+struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<thread::Result<R>>>,
+    done: AtomicBool,
+    /// Parked external waiter to unpark on completion (worker waiters
+    /// spin-steal instead of parking).
+    waiter: Mutex<Option<thread::Thread>>,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(f: F) -> StackJob<F, R> {
+        StackJob {
+            f: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+            done: AtomicBool::new(false),
+            waiter: Mutex::new(None),
+        }
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const StackJob<F, R> as *const (),
+            execute: Self::execute_erased,
+        }
+    }
+
+    /// # Safety
+    /// `data` must point at a live `StackJob<F, R>` not yet executed.
+    unsafe fn execute_erased(data: *const ()) {
+        let job = &*(data as *const StackJob<F, R>);
+        let f = (*job.f.get()).take().expect("job executed twice");
+        let result = std::panic::catch_unwind(AssertUnwindSafe(f));
+        *job.result.get() = Some(result);
+        job.done.store(true, Ordering::Release);
+        if let Some(thread) = job.waiter.lock().expect("waiter lock").take() {
+            thread.unpark();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Blocks a non-worker thread until the job completes.
+    fn wait_parked(&self) {
+        let mut slot = self.waiter.lock().expect("waiter lock");
+        loop {
+            if self.is_done() {
+                return;
+            }
+            *slot = Some(thread::current());
+            drop(slot);
+            thread::park();
+            slot = self.waiter.lock().expect("waiter lock");
+        }
+    }
+
+    /// Takes the closure's result. Only valid after `is_done()`.
+    fn take_result(&self) -> thread::Result<R> {
+        unsafe { (*self.result.get()).take().expect("result taken twice") }
+    }
+}
+
+/// Sleep bookkeeping guarded by one mutex so wakeups cannot be lost:
+/// a worker re-checks every queue *while holding the lock* before it
+/// sleeps, and producers notify under the same lock.
+#[derive(Default)]
+struct SleepState {
+    sleepers: usize,
+}
+
+struct Shared {
+    /// One deque per worker; index = worker id.
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Jobs injected from outside the pool (FIFO).
+    injector: Mutex<VecDeque<JobRef>>,
+    sleep: Mutex<SleepState>,
+    wakeup: Condvar,
+    terminate: AtomicBool,
+    /// Steal-order fuzzing seed; 0 disables jitter.
+    jitter: u64,
+}
+
+impl Shared {
+    /// Pops the back of worker `index`'s own deque (LIFO).
+    fn pop_local(&self, index: usize) -> Option<JobRef> {
+        self.deques[index].lock().expect("deque lock").pop_back()
+    }
+
+    /// Steals the front of any queue: the injector first, then victim
+    /// deques starting at `start` (FIFO — thieves take the oldest job,
+    /// which by the splitting discipline is the largest pending chunk).
+    fn steal(&self, thief: usize, start: usize) -> Option<JobRef> {
+        if let Some(job) = self.injector.lock().expect("injector lock").pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        for offset in 0..n {
+            let victim = (start + offset) % n;
+            if victim == thief {
+                continue;
+            }
+            if let Some(job) = self.deques[victim].lock().expect("deque lock").pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Wakes one sleeping worker if any (called after every push).
+    fn notify(&self) {
+        let sleep = self.sleep.lock().expect("sleep lock");
+        if sleep.sleepers > 0 {
+            self.wakeup.notify_one();
+        }
+    }
+
+    fn push_injected(&self, job: JobRef) {
+        self.injector.lock().expect("injector lock").push_back(job);
+        self.notify();
+    }
+}
+
+/// Thread-local identity of a pool worker.
+struct WorkerCtx {
+    shared: Arc<Shared>,
+    index: usize,
+    /// Per-worker SplitMix64 state for steal-order jitter (0 = off).
+    rng: Cell<u64>,
+}
+
+impl WorkerCtx {
+    /// Next jitter draw; advances a SplitMix64 stream.
+    fn jitter_draw(&self) -> u64 {
+        let mut state = self.rng.get().wrapping_add(0x9e37_79b9_7f4a_7c15);
+        self.rng.set(state);
+        state = (state ^ (state >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        state = (state ^ (state >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        state ^ (state >> 31)
+    }
+
+    /// Victim scan start: round-robin normally, randomized under jitter.
+    fn steal_start(&self) -> usize {
+        let n = self.shared.deques.len();
+        if self.shared.jitter != 0 {
+            // Occasionally yield first so another thread's steal can win
+            // the race — this is what actually permutes steal order on a
+            // machine with fewer cores than workers.
+            if self.jitter_draw().is_multiple_of(4) {
+                thread::yield_now();
+            }
+            (self.jitter_draw() as usize) % n.max(1)
+        } else {
+            (self.index + 1) % n.max(1)
+        }
+    }
+}
+
+thread_local! {
+    static WORKER: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the current thread's worker context, if it is a pool
+/// worker thread.
+fn with_worker<R>(f: impl FnOnce(Option<&WorkerCtx>) -> R) -> R {
+    WORKER.with(|cell| f(cell.borrow().as_ref()))
+}
+
+fn worker_main(shared: Arc<Shared>, index: usize, registry: Arc<Registry>) {
+    WORKER.with(|cell| {
+        *cell.borrow_mut() = Some(WorkerCtx {
+            shared: Arc::clone(&shared),
+            index,
+            rng: Cell::new(shared.jitter ^ (index as u64).wrapping_mul(0x9e37_79b9)),
+        });
+    });
+    // Parallel operations started *from* this worker (nested collects)
+    // should split to this pool's width.
+    crate::set_current_registry(Some(registry));
+    loop {
+        let found = with_worker(|ctx| {
+            let ctx = ctx.expect("worker context set above");
+            let start = ctx.steal_start();
+            shared
+                .pop_local(index)
+                .or_else(|| shared.steal(index, start))
+        });
+        if let Some(job) = found {
+            unsafe { job.run() };
+            continue;
+        }
+        if shared.terminate.load(Ordering::Acquire) {
+            break;
+        }
+        // Re-check for work under the sleep lock so a producer's push +
+        // notify cannot slip between our scan and the wait.
+        let mut sleep = shared.sleep.lock().expect("sleep lock");
+        let pending = {
+            !shared.injector.lock().expect("injector lock").is_empty()
+                || shared
+                    .deques
+                    .iter()
+                    .any(|d| !d.lock().expect("deque lock").is_empty())
+        };
+        if pending || shared.terminate.load(Ordering::Acquire) {
+            continue;
+        }
+        sleep.sleepers += 1;
+        let (mut sleep, _timeout) = shared
+            .wakeup
+            .wait_timeout(sleep, std::time::Duration::from_millis(50))
+            .expect("condvar wait");
+        sleep.sleepers -= 1;
+        drop(sleep);
+    }
+}
+
+/// A work-stealing thread pool. `width` is the number of threads that
+/// cooperate on parallel operations (the pool spawns `width` workers;
+/// callers from outside park while workers run).
+pub(crate) struct Registry {
+    shared: Arc<Shared>,
+    width: usize,
+    /// Joined on drop so `ThreadPool` teardown is deterministic.
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("width", &self.width)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    /// Builds a registry of `width` cooperating threads. Width 0/1 is a
+    /// sequential registry: no threads are spawned and every operation
+    /// runs inline on the caller.
+    pub(crate) fn new(width: usize, jitter: u64) -> Arc<Registry> {
+        let width = width.max(1);
+        let spawn = if width > 1 { width } else { 0 };
+        let shared = Arc::new(Shared {
+            deques: (0..spawn).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep: Mutex::new(SleepState::default()),
+            wakeup: Condvar::new(),
+            terminate: AtomicBool::new(false),
+            jitter,
+        });
+        let registry = Arc::new(Registry {
+            shared: Arc::clone(&shared),
+            width,
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(spawn);
+        for index in 0..spawn {
+            let shared = Arc::clone(&shared);
+            let registry_ref = Arc::clone(&registry);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("irma-steal-{index}"))
+                    .spawn(move || worker_main(shared, index, registry_ref))
+                    .expect("spawn pool worker"),
+            );
+        }
+        *registry.workers.lock().expect("workers lock") = handles;
+        registry
+    }
+
+    pub(crate) fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Runs `op` on a pool worker and blocks until it completes. If the
+    /// current thread already is a worker of this pool — or the pool is
+    /// sequential — `op` runs inline.
+    pub(crate) fn in_worker<Op, R>(&self, op: Op) -> R
+    where
+        Op: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if self.width <= 1 {
+            return op();
+        }
+        let inline =
+            with_worker(|ctx| ctx.is_some_and(|ctx| Arc::ptr_eq(&ctx.shared, &self.shared)));
+        if inline {
+            return op();
+        }
+        let job = StackJob::new(op);
+        self.shared.push_injected(job.as_job_ref());
+        job.wait_parked();
+        match job.take_result() {
+            Ok(value) => value,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Terminates and joins all workers. Idempotent. Called explicitly
+    /// from `ThreadPool::drop` because workers hold an `Arc<Registry>`
+    /// in their thread-locals — the registry's own `Drop` can therefore
+    /// only run after the workers have already exited.
+    pub(crate) fn shutdown(&self) {
+        self.shared.terminate.store(true, Ordering::Release);
+        {
+            let _guard = self.shared.sleep.lock().expect("sleep lock");
+            self.shared.wakeup.notify_all();
+        }
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("workers lock")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The process-global registry used outside any [`crate::ThreadPool`].
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let width = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Registry::new(width, 0)
+    })
+}
+
+/// Index of the current pool worker thread (`None` off-pool). Mirrors
+/// `rayon::current_thread_index`; the miners use it to attribute spans
+/// and scratch arenas to workers.
+pub fn current_thread_index() -> Option<usize> {
+    with_worker(|ctx| ctx.map(|ctx| ctx.index))
+}
+
+/// Potentially-parallel fork-join: runs both closures, `a` inline and
+/// `b` either popped back LIFO (not stolen) or on whichever worker stole
+/// it. Outside a pool worker this runs `a` then `b` sequentially.
+///
+/// Panic semantics match rayon: if either closure panics, the panic is
+/// re-raised here on the joining thread *after* both closures have
+/// stopped running, preferring `a`'s panic when both fail.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let on_worker = with_worker(|ctx| ctx.map(|ctx| (Arc::clone(&ctx.shared), ctx.index)));
+    match on_worker {
+        Some((shared, index)) => join_on_worker(&shared, index, a, b),
+        None => {
+            let registry = crate::current_registry();
+            if registry.width() <= 1 {
+                // Sequential degenerate case: plain calls, natural panic
+                // propagation.
+                let ra = a();
+                let rb = b();
+                (ra, rb)
+            } else {
+                // Migrate into the pool so the fork actually forks.
+                let registry = Arc::clone(&registry);
+                registry.in_worker(move || join(a, b))
+            }
+        }
+    }
+}
+
+fn join_on_worker<A, B, RA, RB>(shared: &Arc<Shared>, index: usize, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(b);
+    shared.deques[index]
+        .lock()
+        .expect("deque lock")
+        .push_back(job_b.as_job_ref());
+    shared.notify();
+
+    let ra = std::panic::catch_unwind(AssertUnwindSafe(a));
+
+    // Work while waiting: until our b is done (inline pop or a thief's
+    // completion), keep executing whatever is pending. Executing jobs
+    // from enclosing frames here is safe — they are independent by
+    // construction and their owners wait on `done` flags exactly like
+    // we do.
+    while !job_b.is_done() {
+        let next = with_worker(|ctx| {
+            let ctx = ctx.expect("join_on_worker runs on a worker");
+            let start = ctx.steal_start();
+            shared
+                .pop_local(index)
+                .or_else(|| shared.steal(index, start))
+        });
+        match next {
+            Some(job) => unsafe { job.run() },
+            None => thread::yield_now(),
+        }
+    }
+    let rb = job_b.take_result();
+
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => std::panic::resume_unwind(payload),
+        (_, Err(payload)) => std::panic::resume_unwind(payload),
+    }
+}
