@@ -13,12 +13,18 @@
 //!   emit counts, not on which worker emitted);
 //! * an injected worker panic surfaces as `Err(MineError::WorkerPanic)`
 //!   at every width — contained per rank, never unwinding through the
-//!   pool or poisoning sibling subtrees.
+//!   pool or poisoning sibling subtrees;
+//! * the lock-free Chase-Lev deque under the pool never loses or
+//!   duplicates a task under fuzzed concurrent push/pop/steal
+//!   interleavings at widths up to 8 (one owner + up to 7 thieves);
+//! * the SIMD-chunked AND+popcount kernel Eclat's dense path uses is
+//!   byte-identical to the scalar word loop on fuzzed bitsets, including
+//!   tail lengths not divisible by the 4-word chunk.
 //!
 //! Case count and seeding follow the harness defaults (256 cases,
 //! `PROPTEST_CASES` / `PROPTEST_SEED` overridable, corpus replay on).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Once;
 
 use proptest::prelude::*;
@@ -30,6 +36,7 @@ use irma_mine::{
     TransactionDb,
 };
 use irma_obs::Metrics;
+use rayon::deque::{ChaseLev, Steal};
 use rayon::ThreadPoolBuilder;
 
 /// Non-zero while a mining run with an injected fault is in flight:
@@ -244,5 +251,89 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Fuzzed-interleaving stress for the lock-free deque itself: one
+    /// owner pushes `n_items` distinct values (popping a fuzzed fraction
+    /// back LIFO as it goes, then draining), while up to 7 concurrent
+    /// thieves steal FIFO. Every value must be observed exactly once
+    /// across the owner and all thieves — a lost task would hang the
+    /// pool, a duplicated one would double-execute a job.
+    #[test]
+    fn chase_lev_tasks_are_observed_exactly_once(
+        n_items in 1usize..1200,
+        n_thieves in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let deque = ChaseLev::<usize>::new();
+        let done = AtomicBool::new(false);
+        let mut rng = FaultRng::new(seed);
+        let mut taken: Vec<usize> = Vec::new();
+        let thief_hauls: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n_thieves)
+                .map(|_| {
+                    let (deque, done) = (&deque, &done);
+                    s.spawn(move || {
+                        let mut haul = Vec::new();
+                        loop {
+                            match deque.steal() {
+                                Steal::Success(v) => haul.push(v),
+                                Steal::Retry => std::thread::yield_now(),
+                                Steal::Empty => {
+                                    if done.load(Ordering::Acquire) {
+                                        break;
+                                    }
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        haul
+                    })
+                })
+                .collect();
+            for v in 0..n_items {
+                deque.push(v);
+                if rng.next_u64().is_multiple_of(4) {
+                    if let Some(got) = deque.pop() {
+                        taken.push(got);
+                    }
+                }
+            }
+            while let Some(got) = deque.pop() {
+                taken.push(got);
+            }
+            done.store(true, Ordering::Release);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("thief thread panicked"))
+                .collect()
+        });
+        let mut seen = vec![0u32; n_items];
+        for &v in taken.iter().chain(thief_hauls.iter().flatten()) {
+            prop_assert!(v < n_items, "value {} was never pushed", v);
+            seen[v] += 1;
+        }
+        for (v, &count) in seen.iter().enumerate() {
+            prop_assert_eq!(
+                count, 1,
+                "value {} observed {} times (owner took {}, thieves took {:?})",
+                v, count, taken.len(),
+                thief_hauls.iter().map(Vec::len).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// Differential check for Eclat's dense-path kernel: the u64×4
+    /// chunked AND+popcount must match the scalar word loop bit-for-bit
+    /// on arbitrary bitsets — lengths 0..67 cover every tail residue
+    /// mod 4 and mismatched operand lengths.
+    #[test]
+    fn simd_and_popcount_matches_scalar(
+        a in proptest::collection::vec(any::<u64>(), 0..67),
+        b in proptest::collection::vec(any::<u64>(), 0..67),
+    ) {
+        let chunked = irma_mine::simd::and_popcount(&a, &b);
+        let scalar = irma_mine::simd::and_popcount_scalar(&a, &b);
+        prop_assert_eq!(chunked, scalar);
     }
 }

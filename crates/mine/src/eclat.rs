@@ -83,8 +83,9 @@ impl TidSet {
         match (self, other) {
             (TidSet::Sparse(a), TidSet::Sparse(b)) => TidSet::Sparse(intersect(a, b)),
             (TidSet::Dense { words: a, .. }, TidSet::Dense { words: b, .. }) => {
-                let words: Vec<u64> = a.iter().zip(b).map(|(x, y)| x & y).collect();
-                let count: u64 = words.iter().map(|w| w.count_ones() as u64).sum();
+                // Chunked u64×4 AND + popcount (differentially tested
+                // against the scalar loop in `crate::simd`).
+                let (words, count) = crate::simd::and_popcount(a, b);
                 if count * DENSE_CUTOVER_FACTOR >= n_txns as u64 {
                     TidSet::Dense { words, count }
                 } else {
@@ -118,22 +119,62 @@ impl TidSet {
     }
 }
 
-/// Depth-first extension of `prefix` by items from `tail`.
+/// Prefix subtrees narrower than this run sequentially: below it the
+/// fork bookkeeping (a deque push/pop per split) costs more than the
+/// work a thief could take.
+const PAR_SPLIT_MIN: usize = 8;
+
+/// Depth-first extension of `prefix` by items from positions `lo..hi`
+/// of `tail`.
+///
+/// In parallel mode a fat position range splits in two via
+/// [`rayon::join`] — *inside* the recursion, not only at the top-level
+/// singleton fan-out, so one skewed prefix subtree (a fat lattice
+/// branch) keeps forking stealable halves instead of serializing a
+/// worker. Note the whole `tail` travels to both halves: position `p`'s
+/// conditional tail draws from `tail[p + 1..]`, which crosses the split
+/// point.
+///
+/// Determinism: halves emit into their own buffers, merged left-then-
+/// right, so output order equals the sequential DFS order at any width;
+/// on concurrent failures the lowest-position error wins.
 ///
 /// Budget-aware: checkpoints the guard at every recursion entry (the DFS
 /// is the hot loop, so this is where a deadline is noticed) and charges
 /// one itemset per emission.
+#[allow(clippy::too_many_arguments)]
 fn extend(
     prefix: &[ItemId],
     tail: &[(ItemId, TidSet)],
+    lo: usize,
+    hi: usize,
     n_txns: usize,
     min_count: u64,
     max_len: usize,
+    parallel: bool,
     out: &mut Vec<(Itemset, u64)>,
     guard: &BudgetGuard,
 ) -> Result<(), BudgetBreach> {
     guard.checkpoint()?;
-    for (pos, (item, tids)) in tail.iter().enumerate() {
+    if parallel && hi - lo >= PAR_SPLIT_MIN {
+        let mid = lo + (hi - lo) / 2;
+        let run_half = |from: usize, to: usize| {
+            let mut half = Vec::new();
+            let result = extend(
+                prefix, tail, from, to, n_txns, min_count, max_len, parallel, &mut half, guard,
+            );
+            (result, half)
+        };
+        let ((left, left_out), (right, right_out)) =
+            rayon::join(|| run_half(lo, mid), || run_half(mid, hi));
+        left?;
+        right?;
+        out.extend(left_out);
+        out.extend(right_out);
+        return Ok(());
+    }
+    for pos in lo..hi {
+        let (item, tids) = &tail[pos];
         let mut itemset: Vec<ItemId> = prefix.to_vec();
         itemset.push(*item);
         guard.charge_itemsets(1)?;
@@ -150,7 +191,10 @@ fn extend(
             }
         }
         if !next_tail.is_empty() {
-            extend(&itemset, &next_tail, n_txns, min_count, max_len, out, guard)?;
+            let end = next_tail.len();
+            extend(
+                &itemset, &next_tail, 0, end, n_txns, min_count, max_len, parallel, out, guard,
+            )?;
         }
     }
     Ok(())
@@ -211,12 +255,16 @@ pub fn try_eclat(
                         }
                     }
                     if !tail.is_empty() {
+                        let end = tail.len();
                         extend(
                             &[*item],
                             &tail,
+                            0,
+                            end,
                             n_txns,
                             min_count,
                             config.max_len,
+                            true,
                             &mut local,
                             guard,
                         )?;
@@ -232,12 +280,16 @@ pub fn try_eclat(
         out
     } else {
         let mut out = Vec::new();
+        let end = frequent.len();
         extend(
             &[],
             &frequent,
+            0,
+            end,
             n_txns,
             min_count,
             config.max_len,
+            false,
             &mut out,
             guard,
         )?;

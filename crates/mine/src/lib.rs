@@ -36,6 +36,7 @@ mod db;
 mod eclat;
 mod fpgrowth;
 mod item;
+pub mod simd;
 mod stream;
 
 pub use apriori::{apriori, try_apriori};

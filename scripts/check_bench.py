@@ -3,32 +3,51 @@
 
 Usage: check_bench.py BASELINE_JSON FRESH_JSON [--tolerance FRAC]
 
-Both files are `irma-bench/mining/v1` documents written by
+Both files are `irma-bench/mining/v2` documents written by
 `cargo bench -p irma-bench --bench mining` (the committed baseline lives
-at the repository root as BENCH_5.json).
+at the repository root as BENCH_6.json).
 
-Two kinds of check, with very different strictness:
+Checks, in decreasing order of strictness:
 
-* **Itemset counts are exact.** For every (scale, miner, threads) row
-  present in both files, the fresh `itemsets` must equal the baseline's
-  — the workload is seeded and miners are deterministic, so any drift is
-  a correctness bug, not noise. This check ignores --tolerance.
+* **Grid completeness.** Each document declares its own
+  `scales` x `miners` x `threads` grid; every cell must carry either a
+  measured row or an explicit `skipped` record with a reason. An
+  undeclared missing cell is a FAILURE — silently dropping a miner from
+  a scale is exactly the bug this caught once already.
 
-* **Wall time is bounded.** `best_wall_s` may exceed the baseline by at
-  most `--tolerance` (a fraction: 0.10 means +10%, the default for
-  same-machine runs). CI machines differ from the baseline host, so CI
-  passes a looser value; the default is meant for local, same-host
-  comparisons before re-committing the baseline.
+* **Itemset counts are exact.** For every cell measured in both files,
+  the fresh `itemsets` must equal the baseline's — the workload is
+  seeded and miners are deterministic, so any drift is a correctness
+  bug, not noise. This check ignores --tolerance and host differences.
 
-Rows present in only one file are reported but are not failures: scale
-and thread sweeps are environment-tunable (IRMA_BENCH_SCALES, ...), and
-smoke runs deliberately measure a subset.
+* **Wall time is bounded, same-host only.** `best_wall_s` may exceed
+  the baseline by at most `--tolerance` (a fraction: 0.10 means +10%),
+  but ONLY when both documents report the same `host_cores` — comparing
+  wall times across machines with different core counts is noise dressed
+  as a gate, so mismatched hosts skip this check with a loud notice.
+
+* **Speedup gate, >=4-core hosts only.** When the fresh host reports
+  >= 4 cores and the fresh run measured widths 1 and 4, each miner must
+  show a width response at the largest scale it was measured at:
+  FP-Growth and Eclat >= 2.5x, Apriori >= 1.5x. On narrower hosts the
+  gate is skipped with a loud notice (it cannot be demonstrated there).
+
+Cells in the baseline's grid but outside the fresh run's declared grid
+are merely noted: scale and thread sweeps are environment-tunable
+(IRMA_BENCH_SCALES, ...), and smoke runs deliberately measure a subset.
 
 Exit code 0 on pass, 1 on any failure, 2 on usage/parse errors.
 """
 
 import json
 import sys
+
+SCHEMA = "irma-bench/mining/v2"
+
+# miner -> required width-4 speedup (vs the same run's width-1 best).
+SPEEDUP_FLOORS = {"fpgrowth": 2.5, "eclat": 2.5, "apriori": 1.5}
+SPEEDUP_MIN_CORES = 4
+SPEEDUP_WIDTH = 4
 
 
 def fail_usage(msg: str) -> None:
@@ -43,16 +62,95 @@ def load(path: str) -> dict:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail_usage(f"reading {path}: {e}")
-    if doc.get("schema") != "irma-bench/mining/v1":
-        fail_usage(f"{path}: unexpected schema {doc.get('schema')!r}")
+    if doc.get("schema") != SCHEMA:
+        fail_usage(f"{path}: unexpected schema {doc.get('schema')!r} (want {SCHEMA!r})")
+    for field in ("host_cores", "scales", "miners", "threads"):
+        if field not in doc:
+            fail_usage(f"{path}: missing required field {field!r}")
     return doc
 
 
-def keyed(doc: dict) -> dict:
-    rows = {}
+def split_rows(doc: dict) -> tuple[dict, dict]:
+    """Returns (measured, skipped), both keyed by (scale, miner, threads)."""
+    measured, skipped = {}, {}
     for row in doc.get("results", []):
-        rows[(row["scale"], row["miner"], row["threads"])] = row
-    return rows
+        key = (row["scale"], row["miner"], row["threads"])
+        if "skipped" in row:
+            skipped[key] = row["skipped"]
+        else:
+            measured[key] = row
+    return measured, skipped
+
+
+def grid(doc: dict) -> set:
+    return {
+        (scale, miner, threads)
+        for scale in doc["scales"]
+        for miner in doc["miners"]
+        for threads in doc["threads"]
+    }
+
+
+def label(key: tuple) -> str:
+    scale, miner, threads = key
+    return f"{miner} @ {scale} jobs, {threads} thread(s)"
+
+
+def check_grid(name: str, doc: dict, measured: dict, skipped: dict, failures: list) -> None:
+    for key in sorted(grid(doc)):
+        if key in measured and key in skipped:
+            failures.append(f"{name}: {label(key)}: both measured and skipped")
+        elif key not in measured and key not in skipped:
+            failures.append(
+                f"{name}: {label(key)}: undeclared missing cell "
+                "(no measurement, no skipped record)"
+            )
+    for key in sorted(set(measured) | set(skipped)):
+        if key not in grid(doc):
+            failures.append(f"{name}: {label(key)}: row outside the declared grid")
+
+
+def check_speedup(doc: dict, measured: dict, failures: list) -> None:
+    cores = doc["host_cores"]
+    if cores < SPEEDUP_MIN_CORES:
+        print(
+            f"NOTICE: speedup gate SKIPPED — fresh host reports {cores} core(s), "
+            f"needs >= {SPEEDUP_MIN_CORES}. Width response cannot be demonstrated here; "
+            "rerun on a wider host to arm this gate."
+        )
+        return
+    if SPEEDUP_WIDTH not in doc["threads"] or 1 not in doc["threads"]:
+        print(
+            f"NOTICE: speedup gate SKIPPED — fresh run lacks widths 1 and "
+            f"{SPEEDUP_WIDTH} (threads = {doc['threads']})."
+        )
+        return
+    for miner, floor in SPEEDUP_FLOORS.items():
+        if miner not in doc["miners"]:
+            continue
+        # Largest scale where this miner has both width-1 and width-4 rows.
+        scales = [
+            s
+            for s in doc["scales"]
+            if (s, miner, 1) in measured and (s, miner, SPEEDUP_WIDTH) in measured
+        ]
+        if not scales:
+            print(f"NOTICE: speedup gate: {miner} has no measured width-1/width-{SPEEDUP_WIDTH} pair")
+            continue
+        scale = max(scales)
+        base = measured[(scale, miner, 1)]["best_wall_s"]
+        wide = measured[(scale, miner, SPEEDUP_WIDTH)]["best_wall_s"]
+        speedup = base / wide if wide > 0 else float("inf")
+        verdict = "ok" if speedup >= floor else "FAIL"
+        print(
+            f"{verdict}: speedup gate: {miner} @ {scale} jobs: "
+            f"{speedup:.2f}x at width {SPEEDUP_WIDTH} (floor {floor}x)"
+        )
+        if speedup < floor:
+            failures.append(
+                f"{miner} @ {scale} jobs: width-{SPEEDUP_WIDTH} speedup "
+                f"{speedup:.2f}x below required {floor}x on a {cores}-core host"
+            )
 
 
 def main(argv: list[str]) -> int:
@@ -74,50 +172,71 @@ def main(argv: list[str]) -> int:
     if len(paths) != 2:
         fail_usage("need exactly BASELINE_JSON and FRESH_JSON")
 
-    baseline = keyed(load(paths[0]))
-    fresh = keyed(load(paths[1]))
-    if not fresh:
-        fail_usage(f"{paths[1]} has no results")
+    base_doc = load(paths[0])
+    fresh_doc = load(paths[1])
+    base_measured, base_skipped = split_rows(base_doc)
+    fresh_measured, fresh_skipped = split_rows(fresh_doc)
+    if not fresh_measured:
+        fail_usage(f"{paths[1]} has no measured results")
 
-    failures = []
+    failures: list = []
+    check_grid("baseline", base_doc, base_measured, base_skipped, failures)
+    check_grid("fresh", fresh_doc, fresh_measured, fresh_skipped, failures)
+
+    same_host = base_doc["host_cores"] == fresh_doc["host_cores"]
+    if not same_host:
+        print(
+            f"NOTICE: wall-time comparison SKIPPED — baseline host has "
+            f"{base_doc['host_cores']} core(s), fresh host {fresh_doc['host_cores']}; "
+            "cross-host wall times are not comparable. Itemset counts are still exact."
+        )
+
     compared = 0
-    for key in sorted(fresh):
-        scale, miner, threads = key
-        label = f"{miner} @ {scale} jobs, {threads} thread(s)"
-        if key not in baseline:
-            print(f"note: {label}: not in baseline, skipping")
+    for key in sorted(fresh_measured):
+        if key not in base_measured:
+            if key in base_skipped:
+                print(f"note: {label(key)}: skipped in baseline ({base_skipped[key]})")
+            else:
+                print(f"note: {label(key)}: not in baseline")
             continue
-        base, new = baseline[key], fresh[key]
+        base, new = base_measured[key], fresh_measured[key]
         compared += 1
         if new["itemsets"] != base["itemsets"]:
             failures.append(
-                f"{label}: itemset count changed "
+                f"{label(key)}: itemset count changed "
                 f"{base['itemsets']} -> {new['itemsets']} (correctness, not noise)"
             )
+            continue
+        if not same_host:
+            print(f"ok: {label(key)}: itemsets exact ({new['itemsets']}); wall skipped")
             continue
         limit = base["best_wall_s"] * (1.0 + tolerance)
         verdict = "ok" if new["best_wall_s"] <= limit else "REGRESSION"
         print(
-            f"{verdict}: {label}: {new['best_wall_s']:.4f}s vs baseline "
+            f"{verdict}: {label(key)}: {new['best_wall_s']:.4f}s vs baseline "
             f"{base['best_wall_s']:.4f}s (limit {limit:.4f}s)"
         )
         if new["best_wall_s"] > limit:
             failures.append(
-                f"{label}: {new['best_wall_s']:.4f}s exceeds baseline "
+                f"{label(key)}: {new['best_wall_s']:.4f}s exceeds baseline "
                 f"{base['best_wall_s']:.4f}s by more than {tolerance:.0%}"
             )
-    for key in sorted(set(baseline) - set(fresh)):
-        scale, miner, threads = key
-        print(f"note: {miner} @ {scale} jobs, {threads} thread(s): not re-measured")
+    for key in sorted(set(base_measured) - set(fresh_measured) - set(fresh_skipped)):
+        print(f"note: {label(key)}: not re-measured")
+    for key in sorted(fresh_skipped):
+        if key in base_measured:
+            print(f"note: {label(key)}: measured in baseline, skipped fresh ({fresh_skipped[key]})")
+
+    check_speedup(fresh_doc, fresh_measured, failures)
 
     if compared == 0:
-        failures.append("no overlapping rows between baseline and fresh run")
+        failures.append("no overlapping measured rows between baseline and fresh run")
     if failures:
         print(f"\n{len(failures)} failure(s):", file=sys.stderr)
         for f in failures:
             print(f"  FAIL: {f}", file=sys.stderr)
         return 1
-    print(f"\nall {compared} overlapping row(s) within {tolerance:.0%} of baseline")
+    print(f"\nall checks passed ({compared} overlapping measured row(s))")
     return 0
 
 

@@ -1,0 +1,372 @@
+//! A lock-free Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005),
+//! with the memory orderings of Lê, Pop, Cohen & Zappa Nardelli's C11
+//! formulation ("Correct and Efficient Work-Stealing for Weak Memory
+//! Models", PPoPP 2013).
+//!
+//! One thread — the *owner* — pushes and pops at the bottom (LIFO);
+//! any number of thieves take from the top (FIFO) via [`ChaseLev::steal`].
+//! The owner never blocks and never issues an atomic RMW except when
+//! racing a thief for the last element; thieves use a single CAS per
+//! steal attempt.
+//!
+//! # Element storage and torn reads
+//!
+//! Elements are two machine words ([`FlatWords`]) stored in a pair of
+//! relaxed atomics per slot. A thief's read of a slot can race with the
+//! owner recycling that slot's storage (pop down + push back up within
+//! the same circular buffer), so the read value may be torn — but only
+//! in executions where the element was already taken by someone else,
+//! in which case the thief's subsequent CAS on `top` fails and the torn
+//! value is discarded. A *successful* CAS on `top` certifies that the
+//! element was live for the whole read: live slots are never overwritten
+//! in place (growth allocates a fresh buffer; the old one is retired,
+//! not mutated), and the `Release` store of `bottom` in `push` makes the
+//! slot contents visible before any thief can observe the new `bottom`.
+//!
+//! # Growth
+//!
+//! `push` doubles the circular buffer when full, copying the live window
+//! into a fresh allocation and *retiring* the old buffer instead of
+//! freeing it: a stalled thief may still be reading the old slots, and
+//! keeping retired buffers alive until the deque itself drops makes that
+//! read safe without hazard pointers or epochs. Total retired memory is
+//! a geometric series bounded by the final buffer's size.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Initial circular-buffer capacity (slots); must be a power of two.
+const INITIAL_CAPACITY: usize = 64;
+
+/// Types storable in the deque: `Copy` payloads that round-trip through
+/// two machine words (read and written as relaxed atomics per slot).
+///
+/// Exposed (doc-hidden) so the differential stress property in
+/// `crates/check` can drive the deque with identifiable tokens.
+#[doc(hidden)]
+pub trait FlatWords: Copy {
+    /// Encodes the value as two words.
+    fn to_words(self) -> [usize; 2];
+    /// Decodes a value previously produced by [`FlatWords::to_words`].
+    fn from_words(words: [usize; 2]) -> Self;
+}
+
+impl FlatWords for usize {
+    fn to_words(self) -> [usize; 2] {
+        [self, 0]
+    }
+
+    fn from_words(words: [usize; 2]) -> usize {
+        words[0]
+    }
+}
+
+/// One circular-buffer slot: an element's two words, each a relaxed
+/// atomic so racy (validated-by-CAS) reads are defined behaviour.
+struct Slot {
+    lo: AtomicUsize,
+    hi: AtomicUsize,
+}
+
+/// A fixed-capacity circular buffer indexed by the deque's unbounded
+/// `top`/`bottom` counters masked to the capacity.
+struct Buffer {
+    mask: usize,
+    slots: Box<[Slot]>,
+}
+
+impl Buffer {
+    fn new(capacity: usize) -> Buffer {
+        debug_assert!(capacity.is_power_of_two());
+        Buffer {
+            mask: capacity - 1,
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    lo: AtomicUsize::new(0),
+                    hi: AtomicUsize::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    fn read(&self, index: isize) -> [usize; 2] {
+        let slot = &self.slots[index as usize & self.mask];
+        [
+            slot.lo.load(Ordering::Relaxed),
+            slot.hi.load(Ordering::Relaxed),
+        ]
+    }
+
+    fn write(&self, index: isize, words: [usize; 2]) {
+        let slot = &self.slots[index as usize & self.mask];
+        slot.lo.store(words[0], Ordering::Relaxed);
+        slot.hi.store(words[1], Ordering::Relaxed);
+    }
+}
+
+/// Outcome of a [`ChaseLev::steal`] attempt.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque appeared empty.
+    Empty,
+    /// Lost a race with the owner or another thief; the deque may still
+    /// hold work — retry if it matters.
+    Retry,
+    /// Took the oldest element.
+    Success(T),
+}
+
+/// The deque. Owner calls [`push`](ChaseLev::push) / [`pop`](ChaseLev::pop)
+/// from one designated thread; [`steal`](ChaseLev::steal) is free-threaded.
+#[doc(hidden)]
+pub struct ChaseLev<T> {
+    /// Steal end; monotonically non-decreasing.
+    top: AtomicIsize,
+    /// Owner end; decremented transiently during `pop`.
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<Buffer>,
+    /// Buffers replaced by growth, kept alive until `Drop` so stalled
+    /// thieves can finish their (doomed, CAS-rejected) slot reads.
+    retired: Mutex<Vec<*mut Buffer>>,
+    _marker: PhantomData<T>,
+}
+
+// Safety: elements are `Copy + Send` two-word payloads moved between
+// threads by value; the retired pointer list is mutex-guarded.
+unsafe impl<T: FlatWords + Send> Send for ChaseLev<T> {}
+unsafe impl<T: FlatWords + Send> Sync for ChaseLev<T> {}
+
+impl<T: FlatWords + Send> Default for ChaseLev<T> {
+    fn default() -> ChaseLev<T> {
+        ChaseLev::new()
+    }
+}
+
+impl<T: FlatWords + Send> ChaseLev<T> {
+    /// An empty deque.
+    pub fn new() -> ChaseLev<T> {
+        ChaseLev {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Box::into_raw(Box::new(Buffer::new(INITIAL_CAPACITY)))),
+            retired: Mutex::new(Vec::new()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Whether the deque is (momentarily) empty. Advisory only.
+    pub fn is_empty(&self) -> bool {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        b <= t
+    }
+
+    /// Owner-only: pushes `value` at the bottom (LIFO end).
+    pub fn push(&self, value: T) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        // Safety: the buffer pointer is only replaced by the owner (us),
+        // and retired buffers outlive the deque.
+        let mut buffer = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        if b - t >= buffer.capacity() as isize {
+            buffer = self.grow(t, b, buffer);
+        }
+        buffer.write(b, value.to_words());
+        // Publish the slot contents before the new bottom: a thief that
+        // acquires `bottom > b` must see the element.
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner-only: pops the most recently pushed element (LIFO end).
+    pub fn pop(&self) -> Option<T> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        // Safety: owner-only buffer replacement, as in `push`.
+        let buffer = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        self.bottom.store(b, Ordering::Relaxed);
+        // The store of `bottom` must be globally visible before we read
+        // `top`: this is the owner's half of the pop/steal handshake
+        // (the thief's half is its own SeqCst fence between reading
+        // `top` and `bottom`). Without it, a pop and a steal could both
+        // take the same last element.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let words = buffer.read(b);
+            if t == b {
+                // Last element: race thieves for it with the same CAS
+                // they use, so exactly one side wins.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                won.then(|| T::from_words(words))
+            } else {
+                Some(T::from_words(words))
+            }
+        } else {
+            // Empty: restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Free-threaded: takes the oldest element (FIFO end).
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.top.load(Ordering::Acquire);
+        // Order the `top` read before the `bottom` read (thief's half of
+        // the pop/steal handshake; see `pop`).
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            // Safety: buffers are never freed before the deque drops, so
+            // this dereference is valid even if the owner grows
+            // concurrently; a read from a stale buffer is certified (or
+            // rejected) by the CAS below.
+            let buffer = unsafe { &*self.buffer.load(Ordering::Acquire) };
+            let words = buffer.read(t);
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Success(T::from_words(words))
+            } else {
+                Steal::Retry
+            }
+        } else {
+            Steal::Empty
+        }
+    }
+
+    /// Owner-only: doubles the buffer, copying the live window `[t, b)`.
+    #[cold]
+    fn grow(&self, t: isize, b: isize, old: &Buffer) -> &Buffer {
+        let new = Buffer::new(old.capacity() * 2);
+        for i in t..b {
+            new.write(i, old.read(i));
+        }
+        let new_ptr = Box::into_raw(Box::new(new));
+        // Release: thieves that acquire the new pointer see the copies.
+        let old_ptr = self.buffer.swap(new_ptr, Ordering::Release);
+        self.retired.lock().expect("retired lock").push(old_ptr);
+        // Safety: we just stored this pointer; only the owner swaps it.
+        unsafe { &*new_ptr }
+    }
+}
+
+impl<T> Drop for ChaseLev<T> {
+    fn drop(&mut self) {
+        // Elements are `Copy` (no destructors to run); free the buffers.
+        // Safety: exclusive access (`&mut self`), and every pointer here
+        // came from `Box::into_raw` and is freed exactly once.
+        unsafe {
+            drop(Box::from_raw(self.buffer.load(Ordering::Relaxed)));
+            for ptr in self.retired.get_mut().expect("retired lock").drain(..) {
+                drop(Box::from_raw(ptr));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_pop_fifo_steal() {
+        let deque: ChaseLev<usize> = ChaseLev::new();
+        for i in 1..=3 {
+            deque.push(i);
+        }
+        assert_eq!(deque.steal(), Steal::Success(1));
+        assert_eq!(deque.pop(), Some(3));
+        assert_eq!(deque.pop(), Some(2));
+        assert_eq!(deque.pop(), None);
+        assert_eq!(deque.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn growth_preserves_order_and_count() {
+        let deque: ChaseLev<usize> = ChaseLev::new();
+        let n = INITIAL_CAPACITY * 5;
+        for i in 0..n {
+            deque.push(i);
+        }
+        // Steals see FIFO order across several growths.
+        for expected in 0..n / 2 {
+            assert_eq!(deque.steal(), Steal::Success(expected));
+        }
+        // Pops see LIFO order for the rest.
+        for expected in (n / 2..n).rev() {
+            assert_eq!(deque.pop(), Some(expected));
+        }
+        assert!(deque.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_around_empty() {
+        let deque: ChaseLev<usize> = ChaseLev::new();
+        for round in 0..1000 {
+            deque.push(round);
+            assert_eq!(deque.pop(), Some(round));
+            assert_eq!(deque.pop(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_thieves_observe_each_element_once() {
+        use std::sync::atomic::AtomicBool;
+
+        let deque: ChaseLev<usize> = ChaseLev::new();
+        let done = AtomicBool::new(false);
+        let n = 100_000usize;
+        std::thread::scope(|scope| {
+            let mut stealers = Vec::new();
+            for _ in 0..3 {
+                stealers.push(scope.spawn(|| {
+                    let mut got = Vec::new();
+                    loop {
+                        match deque.steal() {
+                            Steal::Success(v) => got.push(v),
+                            Steal::Retry => {}
+                            Steal::Empty => {
+                                if done.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                    got
+                }));
+            }
+            let mut popped = Vec::new();
+            for i in 0..n {
+                deque.push(i);
+                if i % 3 == 0 {
+                    if let Some(v) = deque.pop() {
+                        popped.push(v);
+                    }
+                }
+            }
+            while let Some(v) = deque.pop() {
+                popped.push(v);
+            }
+            done.store(true, Ordering::Release);
+            let mut seen = popped;
+            for handle in stealers {
+                seen.extend(handle.join().expect("stealer joins"));
+            }
+            seen.sort_unstable();
+            let expected: Vec<usize> = (0..n).collect();
+            assert_eq!(seen, expected, "every element observed exactly once");
+        });
+    }
+}

@@ -25,6 +25,7 @@
 use std::cell::RefCell;
 use std::sync::Arc;
 
+pub mod deque;
 pub mod iter;
 pub mod pool;
 

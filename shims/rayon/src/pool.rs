@@ -2,14 +2,15 @@
 //!
 //! Each [`Registry`] owns `width - 1 >= 1` worker OS threads (a width-1
 //! registry runs everything inline and spawns nothing). Every worker has
-//! its own deque of pending jobs; a worker pushes and pops at the *back*
-//! of its own deque (LIFO, so the hottest, most cache-local work runs
-//! first) and steals from the *front* of a victim's deque or of the
-//! shared injector (FIFO, so thieves take the oldest — largest — pending
-//! subtree). This is the classic Blumofe–Leiserson discipline rayon
-//! itself uses; the deques here are mutex-guarded `VecDeque`s rather
-//! than lock-free Chase–Lev arrays, which keeps the shim dependency-free
-//! and auditable while preserving the scheduling behaviour.
+//! its own lock-free [`ChaseLev`] deque of pending jobs; a worker pushes
+//! and pops at the *bottom* of its own deque (LIFO, so the hottest, most
+//! cache-local work runs first) and steals from the *top* of a victim's
+//! deque or from the shared injector (FIFO, so thieves take the oldest —
+//! largest — pending subtree). This is the classic Blumofe–Leiserson
+//! discipline rayon itself uses, with the same deque rayon uses: the
+//! owner's push/pop are plain loads and stores (one CAS only when racing
+//! a thief for the last element), so the `join` fast path — push, run
+//! left, pop right back — never takes a lock.
 //!
 //! The sole fork primitive is [`join`]: it pushes the right-hand closure
 //! as a stealable job, runs the left-hand closure inline, and then
@@ -21,6 +22,12 @@
 //! is what lets the miners keep their per-rank `catch_unwind`
 //! attribution no matter which worker actually ran the subtree.
 //!
+//! Idle workers sleep on an [`EventCounter`] (eventcount protocol):
+//! every producer bumps an epoch before checking for sleepers, and a
+//! worker re-validates its pre-scan epoch snapshot after registering as
+//! a sleeper, so wakeups cannot be lost and there is no polling timeout
+//! — sleepers neither spin nor add wake latency.
+//!
 //! For deterministic steal-order fuzzing, a registry can be built with a
 //! jitter seed ([`crate::ThreadPoolBuilder::steal_jitter`]): workers
 //! then derive a per-thread SplitMix64 stream that perturbs victim
@@ -30,9 +37,11 @@
 use std::cell::{Cell, RefCell, UnsafeCell};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
+
+use crate::deque::{ChaseLev, FlatWords, Steal};
 
 /// A type-erased pointer to a [`StackJob`] pinned on some stack frame.
 ///
@@ -53,6 +62,21 @@ impl JobRef {
     /// Runs the job. Must be called at most once per underlying job.
     unsafe fn run(self) {
         (self.execute)(self.data)
+    }
+}
+
+impl FlatWords for JobRef {
+    fn to_words(self) -> [usize; 2] {
+        [self.data as usize, self.execute as usize]
+    }
+
+    fn from_words(words: [usize; 2]) -> JobRef {
+        JobRef {
+            data: words[0] as *const (),
+            // Safety: `words[1]` was produced by `to_words` from a live
+            // fn pointer of exactly this type.
+            execute: unsafe { std::mem::transmute::<usize, unsafe fn(*const ())>(words[1]) },
+        }
     }
 }
 
@@ -124,35 +148,116 @@ where
     }
 }
 
-/// Sleep bookkeeping guarded by one mutex so wakeups cannot be lost:
-/// a worker re-checks every queue *while holding the lock* before it
-/// sleeps, and producers notify under the same lock.
-#[derive(Default)]
-struct SleepState {
-    sleepers: usize,
+/// Eventcount: the lost-wakeup-free sleep protocol for idle workers.
+///
+/// Producers *publish* work in two steps: bump the epoch, then notify if
+/// anyone is registered as sleeping. Workers snapshot the epoch *before*
+/// scanning for work and go to sleep only if the epoch is still at the
+/// snapshot *after* registering as a sleeper (registration before the
+/// re-check is what closes the race — see [`EventCounter::sleep`]).
+/// The result: no 50 ms poll timeout, no spinning, and a push-to-wake
+/// latency of one `notify_one`.
+struct EventCounter {
+    /// Bumped on every publish; compared against pre-scan snapshots.
+    epoch: AtomicU64,
+    /// Registered sleepers; read lock-free by producers to skip the
+    /// mutex on the (common) nobody-asleep path.
+    sleepers: AtomicUsize,
+    /// Guards the condvar; holds no data.
+    mutex: Mutex<()>,
+    condvar: Condvar,
+}
+
+impl EventCounter {
+    fn new() -> EventCounter {
+        EventCounter {
+            epoch: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            mutex: Mutex::new(()),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Epoch snapshot; take one *before* scanning for work.
+    fn snapshot(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Publishes new work: any worker that scanned before this call and
+    /// found nothing will either see the bumped epoch when it tries to
+    /// sleep, or is already registered and gets notified.
+    fn publish(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            // Lock so the notify cannot slide between a sleeper's epoch
+            // re-check and its wait.
+            let _guard = self.mutex.lock().expect("eventcount lock");
+            self.condvar.notify_one();
+        }
+    }
+
+    /// Like [`EventCounter::publish`] but wakes everyone (shutdown).
+    fn publish_all(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        let _guard = self.mutex.lock().expect("eventcount lock");
+        self.condvar.notify_all();
+    }
+
+    /// Sleeps until the next publish, unless one happened since
+    /// `snapshot` was taken — then returns immediately so the caller
+    /// rescans.
+    ///
+    /// Registration order matters: `sleepers` is incremented *before*
+    /// the epoch re-check. A producer that bumps the epoch after our
+    /// re-check therefore observes `sleepers > 0` and notifies; a
+    /// producer that bumped before is caught by the re-check. Either
+    /// way the wakeup cannot be lost.
+    fn sleep(&self, snapshot: u64) {
+        let guard = self.mutex.lock().expect("eventcount lock");
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        if self.epoch.load(Ordering::SeqCst) == snapshot {
+            // Spurious wakeups are fine: the caller loops and rescans.
+            let _guard = self.condvar.wait(guard).expect("eventcount wait");
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 struct Shared {
-    /// One deque per worker; index = worker id.
-    deques: Vec<Mutex<VecDeque<JobRef>>>,
-    /// Jobs injected from outside the pool (FIFO).
+    /// One lock-free deque per worker; index = worker id. Only worker
+    /// `i` may `push`/`pop` deque `i` (the Chase–Lev owner contract);
+    /// everyone may `steal`.
+    deques: Vec<ChaseLev<JobRef>>,
+    /// Jobs injected from outside the pool (FIFO). External submissions
+    /// are rare (one per `in_worker` migration), so a mutex-guarded
+    /// queue is fine here; the hot fork path never touches it.
     injector: Mutex<VecDeque<JobRef>>,
-    sleep: Mutex<SleepState>,
-    wakeup: Condvar,
+    sleep: EventCounter,
     terminate: AtomicBool,
     /// Steal-order fuzzing seed; 0 disables jitter.
     jitter: u64,
 }
 
 impl Shared {
-    /// Pops the back of worker `index`'s own deque (LIFO).
+    /// Pops the bottom of worker `index`'s own deque (LIFO). Must only
+    /// be called from worker `index` itself.
     fn pop_local(&self, index: usize) -> Option<JobRef> {
-        self.deques[index].lock().expect("deque lock").pop_back()
+        self.deques[index].pop()
+    }
+
+    /// Pushes onto worker `index`'s own deque (stealable) and publishes.
+    /// Must only be called from worker `index` itself.
+    fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index].push(job);
+        self.sleep.publish();
     }
 
     /// Steals the front of any queue: the injector first, then victim
     /// deques starting at `start` (FIFO — thieves take the oldest job,
     /// which by the splitting discipline is the largest pending chunk).
+    /// A lost steal race (`Steal::Retry`) re-probes the same victim:
+    /// contention means the deque is non-empty, so it is the best victim
+    /// we know of.
     fn steal(&self, thief: usize, start: usize) -> Option<JobRef> {
         if let Some(job) = self.injector.lock().expect("injector lock").pop_front() {
             return Some(job);
@@ -163,24 +268,20 @@ impl Shared {
             if victim == thief {
                 continue;
             }
-            if let Some(job) = self.deques[victim].lock().expect("deque lock").pop_front() {
-                return Some(job);
+            loop {
+                match self.deques[victim].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
             }
         }
         None
     }
 
-    /// Wakes one sleeping worker if any (called after every push).
-    fn notify(&self) {
-        let sleep = self.sleep.lock().expect("sleep lock");
-        if sleep.sleepers > 0 {
-            self.wakeup.notify_one();
-        }
-    }
-
     fn push_injected(&self, job: JobRef) {
         self.injector.lock().expect("injector lock").push_back(job);
-        self.notify();
+        self.sleep.publish();
     }
 }
 
@@ -241,6 +342,10 @@ fn worker_main(shared: Arc<Shared>, index: usize, registry: Arc<Registry>) {
     // should split to this pool's width.
     crate::set_current_registry(Some(registry));
     loop {
+        // The epoch snapshot must precede the work scan: a publish that
+        // lands between scan and sleep then moves the epoch past the
+        // snapshot and `sleep` returns immediately.
+        let snapshot = shared.sleep.snapshot();
         let found = with_worker(|ctx| {
             let ctx = ctx.expect("worker context set above");
             let start = ctx.steal_start();
@@ -255,26 +360,7 @@ fn worker_main(shared: Arc<Shared>, index: usize, registry: Arc<Registry>) {
         if shared.terminate.load(Ordering::Acquire) {
             break;
         }
-        // Re-check for work under the sleep lock so a producer's push +
-        // notify cannot slip between our scan and the wait.
-        let mut sleep = shared.sleep.lock().expect("sleep lock");
-        let pending = {
-            !shared.injector.lock().expect("injector lock").is_empty()
-                || shared
-                    .deques
-                    .iter()
-                    .any(|d| !d.lock().expect("deque lock").is_empty())
-        };
-        if pending || shared.terminate.load(Ordering::Acquire) {
-            continue;
-        }
-        sleep.sleepers += 1;
-        let (mut sleep, _timeout) = shared
-            .wakeup
-            .wait_timeout(sleep, std::time::Duration::from_millis(50))
-            .expect("condvar wait");
-        sleep.sleepers -= 1;
-        drop(sleep);
+        shared.sleep.sleep(snapshot);
     }
 }
 
@@ -304,10 +390,9 @@ impl Registry {
         let width = width.max(1);
         let spawn = if width > 1 { width } else { 0 };
         let shared = Arc::new(Shared {
-            deques: (0..spawn).map(|_| Mutex::new(VecDeque::new())).collect(),
+            deques: (0..spawn).map(|_| ChaseLev::new()).collect(),
             injector: Mutex::new(VecDeque::new()),
-            sleep: Mutex::new(SleepState::default()),
-            wakeup: Condvar::new(),
+            sleep: EventCounter::new(),
             terminate: AtomicBool::new(false),
             jitter,
         });
@@ -366,10 +451,7 @@ impl Registry {
     /// only run after the workers have already exited.
     pub(crate) fn shutdown(&self) {
         self.shared.terminate.store(true, Ordering::Release);
-        {
-            let _guard = self.shared.sleep.lock().expect("sleep lock");
-            self.shared.wakeup.notify_all();
-        }
+        self.shared.sleep.publish_all();
         let handles: Vec<_> = self
             .workers
             .lock()
@@ -448,11 +530,7 @@ where
     RB: Send,
 {
     let job_b = StackJob::new(b);
-    shared.deques[index]
-        .lock()
-        .expect("deque lock")
-        .push_back(job_b.as_job_ref());
-    shared.notify();
+    shared.push_local(index, job_b.as_job_ref());
 
     let ra = std::panic::catch_unwind(AssertUnwindSafe(a));
 
