@@ -7,7 +7,8 @@ use std::hint::black_box;
 
 use irma_bench::bench_encoded;
 use irma_mine::{
-    closed_itemsets, fpgrowth, maximal_itemsets, mine_top_k, MinerConfig, SlidingWindowMiner,
+    closed_itemsets, fpgrowth, maximal_itemsets, mine_top_k, BudgetGuard, MinerConfig,
+    SlidingWindowMiner,
 };
 
 fn window_ops(c: &mut Criterion) {
@@ -37,6 +38,43 @@ fn window_ops(c: &mut Criterion) {
     group.bench_function("drift_eval", |b| b.iter(|| black_box(baseline.drift())));
     group.bench_function("remine_window_4k", |b| {
         b.iter(|| black_box(filled.clone().mine()).len())
+    });
+
+    // The `irma watch` hot path at the daemon's default window: one
+    // arrival, then a re-mine. The incremental side mines the maintained
+    // prefix tree directly (weighted compressed paths); the rebuild side
+    // materializes the window and runs batch FP-Growth from scratch —
+    // what every emission used to cost before the tree went incremental.
+    let fill = |n: usize| {
+        let mut miner = SlidingWindowMiner::new(2_000, MinerConfig::with_min_support(0.05));
+        for txn in txns.iter().take(n) {
+            miner.push(txn.iter().copied());
+        }
+        miner
+    };
+    let mut incremental = fill(4_000);
+    let mut next = 0usize;
+    group.bench_function("arrival_mine_incremental_2k", |b| {
+        b.iter(|| {
+            incremental.push(txns[next % txns.len()].iter().copied());
+            next += 1;
+            black_box(
+                incremental
+                    .try_mine(&BudgetGuard::unlimited())
+                    .expect("unlimited budget")
+                    .len(),
+            )
+        })
+    });
+    let mut rebuilt = fill(4_000);
+    let config = MinerConfig::with_min_support(0.05);
+    group.bench_function("arrival_mine_rebuild_2k", |b| {
+        b.iter(|| {
+            rebuilt.push(txns[next % txns.len()].iter().copied());
+            next += 1;
+            let db = rebuilt.snapshot();
+            black_box(fpgrowth(&db, &config).len())
+        })
     });
     group.finish();
 }

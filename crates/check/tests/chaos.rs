@@ -12,7 +12,11 @@
 //! * trace-log write failures degrade the snapshot but never fail the
 //!   analysis;
 //! * un-faulted plans produce results byte-identical to the infallible
-//!   `analyze`.
+//!   `analyze`;
+//! * the streaming side holds the same line: a budget-tripped
+//!   `SlidingWindowMiner::try_mine` never moves the drift baseline, and
+//!   `irma_core::watch_feed` survives garbled input, budget trips, and a
+//!   broken trace sink thrown at it simultaneously.
 //!
 //! The base seed is perturbed by `PROPTEST_SEED` (same knob as the rest
 //! of the harness) so CI pins one stream and soak runs can explore.
@@ -21,14 +25,17 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Once;
 
+use std::io::Cursor;
+
 use irma_check::fault::{
     base_csv, base_spec, failing_event_sink, BudgetFault, FaultPlan, InputFault,
 };
 use irma_core::{
-    analyze, try_analyze_traced_hooked, Analysis, AnalysisConfig, BudgetBreach, Metrics,
-    PipelineError, Provenance,
+    analyze, try_analyze_traced_hooked, watch_feed, Analysis, AnalysisConfig, BudgetBreach,
+    Metrics, PipelineError, Provenance, WatchConfig,
 };
 use irma_data::read_csv_str;
+use irma_mine::{BudgetGuard, ExecBudget, SlidingWindowMiner};
 use irma_obs::Snapshot;
 
 /// Non-zero while a plan is being executed: panics raised in there are
@@ -296,6 +303,93 @@ fn poisoned_workers_are_contained_per_rank() {
         }
         other => panic!("expected WorkerPanic, got {other:?}"),
     }
+}
+
+#[test]
+fn budget_trip_leaves_the_streaming_baseline_untouched() {
+    quiet_panics();
+    let mut miner = SlidingWindowMiner::new(64, irma_mine::MinerConfig::with_min_support(0.2));
+    for i in 0..32u32 {
+        miner.push([i % 4, 4 + i % 2]);
+    }
+    // A successful mine commits the drift baseline for the first regime.
+    miner.mine();
+    // Shift the regime so the window has drifted well away from it.
+    for i in 0..32u32 {
+        miner.push([6, 7 - i % 2]);
+    }
+    let drift_before = miner.drift();
+    assert!(drift_before > 0.5, "regime shift must register as drift");
+    // A one-itemset cap can never fit this window: the attempt must fail
+    // *without* committing a new baseline — otherwise the next drift
+    // check would silently compare against a regime that was never mined.
+    let tight = BudgetGuard::new(&ExecBudget {
+        max_itemsets: Some(1),
+        ..ExecBudget::default()
+    });
+    let region = ContainedRegion::enter();
+    let err = miner.try_mine(&tight);
+    drop(region);
+    assert!(err.is_err(), "one itemset can never fit this window");
+    assert_eq!(
+        miner.drift(),
+        drift_before,
+        "failed mine must not move the drift baseline"
+    );
+    // The miner is still healthy: an unlimited re-mine succeeds and only
+    // *then* does the baseline advance.
+    let frequent = miner.try_mine(&BudgetGuard::unlimited()).expect("recovers");
+    assert!(!frequent.as_slice().is_empty());
+    assert!(miner.drift() < drift_before);
+}
+
+#[test]
+fn watch_daemon_survives_garbled_feed_budget_trips_and_broken_sink() {
+    quiet_panics();
+    // Garbled lines, a pattern dense enough to trip a small itemset cap,
+    // and an event sink that rejects every write — all at once.
+    let mut feed = String::new();
+    for i in 0..200u32 {
+        feed.push_str(&format!("{},{},12\n", i % 8, 8 + i % 4));
+        if i % 9 == 0 {
+            feed.push_str("not,a,number\n");
+        }
+        if i % 17 == 0 {
+            feed.push_str("4,\n");
+        }
+    }
+    let metrics = Metrics::enabled().with_event_sink(failing_event_sink(0));
+    let config = WatchConfig {
+        window: 32,
+        warmup: 8,
+        cadence: 16,
+        drift_threshold: f64::INFINITY,
+        budget: ExecBudget {
+            max_itemsets: Some(4),
+            ..ExecBudget::default()
+        },
+        ..WatchConfig::default()
+    };
+    let region = ContainedRegion::enter();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        watch_feed(Cursor::new(feed), &config, &metrics, |_| {})
+    }));
+    drop(region);
+    let summary = outcome.expect("watch daemon must not panic under combined faults");
+    assert_eq!(summary.garbled_lines, 23 + 12, "every bad line counted");
+    assert_eq!(
+        summary.arrivals + summary.sampled_out,
+        200,
+        "every valid line admitted or counted as sampled out"
+    );
+    assert!(summary.emissions >= 1, "daemon kept emitting: {summary:?}");
+    assert!(
+        summary.degraded_emissions >= 1 || summary.failed_emissions >= 1,
+        "itemset cap must surface as degradation or failure: {summary:?}"
+    );
+    let snapshot = metrics.snapshot();
+    assert!(snapshot.degraded, "broken sink must flag the snapshot");
+    assert!(metrics.trace_log_write_errors() > 0);
 }
 
 #[test]

@@ -1,0 +1,212 @@
+//! Windowed differential suite: the incrementally-maintained prefix
+//! tree inside `SlidingWindowMiner` against batch FP-Growth on the
+//! materialized window, under fuzzed arrival/eviction/mine schedules.
+//!
+//! Three contracts:
+//!
+//! * mining the incremental tree is **byte-identical** to batch
+//!   FP-Growth over the same window, at mining-pool widths 1, 2, and 8,
+//!   with re-mines interleaved anywhere in the schedule;
+//! * the tree's weighted paths always re-expand to exactly the window
+//!   multiset, and eviction counting stays exact under fuzzed
+//!   capacities (`evictions = pushes - capacity` once the window fills);
+//! * the incrementally-cached drift equals a from-scratch recomputation
+//!   after any push/evict/mine interleaving.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use irma_check::generators::arb_miner_config;
+use irma_mine::{fpgrowth, IncrementalFpTree, ItemId, SlidingWindowMiner};
+use irma_obs::Metrics;
+
+/// A fuzzed arrival schedule: transactions over a small item universe,
+/// with `mine_every` marking where re-mines interleave.
+fn arb_schedule() -> impl Strategy<Value = (Vec<Vec<ItemId>>, usize)> {
+    (
+        proptest::collection::vec(proptest::collection::vec(0u32..8, 0..6), 1..80),
+        1usize..20,
+    )
+}
+
+/// Canonicalizes a transaction the way `SlidingWindowMiner::push` does.
+fn canonical(txn: &[ItemId]) -> Vec<ItemId> {
+    let mut t = txn.to_vec();
+    t.sort_unstable();
+    t.dedup();
+    t
+}
+
+/// Reference drift: L1 distance between the window's current item
+/// frequencies and the baseline's, over the union of items.
+fn reference_drift(
+    window: &VecDeque<Vec<ItemId>>,
+    baseline: &Option<(usize, Vec<u64>)>,
+    n_items: usize,
+) -> f64 {
+    let Some((base_n, base)) = baseline else {
+        return f64::INFINITY;
+    };
+    let mut counts = vec![0u64; n_items];
+    for txn in window {
+        for &item in txn {
+            counts[item as usize] += 1;
+        }
+    }
+    let n = window.len().max(1) as f64;
+    let bn = (*base_n).max(1) as f64;
+    (0..n_items)
+        .map(|i| {
+            let now = counts[i] as f64 / n;
+            let then = base.get(i).copied().unwrap_or(0) as f64 / bn;
+            (now - then).abs()
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(irma_check::config())]
+
+    #[test]
+    fn incremental_window_mines_identically_to_batch_at_widths_1_2_8(
+        (txns, mine_every) in arb_schedule(),
+        capacity in 1usize..40,
+        config in arb_miner_config(),
+    ) {
+        for width in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(width)
+                .build()
+                .expect("pool");
+            pool.install(|| {
+                let mut miner = SlidingWindowMiner::new(capacity, config.clone());
+                for (i, txn) in txns.iter().enumerate() {
+                    miner.push(txn.iter().copied());
+                    // Interleave re-mines mid-schedule: every mine commits
+                    // a drift baseline and must leave the incremental tree
+                    // consistent for the pushes and evictions that follow.
+                    if i % mine_every == 0 {
+                        let streamed = miner.mine();
+                        let batch = fpgrowth(&miner.snapshot(), &config);
+                        prop_assert_eq!(
+                            streamed.as_slice(),
+                            batch.as_slice(),
+                            "width {} diverged at arrival {}",
+                            width,
+                            i
+                        );
+                    }
+                }
+                let streamed = miner.mine();
+                let batch = fpgrowth(&miner.snapshot(), &config);
+                prop_assert_eq!(
+                    streamed.as_slice(),
+                    batch.as_slice(),
+                    "width {} diverged on the final window",
+                    width
+                );
+                Ok(())
+            })?;
+        }
+    }
+
+    #[test]
+    fn tree_multiset_and_eviction_counts_stay_exact(
+        txns in proptest::collection::vec(
+            proptest::collection::vec(0u32..8, 0..6),
+            1..80,
+        ),
+        capacity in 1usize..20,
+    ) {
+        // Reference window + standalone incremental tree, maintained by
+        // the same push/evict schedule the miner runs internally.
+        let mut reference: VecDeque<Vec<ItemId>> = VecDeque::new();
+        let mut tree = IncrementalFpTree::new();
+        let metrics = Metrics::enabled();
+        let mut miner =
+            SlidingWindowMiner::new(capacity, irma_mine::MinerConfig::with_min_support(0.5))
+                .with_metrics(metrics.clone());
+        for txn in &txns {
+            let canon = canonical(txn);
+            if reference.len() == capacity {
+                let evicted = reference.pop_front().unwrap();
+                tree.remove(&evicted);
+            }
+            tree.insert(&canon);
+            reference.push_back(canon);
+            miner.push(txn.iter().copied());
+        }
+        // The tree re-expands to exactly the window multiset.
+        let mut expanded = tree.to_transactions();
+        expanded.sort();
+        let mut expected: Vec<Vec<ItemId>> = reference.iter().cloned().collect();
+        expected.sort();
+        prop_assert_eq!(expanded, expected);
+        // Every transaction beyond capacity evicted exactly one.
+        let expected_evictions = txns.len().saturating_sub(capacity) as u64;
+        let evictions = metrics
+            .snapshot()
+            .counters
+            .iter()
+            .find(|(name, _)| name == "stream.evictions")
+            .map(|&(_, v)| v)
+            .unwrap_or(0);
+        prop_assert_eq!(evictions, expected_evictions);
+        prop_assert_eq!(miner.len(), reference.len());
+    }
+
+    #[test]
+    fn incremental_drift_equals_recomputed_drift(
+        // Each op is a push, optionally followed by one or two re-mines
+        // (op tag 1/2), so baselines are committed at fuzzed points —
+        // including back-to-back mines on an unchanged window.
+        ops in proptest::collection::vec(
+            (proptest::collection::vec(0u32..8, 0..6), 0u8..4),
+            1..80,
+        ),
+        capacity in 1usize..20,
+    ) {
+        let config = irma_mine::MinerConfig::with_min_support(0.3);
+        let mut miner = SlidingWindowMiner::new(capacity, config.clone());
+        let mut reference: VecDeque<Vec<ItemId>> = VecDeque::new();
+        let mut baseline: Option<(usize, Vec<u64>)> = None;
+        let check = |miner: &SlidingWindowMiner,
+                         reference: &VecDeque<Vec<ItemId>>,
+                         baseline: &Option<(usize, Vec<u64>)>|
+         -> Result<(), TestCaseError> {
+            let expected = reference_drift(reference, baseline, 8);
+            let actual = miner.drift();
+            if expected.is_infinite() {
+                prop_assert!(actual.is_infinite());
+            } else {
+                prop_assert!(
+                    (actual - expected).abs() < 1e-9,
+                    "cached drift {} != recomputed {}",
+                    actual,
+                    expected
+                );
+            }
+            Ok(())
+        };
+        for (txn, tag) in &ops {
+            miner.push(txn.iter().copied());
+            if reference.len() == capacity {
+                reference.pop_front();
+            }
+            reference.push_back(canonical(txn));
+            check(&miner, &reference, &baseline)?;
+            for _ in 0..(*tag).min(2) {
+                miner.mine();
+                let mut counts = vec![0u64; 8];
+                for txn in &reference {
+                    for &item in txn {
+                        counts[item as usize] += 1;
+                    }
+                }
+                baseline = Some((reference.len(), counts));
+                check(&miner, &reference, &baseline)?;
+            }
+        }
+    }
+}

@@ -121,6 +121,56 @@ pub enum Command {
         /// Optional directory for per-artifact CSV export.
         export: Option<String>,
     },
+    /// `irma watch [<trace>] [--feed FILE|-] [--window N] [--cadence N]
+    ///  [--drift-threshold X] ...` — the long-running streaming daemon.
+    Watch {
+        /// Trace profile for the synthetic two-regime feed (and for
+        /// keyword/label rendering). `None` only with `--feed`.
+        trace: Option<String>,
+        /// Feed source: a path of comma-separated item-id lines, or `-`
+        /// for stdin. Absent = generate the synthetic feed from `trace`.
+        feed: Option<String>,
+        /// Jobs per synthetic regime.
+        jobs: usize,
+        /// RNG seed for the synthetic feed.
+        seed: u64,
+        /// Sliding-window capacity (transactions).
+        window: usize,
+        /// Skip re-emissions until the window holds this many
+        /// transactions (default: half the window).
+        warmup: Option<usize>,
+        /// Window drift (L1 vs. last mined baseline) that triggers a
+        /// re-emission.
+        drift_threshold: f64,
+        /// Re-emit after this many arrivals even without drift
+        /// (0 disables the cadence trigger).
+        cadence: usize,
+        /// Stop after this many admitted arrivals (default: run to EOF).
+        max_arrivals: Option<u64>,
+        /// Minimum support for windowed mining.
+        min_support: f64,
+        /// Minimum lift for emitted rules.
+        min_lift: f64,
+        /// Keyword label whose cause rules each emission carries
+        /// (synthetic mode only; default: the trace's failure keyword).
+        keyword: Option<String>,
+        /// Rules carried per emission.
+        top: usize,
+        /// Optional path for a metrics snapshot, rewritten per emission.
+        metrics: Option<String>,
+        /// Format of the `--metrics` snapshot file.
+        metrics_format: MetricsFormat,
+        /// Optional path for a live JSONL trace of span/counter events.
+        trace_log: Option<String>,
+        /// Cap on mined itemsets per emission before the ladder kicks in.
+        budget_itemsets: Option<u64>,
+        /// Cap on estimated FP-tree memory per emission, in MiB.
+        budget_tree_mb: Option<u64>,
+        /// Wall-clock deadline per mining attempt (e.g. `250ms`).
+        deadline: Option<Duration>,
+        /// Worker threads for the mining pool (default: one per core).
+        threads: Option<usize>,
+    },
     /// `irma predict <trace> [--jobs N] [--threshold T] [--seed S]`
     Predict {
         /// Trace profile name.
@@ -377,6 +427,110 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 export: flags.get("export").cloned(),
             })
         }
+        "watch" => {
+            let (positional, flags) = split_flags(rest)?;
+            known_flags(
+                &flags,
+                &[
+                    "feed",
+                    "jobs",
+                    "seed",
+                    "window",
+                    "warmup",
+                    "drift-threshold",
+                    "cadence",
+                    "max-arrivals",
+                    "min-support",
+                    "min-lift",
+                    "keyword",
+                    "top",
+                    "metrics",
+                    "metrics-format",
+                    "trace-log",
+                    "budget-itemsets",
+                    "budget-tree-mb",
+                    "deadline",
+                    "threads",
+                ],
+            )?;
+            let feed = flags.get("feed").cloned();
+            let trace = if positional.is_empty() {
+                if feed.is_none() {
+                    return Err(ParseError(
+                        "watch needs a trace (pai|supercloud|philly) or --feed FILE|-".to_string(),
+                    ));
+                }
+                None
+            } else {
+                Some(trace_arg(&positional)?)
+            };
+            Ok(Command::Watch {
+                trace,
+                feed,
+                jobs: get_parse(&flags, "jobs", 6_000)?,
+                seed: get_parse(&flags, "seed", 0x57)?,
+                window: match get_parse(&flags, "window", 2_000)? {
+                    0 => return Err(ParseError("--window must be >= 1".to_string())),
+                    n => n,
+                },
+                warmup: flags
+                    .get("warmup")
+                    .map(|raw| {
+                        raw.parse()
+                            .map_err(|_| ParseError(format!("invalid value for --warmup: `{raw}`")))
+                    })
+                    .transpose()?,
+                drift_threshold: get_parse(&flags, "drift-threshold", 0.35)?,
+                cadence: get_parse(&flags, "cadence", 2_000)?,
+                max_arrivals: flags
+                    .get("max-arrivals")
+                    .map(|raw| {
+                        raw.parse().map_err(|_| {
+                            ParseError(format!("invalid value for --max-arrivals: `{raw}`"))
+                        })
+                    })
+                    .transpose()?,
+                min_support: get_parse(&flags, "min-support", 0.05)?,
+                min_lift: get_parse(&flags, "min-lift", 1.5)?,
+                keyword: flags.get("keyword").cloned(),
+                top: get_parse(&flags, "top", 5)?,
+                metrics: flags.get("metrics").cloned(),
+                metrics_format: get_parse(&flags, "metrics-format", MetricsFormat::Json)?,
+                trace_log: flags.get("trace-log").cloned(),
+                budget_itemsets: flags
+                    .get("budget-itemsets")
+                    .map(|raw| {
+                        raw.parse().map_err(|_| {
+                            ParseError(format!("invalid value for --budget-itemsets: `{raw}`"))
+                        })
+                    })
+                    .transpose()?,
+                budget_tree_mb: flags
+                    .get("budget-tree-mb")
+                    .map(|raw| {
+                        raw.parse().map_err(|_| {
+                            ParseError(format!("invalid value for --budget-tree-mb: `{raw}`"))
+                        })
+                    })
+                    .transpose()?,
+                deadline: flags
+                    .get("deadline")
+                    .map(|raw| {
+                        parse_duration(raw)
+                            .map_err(|e| ParseError(format!("invalid --deadline: {e}")))
+                    })
+                    .transpose()?,
+                threads: flags
+                    .get("threads")
+                    .map(|raw| match raw.parse() {
+                        Ok(n) if n >= 1 => Ok(n),
+                        _ => Err(ParseError(format!(
+                            "invalid value for --threads: `{raw}` (need an integer >= 1)"
+                        ))),
+                    })
+                    .transpose()?,
+            })
+        }
         "predict" => {
             let (positional, flags) = split_flags(rest)?;
             known_flags(&flags, &["jobs", "threshold", "seed"])?;
@@ -442,6 +596,28 @@ EXIT CODES:
                    [--export DIR]
       Regenerate every paper table and figure (optionally exporting the
       underlying data as CSVs).
+  irma watch [<trace>] [--feed FILE|-] [--jobs N] [--seed S] [--window N]
+             [--warmup N] [--drift-threshold X] [--cadence N]
+             [--max-arrivals N] [--min-support X] [--min-lift X]
+             [--keyword K] [--top N] [--metrics FILE]
+             [--metrics-format json|openmetrics|table] [--trace-log FILE]
+             [--budget-itemsets N] [--budget-tree-mb N] [--deadline DUR]
+             [--threads N]
+      Run the streaming daemon: ingest trace records continuously, keep
+      the FP-tree of the last --window transactions incrementally
+      up to date, and re-emit the keyword's failure rules whenever window
+      drift crosses --drift-threshold or --cadence arrivals elapse.
+      Without --feed, a synthetic two-regime feed (normal load, then a
+      failure wave) is generated from <trace>; with --feed, records are
+      read as comma-separated item-id lines from FILE (or stdin with -).
+      Ingestion runs through a bounded ring buffer: if the feed outruns
+      mining, the producer first waits (backpressure) and then an
+      adaptive sampler thins admissions — both are counted and exposed
+      in the metrics snapshot, which --metrics rewrites on every
+      emission. Budgets behave as in `analyze`, per emission: breaches
+      climb the degradation ladder, and an exhausted ladder (or a worker
+      panic) fails that emission only — the daemon itself keeps running
+      (exit code 4 flags any degraded or failed emission at shutdown).
   irma predict <trace> [--jobs N] [--threshold T] [--seed S]
       Train the rule-list failure classifier and evaluate it held-out.
   irma help
@@ -684,6 +860,74 @@ mod tests {
         assert_eq!(parse(&[]).unwrap(), Command::Help);
         assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
         assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_watch_with_defaults() {
+        match parse(&argv("watch supercloud")).unwrap() {
+            Command::Watch {
+                trace,
+                feed,
+                window,
+                warmup,
+                cadence,
+                max_arrivals,
+                keyword,
+                ..
+            } => {
+                assert_eq!(trace.as_deref(), Some("supercloud"));
+                assert_eq!(feed, None);
+                assert_eq!(window, 2_000);
+                assert_eq!(warmup, None);
+                assert_eq!(cadence, 2_000);
+                assert_eq!(max_arrivals, None);
+                assert_eq!(keyword, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_watch_feed_and_tuning() {
+        let cmd = parse(&argv(
+            "watch --feed - --window 512 --warmup 64 --drift-threshold 0.5 \
+             --cadence 100 --max-arrivals 5000 --budget-itemsets 100 --deadline 2s",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Watch {
+                trace,
+                feed,
+                window,
+                warmup,
+                drift_threshold,
+                cadence,
+                max_arrivals,
+                budget_itemsets,
+                deadline,
+                ..
+            } => {
+                assert_eq!(trace, None);
+                assert_eq!(feed.as_deref(), Some("-"));
+                assert_eq!(window, 512);
+                assert_eq!(warmup, Some(64));
+                assert!((drift_threshold - 0.5).abs() < 1e-12);
+                assert_eq!(cadence, 100);
+                assert_eq!(max_arrivals, Some(5_000));
+                assert_eq!(budget_itemsets, Some(100));
+                assert_eq!(deadline, Some(Duration::from_secs(2)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watch_requires_trace_or_feed() {
+        assert!(parse(&argv("watch")).is_err());
+        assert!(parse(&argv("watch helios")).is_err());
+        assert!(parse(&argv("watch pai --window 0")).is_err());
+        assert!(parse(&argv("watch pai --bogus 1")).is_err());
+        assert!(parse(&argv("watch --feed feed.txt")).is_ok());
     }
 
     #[test]

@@ -17,6 +17,10 @@ use irma_core::{
     supercloud_spec, try_analyze_traced, AnalysisConfig, EventSink, ExecBudget, ExperimentScale,
     Metrics, PipelineError, Provenance,
 };
+use irma_core::{watch_feed, Emission, WatchConfig, KW_FAILED};
+use irma_mine::{ItemCatalog, MinerConfig};
+use irma_prep::fit;
+use irma_rules::{Rule, RuleConfig};
 use irma_synth::{pai, philly, read_merged_csv_dir, supercloud, TraceConfig};
 
 /// How a successful subcommand finished.
@@ -86,6 +90,59 @@ fn parse_rule_spec(rule: &str) -> Result<(Vec<String>, Vec<String>), String> {
         ));
     }
     Ok((ante, cons))
+}
+
+/// Builds the synthetic two-regime feed for `irma watch <trace>`: a
+/// normal-load stretch, then a failure wave (failures plus every 4th
+/// healthy job from a second seed), both encoded with the preparation
+/// frozen on the normal regime. Returns the feed as comma-separated
+/// item-id lines plus the catalog for rendering rules.
+fn synthetic_watch_feed(trace: &str, jobs: usize, seed: u64) -> (String, ItemCatalog) {
+    let normal_frame = generate_bundle(trace, jobs, seed).merged();
+    let fitted = fit(&normal_frame, &spec_for(trace));
+    let normal_db = fitted.transform(&normal_frame);
+
+    let wave_frame = generate_bundle(trace, jobs.saturating_mul(2), seed.wrapping_add(1)).merged();
+    let wave_db = fitted.transform(&wave_frame);
+    let failed_item = fitted.catalog().id(KW_FAILED);
+
+    let mut lines = String::new();
+    let mut push_txn = |txn: &[u32]| {
+        let mut first = true;
+        for item in txn {
+            if !first {
+                lines.push(',');
+            }
+            first = false;
+            lines.push_str(&item.to_string());
+        }
+        lines.push('\n');
+    };
+    for i in 0..normal_db.len() {
+        push_txn(normal_db.transaction(i));
+    }
+    for i in 0..wave_db.len() {
+        let txn = wave_db.transaction(i);
+        let is_failure = failed_item.is_some_and(|f| txn.binary_search(&f).is_ok());
+        if is_failure || i % 4 == 0 {
+            push_txn(txn);
+        }
+    }
+    (lines, fitted.catalog().clone())
+}
+
+fn render_watch_rule(rule: &Rule, catalog: Option<&ItemCatalog>) -> String {
+    match catalog {
+        Some(catalog) => rule.render(catalog),
+        None => format!(
+            "{:?} => {:?}  (supp={:.2}, conf={:.2}, lift={:.2})",
+            rule.antecedent.items(),
+            rule.consequent.items(),
+            rule.support,
+            rule.confidence,
+            rule.lift
+        ),
+    }
 }
 
 fn run(command: Command) -> Result<Outcome, Failure> {
@@ -301,6 +358,180 @@ fn run(command: Command) -> Result<Outcome, Failure> {
                 eprintln!("exported {} CSV files to {dir}", files.len());
             }
             Ok(Outcome::Success)
+        }
+        Command::Watch {
+            trace,
+            feed,
+            jobs,
+            seed,
+            window,
+            warmup,
+            drift_threshold,
+            cadence,
+            max_arrivals,
+            min_support,
+            min_lift,
+            keyword,
+            top,
+            metrics: metrics_path,
+            metrics_format,
+            trace_log,
+            budget_itemsets,
+            budget_tree_mb,
+            deadline,
+            threads,
+        } => {
+            let mut metrics = if metrics_path.is_some() {
+                Metrics::enabled()
+            } else {
+                Metrics::disabled()
+            };
+            if let Some(path) = &trace_log {
+                let sink = EventSink::create(Path::new(path))
+                    .map_err(|e| format!("creating trace log {path}: {e}"))?;
+                metrics = metrics.with_event_sink(sink);
+                eprintln!("streaming trace events to {path}");
+            }
+
+            // Feed + (for the synthetic mode) a catalog for rendering.
+            let (reader, catalog): (Box<dyn std::io::BufRead + Send>, Option<ItemCatalog>) =
+                match (&feed, &trace) {
+                    (Some(src), _) if src == "-" => {
+                        (Box::new(std::io::BufReader::new(std::io::stdin())), None)
+                    }
+                    (Some(src), _) => {
+                        let file = std::fs::File::open(src)
+                            .map_err(|e| format!("opening feed {src}: {e}"))?;
+                        (Box::new(std::io::BufReader::new(file)), None)
+                    }
+                    (None, Some(trace)) => {
+                        let (lines, catalog) = synthetic_watch_feed(trace, jobs, seed);
+                        (Box::new(std::io::Cursor::new(lines)), Some(catalog))
+                    }
+                    (None, None) => unreachable!("parser enforces a trace or --feed"),
+                };
+
+            // Keyword: a label looked up in the synthetic catalog, or a
+            // raw item id for external feeds (which carry no labels).
+            let keyword_item = match (&catalog, keyword) {
+                (Some(catalog), Some(label)) => Some(
+                    catalog
+                        .id(&label)
+                        .ok_or_else(|| format!("keyword `{label}` is not an item of this trace"))?,
+                ),
+                (Some(catalog), None) => {
+                    let failed = catalog.id(KW_FAILED);
+                    if failed.is_none() {
+                        eprintln!(
+                            "note: trace has no `{KW_FAILED}` item; emitting top rules by lift"
+                        );
+                    }
+                    failed
+                }
+                (None, Some(raw)) => Some(raw.parse::<u32>().map_err(|_| {
+                    format!("--feed mode has no labels; --keyword must be an item id (got `{raw}`)")
+                })?),
+                (None, None) => None,
+            };
+
+            let config = WatchConfig {
+                window,
+                warmup: warmup.unwrap_or_else(|| (window / 2).max(1)),
+                miner: MinerConfig {
+                    min_support,
+                    ..MinerConfig::default()
+                },
+                rules: RuleConfig::with_min_lift(min_lift),
+                budget: ExecBudget {
+                    max_itemsets: budget_itemsets,
+                    max_tree_bytes: budget_tree_mb.map(|mb| mb.saturating_mul(1 << 20)),
+                    deadline,
+                    panic_after_emits: None,
+                },
+                drift_threshold,
+                cadence,
+                max_arrivals,
+                keyword: keyword_item,
+                top,
+                ..WatchConfig::default()
+            };
+
+            let write_metrics = |metrics: &Metrics| {
+                if let Some(path) = &metrics_path {
+                    let snapshot = metrics.snapshot();
+                    let rendered = match metrics_format {
+                        MetricsFormat::Json => snapshot.to_json(),
+                        MetricsFormat::OpenMetrics => snapshot.to_openmetrics(),
+                        MetricsFormat::Table => snapshot.render_table(),
+                    };
+                    // Snapshot writes are best-effort, like the trace
+                    // log: a full disk must not kill the daemon.
+                    if let Err(e) = std::fs::write(path, rendered) {
+                        eprintln!("warning: writing metrics to {path}: {e}");
+                    }
+                }
+            };
+
+            let on_emit = |e: &Emission| {
+                let drift = if e.drift.is_finite() {
+                    format!("{:.3}", e.drift)
+                } else {
+                    "inf".to_string()
+                };
+                let degraded = if e.degradation_steps > 0 {
+                    format!(" [degraded: {} ladder step(s)]", e.degradation_steps)
+                } else {
+                    String::new()
+                };
+                println!(
+                    "emission {:>3} @ arrival {:>7}: window {} drift {} | {} rule(s){}",
+                    e.seq,
+                    e.arrivals,
+                    e.window,
+                    drift,
+                    e.rules.len(),
+                    degraded
+                );
+                for rule in &e.rules {
+                    println!("    {}", render_watch_rule(rule, catalog.as_ref()));
+                }
+                write_metrics(&metrics);
+            };
+
+            let run_daemon = || watch_feed(reader, &config, &metrics, on_emit);
+            let summary = match threads {
+                Some(n) => rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()
+                    .map_err(|e| format!("building {n}-thread mining pool: {e}"))?
+                    .install(run_daemon),
+                None => run_daemon(),
+            };
+
+            write_metrics(&metrics);
+            if let Some(error) = &summary.last_error {
+                eprintln!("warning: last failed emission: {error}");
+            }
+            eprintln!(
+                "watch done: {} arrivals, {} emission(s) ({} degraded, {} failed), \
+                 {} garbled line(s), {} sampled out, {} backpressure wait(s), final window {}",
+                summary.arrivals,
+                summary.emissions,
+                summary.degraded_emissions,
+                summary.failed_emissions,
+                summary.garbled_lines,
+                summary.sampled_out,
+                summary.backpressure_waits,
+                summary.final_window,
+            );
+            if summary.degraded_emissions > 0
+                || summary.failed_emissions > 0
+                || metrics.is_degraded()
+            {
+                Ok(Outcome::Degraded)
+            } else {
+                Ok(Outcome::Success)
+            }
         }
         Command::Predict {
             trace,

@@ -33,6 +33,7 @@ pub mod report;
 pub mod specs;
 pub mod stats;
 pub mod traces;
+pub mod watch;
 pub mod workflow;
 
 pub use fault::{
@@ -46,6 +47,7 @@ pub use specs::{
     pai_spec, philly_spec, supercloud_spec, KW_FAILED, KW_KILLED, KW_MULTI_GPU, KW_SM_ZERO,
 };
 pub use traces::{prepare, prepare_all, ExperimentScale, TraceAnalysis};
+pub use watch::{watch_feed, AdaptiveSampler, Emission, SpscRing, WatchConfig, WatchSummary};
 pub use workflow::{analyze, analyze_traced, analyze_with, Analysis, AnalysisConfig};
 
 // Budget types and observability handles, re-exported so workflow

@@ -638,13 +638,46 @@ pub fn try_fpgrowth_with(
     metrics: &Metrics,
     guard: &BudgetGuard,
 ) -> Result<FrequentItemsets, MineError> {
+    try_fpgrowth_paths_with(
+        db.iter().map(|t| (t, 1)),
+        db.len(),
+        db.n_items(),
+        config,
+        metrics,
+        guard,
+    )
+}
+
+/// [`try_fpgrowth_with`] over *weighted paths* instead of a materialized
+/// [`TransactionDb`]: the entry point for callers that already hold the
+/// window in compressed form (the incrementally-maintained prefix tree in
+/// [`crate::SlidingWindowMiner`]), so re-mining skips the
+/// per-transaction copy into a database.
+///
+/// `n_transactions` is the support denominator — the number of window
+/// transactions the paths encode (path weights need not sum to it when
+/// empty transactions are in the window; they contribute to the
+/// denominator but to no path). The output is identical to mining the
+/// materialized window: the tree builder recounts and re-ranks from the
+/// weighted multiset, which insertion order cannot affect.
+pub fn try_fpgrowth_paths_with<'a, I>(
+    paths: I,
+    n_transactions: usize,
+    n_items: usize,
+    config: &MinerConfig,
+    metrics: &Metrics,
+    guard: &BudgetGuard,
+) -> Result<FrequentItemsets, MineError>
+where
+    I: IntoIterator<Item = (&'a [ItemId], u64)>,
+{
     config.validate().map_err(MineError::InvalidConfig)?;
-    let min_count = config.min_count(db.len());
+    let min_count = config.min_count(n_transactions);
     guard.checkpoint_now()?;
 
     let mut span = metrics.span("mine.tree_build");
-    let tree = FpTree::build(db.iter().map(|t| (t, 1)), db.n_items(), min_count);
-    span.field("transactions_in", db.len() as u64);
+    let tree = FpTree::build(paths, n_items, min_count);
+    span.field("transactions_in", n_transactions as u64);
     span.field("frequent_items", tree.n_ranks() as u64);
     span.field("tree_nodes", tree.nodes.len() as u64);
     drop(span);
@@ -657,7 +690,7 @@ pub fn try_fpgrowth_with(
     if tree.n_ranks() == 0 {
         span.field("itemsets_out", 0);
         drop(span);
-        return Ok(FrequentItemsets::new(out, db.len()));
+        return Ok(FrequentItemsets::new(out, n_transactions));
     }
 
     let ctx = MineCtx {
@@ -683,7 +716,7 @@ pub fn try_fpgrowth_with(
     span.field("single_path_shortcuts", stats.single_path_hits);
     drop(span);
 
-    Ok(FrequentItemsets::new(out, db.len()))
+    Ok(FrequentItemsets::new(out, n_transactions))
 }
 
 #[cfg(test)]

@@ -1,0 +1,363 @@
+//! Incrementally-maintained prefix tree over a transaction window.
+//!
+//! [`crate::fpgrowth`]'s `FpTree` is rebuilt from scratch on every mine,
+//! which is the right trade for batch runs but O(window) per refresh in a
+//! streaming loop. [`IncrementalFpTree`] is the CanTree-style companion
+//! (Leung et al., ICDM 2005): transactions are inserted in *canonical*
+//! ascending-item order rather than frequency order, which makes the tree
+//! shape independent of arrival order and — crucially — makes single
+//! transactions removable again when the sliding window evicts them.
+//! Per-arrival maintenance is O(|txn|); mining extracts the weighted
+//! root-to-node paths and hands them to FP-Growth's builder, which
+//! re-ranks by frequency anyway.
+//!
+//! Invariants (checked by the windowed differential suite):
+//!
+//! * every live node has `count >= 1`; zero-count nodes are unlinked and
+//!   recycled the moment a removal drains them, so the arena never
+//!   accumulates tombstones;
+//! * `count(parent) >= count(child)` for every edge (a child's
+//!   transactions all pass through its parent), which is what makes
+//!   removal's zero-suffix unlink safe: a drained node can have no
+//!   still-live children;
+//! * the window multiset is exactly recoverable: each node contributes
+//!   its root-to-node path with weight `count - Σ child counts`
+//!   (transactions *ending* at the node), and those weights sum to the
+//!   number of inserted-but-not-removed transactions.
+
+use crate::item::ItemId;
+
+/// Sentinel arena index terminating intrusive lists.
+const NO_NODE: u32 = u32::MAX;
+
+/// One prefix-tree node (arena-indexed, like `FpTree`'s but keyed by
+/// global item id instead of rank — canonical order never changes, so
+/// there is nothing to re-rank on insert).
+#[derive(Debug, Clone)]
+struct IncNode {
+    /// Global item id at this node.
+    item: ItemId,
+    /// Number of live window transactions whose canonical form passes
+    /// through this node.
+    count: u64,
+    /// Head of this node's child list.
+    first_child: u32,
+    /// Next node in the parent's child list.
+    next_sibling: u32,
+}
+
+/// A canonical-order prefix tree supporting O(|txn|) insert *and* remove;
+/// see the module docs for the invariants.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalFpTree {
+    /// Arena; index 0 is the item-less root.
+    nodes: Vec<IncNode>,
+    /// Recycled arena slots, reused before the arena grows.
+    free: Vec<u32>,
+    /// Live (non-root, non-recycled) node count.
+    live: usize,
+}
+
+impl IncrementalFpTree {
+    /// An empty tree.
+    pub fn new() -> IncrementalFpTree {
+        IncrementalFpTree {
+            nodes: vec![IncNode {
+                item: 0,
+                count: 0,
+                first_child: NO_NODE,
+                next_sibling: NO_NODE,
+            }],
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live nodes (excluding the root).
+    pub fn live_nodes(&self) -> usize {
+        self.live
+    }
+
+    fn alloc(&mut self, node: IncNode) -> u32 {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = node;
+            slot
+        } else {
+            let slot = self.nodes.len() as u32;
+            self.nodes.push(node);
+            slot
+        }
+    }
+
+    /// Inserts one transaction. `txn` must be strictly ascending (the
+    /// canonical form [`crate::SlidingWindowMiner::push`] produces). The
+    /// root's count tracks the window size, so even empty transactions
+    /// are represented (as root weight) and the multiset stays exactly
+    /// recoverable.
+    pub fn insert(&mut self, txn: &[ItemId]) {
+        debug_assert!(
+            txn.windows(2).all(|w| w[0] < w[1]),
+            "transaction must be in canonical (sorted, deduped) order"
+        );
+        self.nodes[0].count += 1;
+        let mut node = 0u32;
+        for &item in txn {
+            let mut child = self.nodes[node as usize].first_child;
+            let mut last = NO_NODE;
+            while child != NO_NODE && self.nodes[child as usize].item != item {
+                last = child;
+                child = self.nodes[child as usize].next_sibling;
+            }
+            node = if child != NO_NODE {
+                self.nodes[child as usize].count += 1;
+                child
+            } else {
+                let new = self.alloc(IncNode {
+                    item,
+                    count: 1,
+                    first_child: NO_NODE,
+                    next_sibling: NO_NODE,
+                });
+                if last == NO_NODE {
+                    self.nodes[node as usize].first_child = new;
+                } else {
+                    self.nodes[last as usize].next_sibling = new;
+                }
+                new
+            };
+        }
+    }
+
+    /// Removes one previously-inserted transaction (same canonical form),
+    /// unlinking and recycling any nodes its departure drains to zero.
+    ///
+    /// Panics if `txn` was never inserted — the sliding window owns the
+    /// tree and only removes what it evicts, so a miss is a corrupted
+    /// window, not a recoverable condition.
+    pub fn remove(&mut self, txn: &[ItemId]) {
+        assert!(
+            self.nodes[0].count > 0,
+            "removed transaction was never inserted (window corrupted)"
+        );
+        self.nodes[0].count -= 1;
+        let mut node = 0u32;
+        // (parent, node) of the shallowest node this removal drained.
+        let mut first_zero: Option<(u32, u32)> = None;
+        for &item in txn {
+            let mut child = self.nodes[node as usize].first_child;
+            while child != NO_NODE && self.nodes[child as usize].item != item {
+                child = self.nodes[child as usize].next_sibling;
+            }
+            assert!(
+                child != NO_NODE && self.nodes[child as usize].count > 0,
+                "removed transaction was never inserted (window corrupted)"
+            );
+            self.nodes[child as usize].count -= 1;
+            if self.nodes[child as usize].count == 0 && first_zero.is_none() {
+                first_zero = Some((node, child));
+            }
+            node = child;
+        }
+        let Some((parent, zero)) = first_zero else {
+            return;
+        };
+        // Everything below the shallowest drained node is also drained:
+        // counts are monotone down any edge, and off-path children held
+        // count >= 1 before this removal, which a zero parent cannot
+        // dominate. The drained region is therefore exactly the remaining
+        // path chain — unlink its head, recycle the chain.
+        self.unlink_child(parent, zero);
+        let mut cur = zero;
+        while cur != NO_NODE {
+            let next = self.nodes[cur as usize].first_child;
+            debug_assert_eq!(self.nodes[cur as usize].count, 0);
+            self.nodes[cur as usize].first_child = NO_NODE;
+            self.nodes[cur as usize].next_sibling = NO_NODE;
+            self.free.push(cur);
+            self.live -= 1;
+            cur = next;
+        }
+    }
+
+    fn unlink_child(&mut self, parent: u32, target: u32) {
+        let mut child = self.nodes[parent as usize].first_child;
+        if child == target {
+            self.nodes[parent as usize].first_child = self.nodes[target as usize].next_sibling;
+            return;
+        }
+        while child != NO_NODE {
+            let next = self.nodes[child as usize].next_sibling;
+            if next == target {
+                self.nodes[child as usize].next_sibling = self.nodes[target as usize].next_sibling;
+                return;
+            }
+            child = next;
+        }
+        unreachable!("target is a child of parent");
+    }
+
+    /// Extracts the window as weighted canonical paths into flat
+    /// caller-owned storage (`(start, end, weight)` spans over `items`),
+    /// the exact shape `FpTree::build` consumes. Each node with
+    /// `count > Σ child counts` contributes its root-to-node path once,
+    /// weighted by the difference — the transactions that *end* there.
+    pub fn collect_paths(&self, items: &mut Vec<ItemId>, spans: &mut Vec<(u32, u32, u64)>) {
+        items.clear();
+        spans.clear();
+        let mut path: Vec<ItemId> = Vec::new();
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        let mut root_child_sum = 0u64;
+        let mut child = self.nodes[0].first_child;
+        while child != NO_NODE {
+            root_child_sum += self.nodes[child as usize].count;
+            stack.push((child, 0));
+            child = self.nodes[child as usize].next_sibling;
+        }
+        // Empty transactions end at the root: they carry no items but do
+        // count toward the window, so they surface as (empty) weighted
+        // paths to keep the multiset exactly recoverable.
+        debug_assert!(self.nodes[0].count >= root_child_sum);
+        let root_weight = self.nodes[0].count - root_child_sum;
+        if root_weight > 0 {
+            spans.push((0, 0, root_weight));
+        }
+        while let Some((node, depth)) = stack.pop() {
+            path.truncate(depth);
+            let n = &self.nodes[node as usize];
+            path.push(n.item);
+            let mut child_sum = 0u64;
+            let mut c = n.first_child;
+            while c != NO_NODE {
+                child_sum += self.nodes[c as usize].count;
+                stack.push((c, depth + 1));
+                c = self.nodes[c as usize].next_sibling;
+            }
+            debug_assert!(n.count >= child_sum, "edge counts must be monotone");
+            let weight = n.count - child_sum;
+            if weight > 0 {
+                let start = items.len() as u32;
+                items.extend_from_slice(&path);
+                spans.push((start, items.len() as u32, weight));
+            }
+        }
+    }
+
+    /// Expands the tree back into the transaction multiset it encodes
+    /// (each path repeated by its weight, canonical item order). Test and
+    /// differential-harness support; mining goes through
+    /// [`IncrementalFpTree::collect_paths`] instead.
+    pub fn to_transactions(&self) -> Vec<Vec<ItemId>> {
+        let mut items = Vec::new();
+        let mut spans = Vec::new();
+        self.collect_paths(&mut items, &mut spans);
+        let mut out = Vec::new();
+        for (start, end, weight) in spans {
+            for _ in 0..weight {
+                out.push(items[start as usize..end as usize].to_vec());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut txns: Vec<Vec<ItemId>>) -> Vec<Vec<ItemId>> {
+        txns.sort();
+        txns
+    }
+
+    #[test]
+    fn insert_then_extract_roundtrips() {
+        let mut tree = IncrementalFpTree::new();
+        let txns = vec![vec![0, 1, 2], vec![0, 1], vec![0, 1, 2], vec![3]];
+        for t in &txns {
+            tree.insert(t);
+        }
+        assert_eq!(sorted(tree.to_transactions()), sorted(txns));
+    }
+
+    #[test]
+    fn shared_prefixes_merge() {
+        let mut tree = IncrementalFpTree::new();
+        tree.insert(&[0, 1, 2]);
+        tree.insert(&[0, 1, 3]);
+        tree.insert(&[0, 1]);
+        // Path 0 -> 1 is shared; only 2 and 3 branch.
+        assert_eq!(tree.live_nodes(), 4);
+    }
+
+    #[test]
+    fn remove_reverses_insert_exactly() {
+        let mut tree = IncrementalFpTree::new();
+        tree.insert(&[0, 1, 2]);
+        tree.insert(&[0, 1]);
+        tree.insert(&[0, 3]);
+        tree.remove(&[0, 1, 2]);
+        assert_eq!(sorted(tree.to_transactions()), vec![vec![0, 1], vec![0, 3]]);
+        tree.remove(&[0, 1]);
+        tree.remove(&[0, 3]);
+        assert_eq!(tree.live_nodes(), 0);
+        assert!(tree.to_transactions().is_empty());
+    }
+
+    #[test]
+    fn drained_chains_are_recycled_not_leaked() {
+        let mut tree = IncrementalFpTree::new();
+        for _ in 0..100 {
+            tree.insert(&[0, 1, 2, 3]);
+            tree.remove(&[0, 1, 2, 3]);
+        }
+        assert_eq!(tree.live_nodes(), 0);
+        // The arena never grew past root + one 4-node chain: every churn
+        // cycle reused the recycled slots.
+        assert!(tree.nodes.len() <= 5, "arena leaked: {}", tree.nodes.len());
+    }
+
+    #[test]
+    fn partial_drain_keeps_shared_prefix() {
+        let mut tree = IncrementalFpTree::new();
+        tree.insert(&[0, 1, 2]);
+        tree.insert(&[0, 1]);
+        // Removing the longer txn drains only node 2.
+        tree.remove(&[0, 1, 2]);
+        assert_eq!(tree.live_nodes(), 2);
+        assert_eq!(tree.to_transactions(), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn empty_transactions_are_tree_noops() {
+        let mut tree = IncrementalFpTree::new();
+        tree.insert(&[]);
+        tree.remove(&[]);
+        assert_eq!(tree.live_nodes(), 0);
+    }
+
+    #[test]
+    fn path_weights_sum_to_window_size() {
+        let mut tree = IncrementalFpTree::new();
+        let txns: Vec<Vec<ItemId>> = (0..50u32).map(|i| vec![i % 3, 3 + i % 5]).collect();
+        for t in &txns {
+            let mut t = t.clone();
+            t.sort_unstable();
+            t.dedup();
+            tree.insert(&t);
+        }
+        let mut items = Vec::new();
+        let mut spans = Vec::new();
+        tree.collect_paths(&mut items, &mut spans);
+        let total: u64 = spans.iter().map(|&(_, _, w)| w).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "never inserted")]
+    fn removing_a_stranger_panics() {
+        let mut tree = IncrementalFpTree::new();
+        tree.insert(&[0, 1]);
+        tree.remove(&[0, 2]);
+    }
+}

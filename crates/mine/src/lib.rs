@@ -35,6 +35,7 @@ mod counts;
 mod db;
 mod eclat;
 mod fpgrowth;
+mod incremental;
 mod item;
 pub mod simd;
 mod stream;
@@ -45,7 +46,8 @@ pub use condense::{closed_itemsets, maximal_itemsets, support_from_closed};
 pub use counts::{mine_top_k, FrequentItemsets, MinerConfig};
 pub use db::TransactionDb;
 pub use eclat::{eclat, try_eclat};
-pub use fpgrowth::{fpgrowth, fpgrowth_with, try_fpgrowth_with};
+pub use fpgrowth::{fpgrowth, fpgrowth_with, try_fpgrowth_paths_with, try_fpgrowth_with};
+pub use incremental::IncrementalFpTree;
 pub use item::{is_sorted_subset, ItemCatalog, ItemId, Itemset};
 pub use stream::SlidingWindowMiner;
 

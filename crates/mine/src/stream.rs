@@ -7,14 +7,28 @@
 //! always-current single-item counts, an item-frequency *drift* signal to
 //! decide when re-mining is worthwhile, and on-demand full mining of the
 //! current window via FP-Growth.
+//!
+//! Two structures are maintained incrementally so the per-arrival cost is
+//! O(|txn|) regardless of window size:
+//!
+//! * an [`IncrementalFpTree`] mirroring the window's transaction multiset
+//!   (insert on push, decrement/unlink on evict), so
+//!   [`SlidingWindowMiner::mine`] feeds FP-Growth weighted paths instead
+//!   of re-copying the whole window into a [`TransactionDb`];
+//! * the L1 drift against the last-mine baseline, updated term-wise over
+//!   the arriving∪evicted item union, so monitors polling
+//!   [`SlidingWindowMiner::drift`] per arrival no longer pay a full
+//!   item-universe rescan per call.
 
 use std::collections::VecDeque;
 
 use irma_obs::Metrics;
 
+use crate::budget::{BudgetGuard, MineError};
 use crate::counts::{FrequentItemsets, MinerConfig};
 use crate::db::TransactionDb;
-use crate::fpgrowth::fpgrowth;
+use crate::fpgrowth::try_fpgrowth_paths_with;
+use crate::incremental::IncrementalFpTree;
 use crate::item::ItemId;
 
 /// A bounded sliding window of transactions with incremental item counts.
@@ -23,10 +37,23 @@ pub struct SlidingWindowMiner {
     capacity: usize,
     window: VecDeque<Vec<ItemId>>,
     item_counts: Vec<u64>,
-    /// Item counts at the time of the last `mine()` call (drift baseline).
+    /// The window's transaction multiset as a removable prefix tree,
+    /// kept in lockstep with `window` by `push`.
+    tree: IncrementalFpTree,
+    /// Item counts at the time of the last successful mine (drift
+    /// baseline).
     baseline: Option<(usize, Vec<u64>)>,
+    /// Incrementally-maintained L1 drift against `baseline`; only valid
+    /// while `drift_dirty` is false.
+    drift_cache: f64,
+    /// Set when the window length changed since the last mine (every
+    /// per-item term shifts, so the cache cannot be patched term-wise).
+    drift_dirty: bool,
     config: MinerConfig,
     metrics: Metrics,
+    /// Flat scratch for path extraction, reused across mines.
+    path_items: Vec<ItemId>,
+    path_spans: Vec<(u32, u32, u64)>,
 }
 
 impl SlidingWindowMiner {
@@ -38,9 +65,14 @@ impl SlidingWindowMiner {
             capacity,
             window: VecDeque::with_capacity(capacity),
             item_counts: Vec::new(),
+            tree: IncrementalFpTree::new(),
             baseline: None,
+            drift_cache: 0.0,
+            drift_dirty: false,
             config,
             metrics: Metrics::disabled(),
+            path_items: Vec::new(),
+            path_spans: Vec::new(),
         }
     }
 
@@ -64,19 +96,47 @@ impl SlidingWindowMiner {
                 self.item_counts.resize(max as usize + 1, 0);
             }
         }
+        let evicting = self.window.len() == self.capacity;
+        // Retire the stale drift terms of every item this push touches
+        // while the counts still hold their pre-push values; the matching
+        // fresh terms are added back after the counts settle. Only an
+        // at-capacity push keeps the window length (and thus every other
+        // item's term) unchanged — a growing window invalidates the whole
+        // cache instead.
+        if !self.drift_dirty {
+            if let Some(baseline) = &self.baseline {
+                if evicting {
+                    let n = self.capacity as f64;
+                    let old = self.window.front().expect("window full");
+                    let stale = union_drift_terms(&t, old, &self.item_counts, baseline, n);
+                    self.drift_cache -= stale;
+                } else {
+                    self.drift_dirty = true;
+                }
+            }
+        }
         for &item in &t {
             self.item_counts[item as usize] += 1;
         }
-        let evicted = if self.window.len() == self.capacity {
+        self.tree.insert(&t);
+        let evicted = if evicting {
             let old = self.window.pop_front().expect("window full");
             for &item in &old {
                 self.item_counts[item as usize] -= 1;
             }
+            self.tree.remove(&old);
             self.metrics.incr("stream.evictions", 1);
             Some(old)
         } else {
             None
         };
+        if !self.drift_dirty {
+            if let (Some(baseline), Some(old)) = (&self.baseline, &evicted) {
+                let n = self.capacity as f64;
+                let fresh = union_drift_terms(&t, old, &self.item_counts, baseline, n);
+                self.drift_cache += fresh;
+            }
+        }
         self.window.push_back(t);
         evicted
     }
@@ -108,14 +168,20 @@ impl SlidingWindowMiner {
     }
 
     /// L1 distance between the current item-frequency distribution and the
-    /// one at the last `mine()` call, normalized to `[0, 2]`.
+    /// one at the last successful mine, normalized to `[0, 2]`.
     ///
     /// 0 means unchanged; callers typically re-mine when drift exceeds a
-    /// small threshold instead of on every arrival.
+    /// small threshold instead of on every arrival. In the steady state
+    /// (window at capacity since the last mine) this reads a cached value
+    /// maintained in O(|txn|) per push; only a window that grew since the
+    /// last mine falls back to the full rescan.
     pub fn drift(&self) -> f64 {
         let Some((base_n, base)) = &self.baseline else {
             return f64::INFINITY;
         };
+        if !self.drift_dirty {
+            return self.drift_cache;
+        }
         let n = self.window.len().max(1) as f64;
         let bn = (*base_n).max(1) as f64;
         let len = self.item_counts.len().max(base.len());
@@ -129,25 +195,77 @@ impl SlidingWindowMiner {
     }
 
     /// Mines the current window with FP-Growth and resets the drift
-    /// baseline.
+    /// baseline. Unbudgeted; daemons should use
+    /// [`SlidingWindowMiner::try_mine`] instead.
     pub fn mine(&mut self) -> FrequentItemsets {
+        match self.try_mine(&BudgetGuard::unlimited()) {
+            Ok(frequent) => frequent,
+            // An unlimited guard never trips, so the only reachable error
+            // is a config one — rejected by the constructor already.
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`SlidingWindowMiner::mine`] under an execution budget: a breach
+    /// comes back as [`MineError::Budget`] with the drift baseline — and
+    /// therefore the caller's re-mine triggering — left exactly as it
+    /// was, so a failed attempt neither masks the drift that prompted it
+    /// nor double-counts it on retry.
+    pub fn try_mine(&mut self, guard: &BudgetGuard) -> Result<FrequentItemsets, MineError> {
+        let config = self.config.clone();
+        self.try_mine_with(&config, guard)
+    }
+
+    /// [`SlidingWindowMiner::try_mine`] with an explicit config override:
+    /// the degradation ladder's entry point, where retries relax the
+    /// knobs without mutating the miner's own configuration.
+    pub fn try_mine_with(
+        &mut self,
+        config: &MinerConfig,
+        guard: &BudgetGuard,
+    ) -> Result<FrequentItemsets, MineError> {
         let drift = self.drift();
         let mut span = self.metrics.span("stream.remine");
-        let db = TransactionDb::from_transactions(self.window.iter().cloned())
-            .with_universe(self.item_counts.len().max(1));
-        self.baseline = Some((self.window.len(), self.item_counts.clone()));
-        let frequent = fpgrowth(&db, &self.config);
+        self.tree
+            .collect_paths(&mut self.path_items, &mut self.path_spans);
+        let items = &self.path_items;
+        let paths = self
+            .path_spans
+            .iter()
+            .map(|&(start, end, weight)| (&items[start as usize..end as usize], weight));
+        let result = try_fpgrowth_paths_with(
+            paths,
+            self.window.len(),
+            self.item_counts.len().max(1),
+            config,
+            &self.metrics,
+            guard,
+        );
         span.field("window", self.window.len() as u64);
-        span.field("itemsets_out", frequent.len() as u64);
-        // Drift is a float in [0, 2] (infinite before the first mine);
-        // record it as milli-units in the event and exactly as a gauge.
-        if drift.is_finite() {
-            span.field("drift_milli", (drift * 1000.0) as u64);
-            self.metrics.gauge("stream.drift_at_remine", drift);
+        match &result {
+            Ok(frequent) => {
+                // Baseline (and the cached drift it anchors) commits only
+                // on success: a budget-tripped attempt must leave the
+                // drift signal untouched.
+                self.baseline = Some((self.window.len(), self.item_counts.clone()));
+                self.drift_cache = 0.0;
+                self.drift_dirty = false;
+                span.field("itemsets_out", frequent.len() as u64);
+                // Drift is a float in [0, 2] (infinite before the first
+                // mine); record it as milli-units in the event and
+                // exactly as a gauge.
+                if drift.is_finite() {
+                    span.field("drift_milli", (drift * 1000.0) as u64);
+                    self.metrics.gauge("stream.drift_at_remine", drift);
+                }
+                self.metrics.incr("stream.remines", 1);
+            }
+            Err(_) => {
+                self.metrics.incr("stream.remine_failures", 1);
+            }
         }
-        self.metrics.incr("stream.remines", 1);
         drop(span);
-        frequent
+        result
     }
 
     /// The current window as a [`TransactionDb`] without mining.
@@ -157,9 +275,59 @@ impl SlidingWindowMiner {
     }
 }
 
+/// Sum of per-item drift terms `|count(i)/n - base(i)/base_n|` over the
+/// *distinct* union of two canonical (sorted, deduped) item slices — the
+/// items whose terms a push invalidates (arrivals ∪ evictions).
+fn union_drift_terms(
+    a: &[ItemId],
+    b: &[ItemId],
+    counts: &[u64],
+    baseline: &(usize, Vec<u64>),
+    n: f64,
+) -> f64 {
+    let (base_n, base) = baseline;
+    let n = n.max(1.0);
+    let bn = (*base_n).max(1) as f64;
+    let mut i = 0;
+    let mut j = 0;
+    let mut sum = 0.0;
+    loop {
+        let item = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => {
+                if x == y {
+                    i += 1;
+                    j += 1;
+                    x
+                } else if x < y {
+                    i += 1;
+                    x
+                } else {
+                    j += 1;
+                    y
+                }
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => break,
+        };
+        let cur = counts.get(item as usize).copied().unwrap_or(0) as f64 / n;
+        let old = base.get(item as usize).copied().unwrap_or(0) as f64 / bn;
+        sum += (cur - old).abs();
+    }
+    sum
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::ExecBudget;
+    use crate::fpgrowth::fpgrowth;
     use crate::item::Itemset;
 
     fn miner(capacity: usize) -> SlidingWindowMiner {
@@ -229,6 +397,67 @@ mod tests {
     }
 
     #[test]
+    fn incremental_drift_matches_rescan() {
+        // The cache must track the from-scratch recomputation across a
+        // mixed push/evict/mine schedule (window at capacity throughout,
+        // so the incremental path is the one exercised).
+        let mut m = miner(6);
+        for i in 0..6u32 {
+            m.push([i % 4, (i * 3) % 4]);
+        }
+        m.mine();
+        for i in 0..40u32 {
+            m.push([i % 5, (i * 7 + 1) % 5]);
+            if i % 11 == 0 {
+                m.mine();
+            }
+            let cached = m.drift();
+            let recomputed = {
+                let (base_n, base) = m.baseline.as_ref().unwrap();
+                let n = m.len().max(1) as f64;
+                let bn = (*base_n).max(1) as f64;
+                (0..m.item_counts.len().max(base.len()))
+                    .map(|j| {
+                        let cur = m.item_counts.get(j).copied().unwrap_or(0) as f64 / n;
+                        let old = base.get(j).copied().unwrap_or(0) as f64 / bn;
+                        (cur - old).abs()
+                    })
+                    .sum::<f64>()
+            };
+            assert!(
+                (cached - recomputed).abs() < 1e-9,
+                "step {i}: cached {cached} != recomputed {recomputed}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_trip_leaves_baseline_and_drift_unchanged() {
+        let mut m = miner(4);
+        for txn in [vec![0, 1], vec![0, 1], vec![0, 2], vec![1, 2]] {
+            m.push(txn);
+        }
+        m.mine();
+        m.push([3, 4]);
+        let drift_before = m.drift();
+        assert!(drift_before > 0.0);
+        // A 0-itemset budget trips on the first emission.
+        let budget = ExecBudget {
+            max_itemsets: Some(0),
+            ..ExecBudget::default()
+        };
+        let err = m.try_mine(&BudgetGuard::new(&budget)).unwrap_err();
+        assert!(matches!(err, MineError::Budget { .. }), "{err}");
+        // Baseline untouched: drift still reports the same pending change,
+        // and a successful retry mines the identical window.
+        assert_eq!(m.drift(), drift_before);
+        let frequent = m.try_mine(&BudgetGuard::unlimited()).unwrap();
+        let batch = fpgrowth(&m.snapshot(), &MinerConfig::with_min_support(0.5));
+        assert_eq!(frequent.as_slice(), batch.as_slice());
+        assert_eq!(m.drift(), 0.0);
+    }
+
+    #[test]
     fn hot_items_track_threshold() {
         let mut m = miner(4);
         m.push([0, 1]);
@@ -270,5 +499,30 @@ mod tests {
             .gauges
             .iter()
             .any(|(name, value)| name == "stream.drift_at_remine" && *value > 0.0));
+        // The budgeted path nests the miner's own stages under the
+        // remine span, so streaming traces show the build/mine split.
+        let remine_id = remines[0].id;
+        assert!(snap
+            .stages
+            .iter()
+            .any(|e| e.stage == "mine.tree_build" && e.parent == Some(remine_id)));
+    }
+
+    #[test]
+    fn failed_remine_counts_but_does_not_increment_remines() {
+        let metrics = Metrics::enabled();
+        let mut m = miner(2).with_metrics(metrics.clone());
+        m.push([0, 1]);
+        m.push([0, 1]);
+        let budget = ExecBudget {
+            max_itemsets: Some(0),
+            ..ExecBudget::default()
+        };
+        assert!(m.try_mine(&BudgetGuard::new(&budget)).is_err());
+        let snap = metrics.snapshot();
+        assert!(snap
+            .counters
+            .contains(&("stream.remine_failures".to_string(), 1)));
+        assert!(snap.counters.iter().all(|(n, _)| n != "stream.remines"));
     }
 }

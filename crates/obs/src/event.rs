@@ -24,9 +24,10 @@
 //! `degraded: true` flag in the snapshot, so a full disk or broken pipe
 //! cannot silently produce a truncated trace that looks complete.
 
-use std::fs::File;
+use std::fs::OpenOptions;
 use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A line-oriented JSONL event writer; see the module docs for the
@@ -48,9 +49,14 @@ impl EventSink {
         EventSink { writer }
     }
 
-    /// Creates (truncating) a JSONL trace file at `path`.
+    /// Opens (creating if needed) a JSONL trace file at `path` in append
+    /// mode. Appending — not truncating — is what makes the run-id
+    /// disambiguation promised in the module docs real: a second run
+    /// pointed at the same path adds its lines after the first run's
+    /// instead of clobbering them.
     pub fn create(path: &Path) -> std::io::Result<EventSink> {
-        Ok(EventSink::from_writer(Box::new(File::create(path)?)))
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(EventSink::from_writer(Box::new(file)))
     }
 
     /// A sink writing into a shared in-memory buffer, plus a handle to
@@ -90,15 +96,29 @@ impl Write for SharedBuffer {
     }
 }
 
-/// Mints a run id from the wall clock and the process id: unique enough
-/// to tell interleaved traces apart, with no RNG dependency.
+/// Mints a run id from the wall clock, the process id, and a
+/// process-wide counter: unique enough to tell interleaved traces apart,
+/// with no RNG dependency.
+///
+/// The counter is what makes back-to-back ids distinct: two registries
+/// enabled within one clock tick (coarse-resolution platforms, tight
+/// loops) see the same nanos and pid, so without it they would mint
+/// identical ids and interleaved-trace disambiguation would silently
+/// fail exactly when several runs share a process.
 pub(crate) fn fresh_run_id() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
     let nanos = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_nanos() as u64)
         .unwrap_or(0);
-    // SplitMix64 finalizer scrambles the low-entropy inputs.
-    let mut z = nanos ^ ((std::process::id() as u64) << 32);
+    let serial = COUNTER.fetch_add(1, Ordering::Relaxed);
+    // The SplitMix64 stream proper: seed from the low-entropy wall clock
+    // + pid, advance by the golden-ratio increment per mint, finalize.
+    // The finalizer is a bijection, so ids within a process collide only
+    // if the *inputs* do — which would need the clock to drift by an
+    // exact multiple of 2^64/φ between two mints, not merely stand still.
+    let mut z = (nanos ^ ((std::process::id() as u64) << 32))
+        .wrapping_add(serial.wrapping_mul(0x9e37_79b9_7f4a_7c15));
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
     format!("{:016x}", z ^ (z >> 31))
@@ -138,5 +158,40 @@ mod tests {
         let id = fresh_run_id();
         assert_eq!(id.len(), 16);
         assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn back_to_back_run_ids_never_collide() {
+        // Regression: ids were minted from wall-clock nanos + pid alone,
+        // so two registries enabled within one clock tick collided. The
+        // atomic serial makes every in-process mint distinct even on a
+        // clock that never advances.
+        let ids: std::collections::HashSet<String> = (0..10_000).map(|_| fresh_run_id()).collect();
+        assert_eq!(ids.len(), 10_000);
+    }
+
+    #[test]
+    fn create_appends_so_two_runs_share_one_trace_file() {
+        // Regression: `EventSink::create` used `File::create`, truncating
+        // the first run's trace the moment a second run opened the same
+        // path — despite the module docs promising run-id disambiguation
+        // across runs appending to one file.
+        let path = std::env::temp_dir().join(format!("irma-append-test-{}.jsonl", fresh_run_id()));
+        let mut run_ids = Vec::new();
+        for _ in 0..2 {
+            let metrics =
+                crate::Metrics::enabled().with_event_sink(EventSink::create(&path).unwrap());
+            metrics.incr("hits", 1);
+            run_ids.push(metrics.run_id());
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_ne!(run_ids[0], run_ids[1]);
+        for run in &run_ids {
+            assert!(
+                text.contains(&format!("\"run\":\"{run}\"")),
+                "run {run} missing from shared trace:\n{text}"
+            );
+        }
     }
 }

@@ -12,9 +12,16 @@
 //! re-derived. Halfway through, the feed switches to a failure-wave
 //! regime (a bad node draining jobs) and the monitor picks up the new
 //! rules within a window's worth of arrivals.
+//!
+//! Both the drift signal and the window's prefix tree are maintained
+//! incrementally (O(|txn|) per arrival, no full-window rescans), and the
+//! re-mine goes through the budgeted `try_mine` path so a pathological
+//! window degrades an emission instead of killing the monitor. The
+//! productionized version of this loop — bounded ring ingest, adaptive
+//! sampling, OpenMetrics deltas — is `irma watch` (see DESIGN.md §10).
 
 use irma::core::{supercloud_spec, KW_FAILED};
-use irma::mine::{MinerConfig, SlidingWindowMiner};
+use irma::mine::{BudgetGuard, ExecBudget, MinerConfig, SlidingWindowMiner};
 use irma::prep::fit;
 use irma::rules::{generate_rules, KeywordAnalysis, PruneParams, RuleConfig};
 use irma::synth::{supercloud, TraceConfig};
@@ -52,6 +59,10 @@ fn main() {
         .collect();
 
     let mut miner = SlidingWindowMiner::new(WINDOW, MinerConfig::with_min_support(0.05));
+    let budget = ExecBudget {
+        deadline: Some(std::time::Duration::from_secs(5)),
+        ..ExecBudget::default()
+    };
     let mut arrivals = 0usize;
     let mut remines = 0usize;
 
@@ -66,7 +77,16 @@ fn main() {
         if miner.len() < WINDOW / 2 || miner.drift() < DRIFT_THRESHOLD {
             continue;
         }
-        let frequent = miner.mine();
+        // Budgeted mining: a breach skips this emission (the daemon's
+        // degradation ladder would relax knobs and retry) but the monitor
+        // itself keeps running either way.
+        let frequent = match miner.try_mine(&BudgetGuard::new(&budget)) {
+            Ok(frequent) => frequent,
+            Err(e) => {
+                println!("arrival {i:>5}: re-mine skipped ({e})");
+                continue;
+            }
+        };
         remines += 1;
         let rules = generate_rules(&frequent, &RuleConfig::with_min_lift(1.5));
         let analysis = KeywordAnalysis::run(&rules, failed_item, &PruneParams::default());

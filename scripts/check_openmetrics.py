@@ -14,7 +14,9 @@ Checks on the OpenMetrics file:
 
 Checks on the trace log (when given): every line parses as a JSON object
 carrying the envelope keys (`event`, `run`, `seq`, `offset_us`), `seq` is
-dense from 0, and every `span_close` closes a previously opened span.
+dense from 0 within each run (trace logs append, so one file may hold
+several concatenated runs), every `span_close` closes a previously opened
+span, and each run closes all its spans before the next run starts.
 """
 
 import json
@@ -78,6 +80,9 @@ def check_trace(path: str) -> int:
     envelope = ("event", "run", "seq", "offset_us")
     open_spans: set[int] = set()
     events = 0
+    runs = 0
+    current_run = None
+    expected_seq = 0
     with open(path, encoding="utf-8") as f:
         for n, line in enumerate(f, start=1):
             line = line.rstrip("\n")
@@ -90,8 +95,29 @@ def check_trace(path: str) -> int:
             for key in envelope:
                 if key not in record:
                     fail(f"{path}:{n}: missing envelope key {key!r}")
-            if record["seq"] != n - 1:
-                fail(f"{path}:{n}: seq {record['seq']} != {n - 1} (not dense)")
+            # Trace logs are opened in append mode, so one file may hold
+            # several concatenated runs: seq is dense *per run* and every
+            # run must close its spans before the next one starts.
+            if record["run"] != current_run:
+                if open_spans:
+                    fail(
+                        f"{path}:{n}: run {current_run} left spans open: "
+                        f"{sorted(open_spans)}"
+                    )
+                if record["seq"] != 0:
+                    fail(
+                        f"{path}:{n}: run {record['run']} starts at seq "
+                        f"{record['seq']}, not 0"
+                    )
+                current_run = record["run"]
+                expected_seq = 0
+                runs += 1
+            if record["seq"] != expected_seq:
+                fail(
+                    f"{path}:{n}: seq {record['seq']} != {expected_seq} "
+                    f"(not dense)"
+                )
+            expected_seq += 1
             kind = record["event"]
             if kind == "span_open":
                 open_spans.add(record["span"])
@@ -109,7 +135,8 @@ def check_trace(path: str) -> int:
         fail(f"{path}: empty trace")
     if open_spans:
         fail(f"{path}: spans never closed: {sorted(open_spans)}")
-    print(f"ok: {path}: {events} events, all spans closed")
+    tail = f" across {runs} appended runs" if runs > 1 else ""
+    print(f"ok: {path}: {events} events, all spans closed{tail}")
     return events
 
 
