@@ -15,6 +15,12 @@
 //! deadline) does one atomic `fetch_add` per emission plus a strided
 //! clock read, and must also stay within 2% of the unbudgeted baseline.
 //!
+//! And to the pool's scheduler telemetry: a width-4 pool with per-worker
+//! counters on (the default) runs the same end-to-end pipeline as one
+//! built with `telemetry(false)` — the counters are relaxed increments
+//! on cache-line-padded per-worker slots, so counters-on must stay
+//! within 2% of counters-off.
+//!
 //! Plain `Instant` timing rather than criterion: the unit of work is a
 //! multi-second end-to-end run, so a handful of interleaved samples and a
 //! median are more informative than criterion's statistics on 10+ warm
@@ -29,7 +35,11 @@ use irma_core::{
 use irma_synth::{pai, TraceConfig};
 
 const SAMPLES: usize = 7;
-const VARIANTS: usize = 4;
+const VARIANTS: usize = 6;
+
+/// Pool width for the scheduler-telemetry variants: wide enough that
+/// steals and parks actually happen, narrow enough for CI runners.
+const SCHED_WIDTH: usize = 4;
 
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.total_cmp(b));
@@ -72,6 +82,8 @@ fn main() {
     //            without charging the bench for filesystem throughput.
     // Variant 3: fallible pipeline, all budget caps armed, metrics
     //            disabled (gated, <2% — the cost of the guard itself).
+    // Variant 4: width-4 pool, scheduler counters off (baseline for 5).
+    // Variant 5: width-4 pool, scheduler counters on (gated, <2% over 4).
     let mut samples_ms: [Vec<f64>; VARIANTS] = std::array::from_fn(|_| Vec::with_capacity(SAMPLES));
     for round in 0..SAMPLES {
         // Rotate the starting variant so drift (thermal, cache, allocator
@@ -85,6 +97,24 @@ fn main() {
                     let analysis = try_analyze(&merged, &spec, &budgeted_config)
                         .expect("generous budget cannot trip");
                     assert!(analysis.degradation.is_none());
+                    analysis.rules.len()
+                }
+                4 | 5 => {
+                    // Pool construction stays outside the timed region:
+                    // the question is steady-state counter cost on the
+                    // fork/steal hot path, not spawn cost.
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(SCHED_WIDTH)
+                        .telemetry(variant == 5)
+                        .build()
+                        .expect("pool builds");
+                    let metrics = Metrics::disabled();
+                    start = Instant::now();
+                    let analysis =
+                        pool.install(|| analyze_with(&merged, &spec, &analysis_config, &metrics));
+                    // Counters exist exactly when telemetry is on, so the
+                    // two variants really do differ only in counting.
+                    assert_eq!(pool.sched_stats().workers.is_empty(), variant == 4);
                     analysis.rules.len()
                 }
                 _ => {
@@ -109,9 +139,12 @@ fn main() {
     let enabled = median(&mut samples_ms[1]);
     let streaming = median(&mut samples_ms[2]);
     let budgeted = median(&mut samples_ms[3]);
+    let sched_off = median(&mut samples_ms[4]);
+    let sched_on = median(&mut samples_ms[5]);
     let overhead = (enabled / disabled - 1.0) * 100.0;
     let streaming_overhead = (streaming / disabled - 1.0) * 100.0;
     let budget_overhead = (budgeted / disabled - 1.0) * 100.0;
+    let sched_overhead = (sched_on / sched_off - 1.0) * 100.0;
     println!(
         "pai end-to-end, {} jobs, median of {SAMPLES}:",
         config.n_jobs
@@ -120,6 +153,10 @@ fn main() {
     println!("  enabled sink:   {enabled:9.1} ms  ({overhead:+.2}%)");
     println!("  streaming sink: {streaming:9.1} ms  ({streaming_overhead:+.2}%, informational)");
     println!("  budget guard:   {budgeted:9.1} ms  ({budget_overhead:+.2}%)");
+    println!("  sched counters off (width {SCHED_WIDTH}): {sched_off:9.1} ms  (baseline)");
+    println!(
+        "  sched counters on  (width {SCHED_WIDTH}): {sched_on:9.1} ms  ({sched_overhead:+.2}%)"
+    );
     println!(
         "instrumentation overhead {overhead:+.2}% — {}",
         if overhead < 2.0 {
@@ -131,6 +168,14 @@ fn main() {
     println!(
         "budget-guard overhead {budget_overhead:+.2}% — {}",
         if budget_overhead < 2.0 {
+            "PASS (<2%)"
+        } else {
+            "FAIL (>=2%)"
+        }
+    );
+    println!(
+        "scheduler-telemetry overhead {sched_overhead:+.2}% — {}",
+        if sched_overhead < 2.0 {
             "PASS (<2%)"
         } else {
             "FAIL (>=2%)"

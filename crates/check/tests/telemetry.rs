@@ -1,0 +1,126 @@
+//! Telemetry invariants: the bounded histogram and the scheduler
+//! counters must stay honest under fuzzing.
+//!
+//! * The log2 histogram's quantile estimate brackets the exact
+//!   nearest-rank value: `exact <= estimate < 2 * exact` for samples of
+//!   at least 1 ns (the estimate is the inclusive upper bound of the
+//!   bucket holding the rank sample, and log2 buckets are never more
+//!   than one doubling wide). Count, sum and max stay exact, and the
+//!   cumulative finite buckets plus overflow reconcile with the count.
+//! * The pool's scheduler counters conserve work at every width and
+//!   under fuzzed steal orders: between parallel operations, jobs
+//!   executed equals jobs submitted (injector pushes plus local
+//!   pushes), and no worker reports more condvar wakes than parks.
+//!
+//! Case count and seeding follow the harness defaults (256 cases,
+//! `PROPTEST_CASES` / `PROPTEST_SEED` overridable, corpus replay on).
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use irma_obs::Histogram;
+use rayon::ThreadPoolBuilder;
+
+/// Exact nearest-rank quantile over raw samples (the oracle).
+fn exact_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// `join`-splits down to single additions; every level forks one job.
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = rayon::join(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+proptest! {
+    #![proptest_config(irma_check::config())]
+
+    #[test]
+    fn histogram_quantiles_bracket_the_exact_value(
+        mut samples in proptest::collection::vec(1u64..=u64::from(u32::MAX), 1..200),
+        qs in proptest::collection::vec(0.001f64..=1.0, 1..8),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(Duration::from_nanos(s));
+        }
+        samples.sort_unstable();
+
+        // Exact aggregates survive bucketing.
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum().as_nanos(), samples.iter().map(|&s| u128::from(s)).sum());
+        prop_assert_eq!(h.max().as_nanos(), u128::from(*samples.last().unwrap()));
+
+        // The finite cumulative buckets top out at count minus whatever
+        // overflowed (nothing can here: samples cap at u32::MAX ns).
+        let buckets = h.cumulative_buckets();
+        prop_assert_eq!(buckets.last().unwrap().1, h.count());
+
+        for q in qs {
+            let exact = exact_nearest_rank(&samples, q);
+            let estimate = h.quantile_estimate(q).as_nanos() as u64;
+            prop_assert!(
+                exact <= estimate,
+                "q={q}: estimate {estimate} below exact {exact}"
+            );
+            prop_assert!(
+                estimate < 2 * exact,
+                "q={q}: estimate {estimate} not within one log2 bucket of exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn sched_counters_conserve_work_at_every_width(
+        width in 1usize..=8,
+        jitter in any::<u64>(),
+        depth in 8u64..=13,
+    ) {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(width)
+            .steal_jitter(jitter)
+            .build()
+            .expect("pool builds");
+        let expected = [21, 34, 55, 89, 144, 233][(depth - 8) as usize];
+        prop_assert_eq!(pool.install(|| fib(depth)), expected);
+
+        let snapshot = pool.sched_stats();
+        if width <= 1 {
+            // Sequential pools run inline: no workers, no counters.
+            prop_assert!(snapshot.workers.is_empty());
+            return Ok(());
+        }
+        prop_assert_eq!(snapshot.workers.len(), width);
+        // Between operations every submitted job has been executed —
+        // jobs_executed increments before the job body runs, and the
+        // operation cannot complete before its jobs do.
+        prop_assert_eq!(
+            snapshot.jobs_executed(),
+            snapshot.jobs_submitted(),
+            "executed != submitted at width {} (jitter {:#x})",
+            width,
+            jitter
+        );
+        // The install migrates one job through the injector.
+        prop_assert!(snapshot.injector_pushes >= 1);
+        for worker in &snapshot.workers {
+            // A wake implies a park that actually blocked.
+            prop_assert!(
+                worker.wakes <= worker.parks,
+                "worker reports {} wakes but only {} parks",
+                worker.wakes,
+                worker.parks
+            );
+            // Attempts are derived, so the parts always reconcile.
+            prop_assert_eq!(
+                worker.steal_attempts(),
+                worker.steal_successes + worker.steal_empty + worker.steal_retries
+            );
+        }
+    }
+}

@@ -160,6 +160,9 @@ pub enum Command {
         metrics: Option<String>,
         /// Format of the `--metrics` snapshot file.
         metrics_format: MetricsFormat,
+        /// Optional address (`HOST:PORT`, port 0 for ephemeral) for the
+        /// embedded `/metrics` + `/healthz` scrape endpoint.
+        listen: Option<String>,
         /// Optional path for a live JSONL trace of span/counter events.
         trace_log: Option<String>,
         /// Cap on mined itemsets per emission before the ladder kicks in.
@@ -170,6 +173,15 @@ pub enum Command {
         deadline: Option<Duration>,
         /// Worker threads for the mining pool (default: one per core).
         threads: Option<usize>,
+    },
+    /// `irma trace <input.jsonl|-> [--out FILE]` — convert a JSONL trace
+    /// log (`--trace-log` output) into Chrome `trace_event` JSON for
+    /// chrome://tracing / Perfetto.
+    Trace {
+        /// The JSONL trace log, or `-` for stdin.
+        input: String,
+        /// Output path; stdout when absent.
+        out: Option<String>,
     },
     /// `irma predict <trace> [--jobs N] [--threshold T] [--seed S]`
     Predict {
@@ -446,6 +458,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "top",
                     "metrics",
                     "metrics-format",
+                    "listen",
                     "trace-log",
                     "budget-itemsets",
                     "budget-tree-mb",
@@ -496,6 +509,16 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 top: get_parse(&flags, "top", 5)?,
                 metrics: flags.get("metrics").cloned(),
                 metrics_format: get_parse(&flags, "metrics-format", MetricsFormat::Json)?,
+                listen: match flags.get("listen") {
+                    Some(raw) if raw.contains(':') => Some(raw.clone()),
+                    Some(raw) => {
+                        return Err(ParseError(format!(
+                            "invalid value for --listen: `{raw}` (need HOST:PORT, \
+                             e.g. 127.0.0.1:9184 or 127.0.0.1:0 for an ephemeral port)"
+                        )))
+                    }
+                    None => None,
+                },
                 trace_log: flags.get("trace-log").cloned(),
                 budget_itemsets: flags
                     .get("budget-itemsets")
@@ -529,6 +552,23 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         ))),
                     })
                     .transpose()?,
+            })
+        }
+        "trace" => {
+            let (positional, flags) = split_flags(rest)?;
+            known_flags(&flags, &["out"])?;
+            let input = match positional.as_slice() {
+                [input] => input.clone(),
+                [] => {
+                    return Err(ParseError(
+                        "trace needs an input JSONL log (or - for stdin)".to_string(),
+                    ))
+                }
+                [_, extra, ..] => return Err(ParseError(format!("unexpected argument `{extra}`"))),
+            };
+            Ok(Command::Trace {
+                input,
+                out: flags.get("out").cloned(),
             })
         }
         "predict" => {
@@ -600,9 +640,9 @@ EXIT CODES:
              [--warmup N] [--drift-threshold X] [--cadence N]
              [--max-arrivals N] [--min-support X] [--min-lift X]
              [--keyword K] [--top N] [--metrics FILE]
-             [--metrics-format json|openmetrics|table] [--trace-log FILE]
-             [--budget-itemsets N] [--budget-tree-mb N] [--deadline DUR]
-             [--threads N]
+             [--metrics-format json|openmetrics|table] [--listen ADDR]
+             [--trace-log FILE] [--budget-itemsets N] [--budget-tree-mb N]
+             [--deadline DUR] [--threads N]
       Run the streaming daemon: ingest trace records continuously, keep
       the FP-tree of the last --window transactions incrementally
       up to date, and re-emit the keyword's failure rules whenever window
@@ -618,6 +658,19 @@ EXIT CODES:
       climb the degradation ladder, and an exhausted ladder (or a worker
       panic) fails that emission only — the daemon itself keeps running
       (exit code 4 flags any degraded or failed emission at shutdown).
+      --listen HOST:PORT (port 0 picks an ephemeral one, printed on
+      stderr) embeds a scrape endpoint for the lifetime of the daemon:
+      GET /metrics serves the live snapshot as OpenMetrics — counters,
+      gauges, le-bucketed timer histograms, and the irma_sched_* pool
+      scheduler families — and GET /healthz serves a small JSON health
+      document (uptime, degraded flag, seconds since the last emission).
+      --listen implies metrics collection even without --metrics.
+  irma trace <input.jsonl|-> [--out FILE]
+      Convert a JSONL trace log (the --trace-log output of analyze or
+      watch) into Chrome trace_event JSON: spans become slices on
+      per-worker lanes, counters become counter tracks, one process per
+      run id. Open the result in chrome://tracing or ui.perfetto.dev.
+      Writes to stdout unless --out is given.
   irma predict <trace> [--jobs N] [--threshold T] [--seed S]
       Train the rule-list failure classifier and evaluate it held-out.
   irma help
@@ -922,12 +975,47 @@ mod tests {
     }
 
     #[test]
+    fn parses_watch_listen() {
+        match parse(&argv("watch pai --listen 127.0.0.1:0")).unwrap() {
+            Command::Watch { listen, .. } => assert_eq!(listen.as_deref(), Some("127.0.0.1:0")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("watch pai")).unwrap() {
+            Command::Watch { listen, .. } => assert_eq!(listen, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        // An address without a port cannot be bound — reject it early.
+        assert!(parse(&argv("watch pai --listen localhost")).is_err());
+    }
+
+    #[test]
     fn watch_requires_trace_or_feed() {
         assert!(parse(&argv("watch")).is_err());
         assert!(parse(&argv("watch helios")).is_err());
         assert!(parse(&argv("watch pai --window 0")).is_err());
         assert!(parse(&argv("watch pai --bogus 1")).is_err());
         assert!(parse(&argv("watch --feed feed.txt")).is_ok());
+    }
+
+    #[test]
+    fn parses_trace_subcommand() {
+        assert_eq!(
+            parse(&argv("trace /tmp/run.jsonl")).unwrap(),
+            Command::Trace {
+                input: "/tmp/run.jsonl".to_string(),
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv("trace - --out /tmp/chrome.json")).unwrap(),
+            Command::Trace {
+                input: "-".to_string(),
+                out: Some("/tmp/chrome.json".to_string()),
+            }
+        );
+        assert!(parse(&argv("trace")).is_err());
+        assert!(parse(&argv("trace a.jsonl b.jsonl")).is_err());
+        assert!(parse(&argv("trace a.jsonl --bogus 1")).is_err());
     }
 
     #[test]

@@ -7,6 +7,9 @@ mod args;
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use args::{parse, Command, MetricsFormat, USAGE};
 use irma_core::experiments::run_all;
@@ -19,6 +22,7 @@ use irma_core::{
 };
 use irma_core::{watch_feed, Emission, WatchConfig, KW_FAILED};
 use irma_mine::{ItemCatalog, MinerConfig};
+use irma_obs::serve::{ScrapeHandler, ScrapeResponse, ScrapeServer};
 use irma_prep::fit;
 use irma_rules::{Rule, RuleConfig};
 use irma_synth::{pai, philly, read_merged_csv_dir, supercloud, TraceConfig};
@@ -131,6 +135,62 @@ fn synthetic_watch_feed(trace: &str, jobs: usize, seed: u64) -> (String, ItemCat
     (lines, fitted.catalog().clone())
 }
 
+/// The Content-Type a Prometheus-style scraper expects for OpenMetrics.
+const OPENMETRICS_CONTENT_TYPE: &str = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// Shared liveness state between the watch loop and the `/healthz`
+/// handler: when the daemon started and (as microseconds since then)
+/// when it last emitted. `u64::MAX` means no emission yet.
+struct WatchHealth {
+    started: Instant,
+    last_emission_micros: AtomicU64,
+}
+
+impl WatchHealth {
+    fn new() -> WatchHealth {
+        WatchHealth {
+            started: Instant::now(),
+            last_emission_micros: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Stamps "an emission just happened" (called from `on_emit`).
+    fn mark_emission(&self) {
+        let micros = u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX - 1);
+        self.last_emission_micros
+            .store(micros.min(u64::MAX - 1), Ordering::Relaxed);
+    }
+
+    /// Seconds since the last emission; `None` before the first one.
+    fn last_emission_age_seconds(&self) -> Option<f64> {
+        let at = self.last_emission_micros.load(Ordering::Relaxed);
+        if at == u64::MAX {
+            return None;
+        }
+        let now = u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        Some(now.saturating_sub(at) as f64 / 1e6)
+    }
+
+    /// The `/healthz` JSON document.
+    fn to_json(&self, degraded: bool) -> String {
+        let age = match self.last_emission_age_seconds() {
+            Some(age) => format!("{age:.6}"),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"status\":\"ok\",\"uptime_seconds\":{:.6},\"degraded\":{},\
+             \"last_emission_age_seconds\":{}}}\n",
+            self.uptime_seconds(),
+            degraded,
+            age
+        )
+    }
+}
+
 fn render_watch_rule(rule: &Rule, catalog: Option<&ItemCatalog>) -> String {
     match catalog {
         Some(catalog) => rule.render(catalog),
@@ -209,13 +269,17 @@ fn run(command: Command) -> Result<Outcome, Failure> {
                 ..AnalysisConfig::default()
             };
             let run_analysis = || {
-                try_analyze_traced(
+                let result = try_analyze_traced(
                     &merged,
                     &spec_for(&trace),
                     &config,
                     &metrics,
                     &Provenance::disabled(),
-                )
+                );
+                // Inside `install`, so this reads the pool that actually
+                // mined (the global registry when --threads is absent).
+                irma_core::record_sched_stats(&metrics);
+                result
             };
             // --threads pins the work-stealing pool width; otherwise the
             // global registry (one worker per core) serves the run.
@@ -375,13 +439,16 @@ fn run(command: Command) -> Result<Outcome, Failure> {
             top,
             metrics: metrics_path,
             metrics_format,
+            listen,
             trace_log,
             budget_itemsets,
             budget_tree_mb,
             deadline,
             threads,
         } => {
-            let mut metrics = if metrics_path.is_some() {
+            // --listen implies live metrics: the scrape endpoint serves
+            // the same registry the snapshot file would.
+            let mut metrics = if metrics_path.is_some() || listen.is_some() {
                 Metrics::enabled()
             } else {
                 Metrics::disabled()
@@ -472,7 +539,64 @@ fn run(command: Command) -> Result<Outcome, Failure> {
                 }
             };
 
+            // The pool is built up front (rather than inline at install
+            // time) so the scrape handler below — which runs on its own
+            // connection thread, outside any pool — can still read this
+            // pool's scheduler counters.
+            let pool = threads
+                .map(|n| {
+                    rayon::ThreadPoolBuilder::new()
+                        .num_threads(n)
+                        .build()
+                        .map(Arc::new)
+                        .map_err(|e| format!("building {n}-thread mining pool: {e}"))
+                })
+                .transpose()?;
+
+            let health = Arc::new(WatchHealth::new());
+            let _server = match &listen {
+                Some(addr) => {
+                    let handler: ScrapeHandler = {
+                        let metrics = metrics.clone();
+                        let health = Arc::clone(&health);
+                        let pool = pool.clone();
+                        Arc::new(move |path: &str| match path {
+                            "/metrics" => {
+                                let sched = match &pool {
+                                    Some(pool) => pool.sched_stats(),
+                                    // No --threads: the daemon mines on
+                                    // the global registry.
+                                    None => rayon::sched_stats(),
+                                };
+                                irma_core::record_sched_snapshot(&metrics, &sched);
+                                metrics.gauge("watch.uptime_seconds", health.uptime_seconds());
+                                if let Some(age) = health.last_emission_age_seconds() {
+                                    metrics.gauge("watch.last_emission_age_seconds", age);
+                                }
+                                Some(ScrapeResponse {
+                                    content_type: OPENMETRICS_CONTENT_TYPE,
+                                    body: metrics.snapshot().to_openmetrics(),
+                                })
+                            }
+                            "/healthz" => Some(ScrapeResponse {
+                                content_type: "application/json",
+                                body: health.to_json(metrics.is_degraded()),
+                            }),
+                            _ => None,
+                        })
+                    };
+                    let server = ScrapeServer::start(addr.as_str(), handler)
+                        .map_err(|e| format!("binding scrape endpoint {addr}: {e}"))?;
+                    // CI and scripts parse this line for the ephemeral
+                    // port; keep its shape stable.
+                    eprintln!("listening on http://{}", server.local_addr());
+                    Some(server)
+                }
+                None => None,
+            };
+
             let on_emit = |e: &Emission| {
+                health.mark_emission();
                 let drift = if e.drift.is_finite() {
                     format!("{:.3}", e.drift)
                 } else {
@@ -499,12 +623,8 @@ fn run(command: Command) -> Result<Outcome, Failure> {
             };
 
             let run_daemon = || watch_feed(reader, &config, &metrics, on_emit);
-            let summary = match threads {
-                Some(n) => rayon::ThreadPoolBuilder::new()
-                    .num_threads(n)
-                    .build()
-                    .map_err(|e| format!("building {n}-thread mining pool: {e}"))?
-                    .install(run_daemon),
+            let summary = match &pool {
+                Some(pool) => pool.install(run_daemon),
                 None => run_daemon(),
             };
 
@@ -532,6 +652,28 @@ fn run(command: Command) -> Result<Outcome, Failure> {
             } else {
                 Ok(Outcome::Success)
             }
+        }
+        Command::Trace { input, out } => {
+            let jsonl = if input == "-" {
+                let mut text = String::new();
+                std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
+                    .map_err(|e| format!("reading stdin: {e}"))?;
+                text
+            } else {
+                std::fs::read_to_string(&input)
+                    .map_err(|e| format!("reading trace log {input}: {e}"))?
+            };
+            let rendered =
+                irma_core::chrome_trace(&jsonl).map_err(|e| format!("converting {input}: {e}"))?;
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, rendered)
+                        .map_err(|e| format!("writing chrome trace to {path}: {e}"))?;
+                    eprintln!("wrote chrome trace {path}");
+                }
+                None => print!("{rendered}"),
+            }
+            Ok(Outcome::Success)
         }
         Command::Predict {
             trace,

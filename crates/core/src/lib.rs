@@ -24,18 +24,21 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome_trace;
 pub mod experiments;
 pub mod export;
 pub mod fault;
 pub mod insights;
 pub mod predict;
 pub mod report;
+pub mod sched;
 pub mod specs;
 pub mod stats;
 pub mod traces;
 pub mod watch;
 pub mod workflow;
 
+pub use chrome_trace::chrome_trace;
 pub use fault::{
     try_analyze, try_analyze_csv, try_analyze_traced, try_analyze_traced_hooked, Degradation,
     DegradationStep, PipelineError, StageHooks, MAX_DEGRADATION_RETRIES,
@@ -43,6 +46,7 @@ pub use fault::{
 pub use predict::{
     failure_prediction, prediction_experiment, PredictionExperiment, PredictionResult,
 };
+pub use sched::{record_sched_snapshot, record_sched_stats, sched_stats_to_obs};
 pub use specs::{
     pai_spec, philly_spec, supercloud_spec, KW_FAILED, KW_KILLED, KW_MULTI_GPU, KW_SM_ZERO,
 };

@@ -1,0 +1,115 @@
+//! Bridge from the work-stealing runtime's scheduler telemetry to the
+//! metrics registry.
+//!
+//! The pool (the workspace `rayon` shim) counts per-worker scheduler
+//! events — jobs executed, steal probe outcomes, injector traffic,
+//! parks/wakes, deque high-water depth — on cache-line-padded relaxed
+//! atomics; [`irma_obs`] carries the numbers but stays dependency-free,
+//! so this module is where the two meet: it converts a
+//! [`rayon::SchedSnapshot`] into an [`irma_obs::SchedStats`] and pushes
+//! it into a [`Metrics`] handle for the JSON/OpenMetrics exporters
+//! (`irma_sched_*` families with a `worker` label).
+
+use irma_obs::{Metrics, SchedStats, SchedWorker};
+
+/// Converts a pool snapshot into the exporter-facing shape.
+pub fn sched_stats_to_obs(snapshot: &rayon::SchedSnapshot) -> SchedStats {
+    SchedStats {
+        injector_pushes: snapshot.injector_pushes,
+        workers: snapshot
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(worker, w)| SchedWorker {
+                worker,
+                jobs_executed: w.jobs_executed,
+                local_pushes: w.local_pushes,
+                steal_successes: w.steal_successes,
+                steal_empty: w.steal_empty,
+                steal_retries: w.steal_retries,
+                injector_pops: w.injector_pops,
+                parks: w.parks,
+                wakes: w.wakes,
+                deque_high_water: w.deque_high_water,
+            })
+            .collect(),
+    }
+}
+
+/// Pushes `snapshot` into `metrics` via [`Metrics::set_sched`]
+/// (last-write-wins). Snapshots with no workers — a sequential width-1
+/// pool, or telemetry disabled — are skipped so the metrics snapshot
+/// keeps `sched: null` instead of an empty shell.
+pub fn record_sched_snapshot(metrics: &Metrics, snapshot: &rayon::SchedSnapshot) {
+    if snapshot.workers.is_empty() {
+        return;
+    }
+    metrics.set_sched(sched_stats_to_obs(snapshot));
+}
+
+/// Records the calling thread's pool telemetry ([`rayon::sched_stats`]:
+/// the installed pool when running under [`rayon::ThreadPool::install`],
+/// the global registry otherwise) into `metrics`. Cheap no-op on a
+/// disabled handle.
+pub fn record_sched_stats(metrics: &Metrics) {
+    if !metrics.is_enabled() {
+        return;
+    }
+    record_sched_snapshot(metrics, &rayon::sched_stats());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bridge_preserves_every_counter() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("pool");
+        // Run enough forked work that at least one job executes.
+        let total = pool.install(|| {
+            let (a, b) = rayon::join(|| 1u64, || 2u64);
+            a + b
+        });
+        assert_eq!(total, 3);
+        let snapshot = pool.sched_stats();
+        let bridged = sched_stats_to_obs(&snapshot);
+        assert_eq!(bridged.injector_pushes, snapshot.injector_pushes);
+        assert_eq!(bridged.workers.len(), snapshot.workers.len());
+        for (i, (ours, theirs)) in bridged.workers.iter().zip(&snapshot.workers).enumerate() {
+            assert_eq!(ours.worker, i);
+            assert_eq!(ours.jobs_executed, theirs.jobs_executed);
+            assert_eq!(ours.local_pushes, theirs.local_pushes);
+            assert_eq!(ours.steal_attempts(), theirs.steal_attempts());
+            assert_eq!(ours.injector_pops, theirs.injector_pops);
+            assert_eq!(ours.parks, theirs.parks);
+            assert_eq!(ours.wakes, theirs.wakes);
+            assert_eq!(ours.deque_high_water, theirs.deque_high_water);
+        }
+    }
+
+    #[test]
+    fn empty_snapshots_leave_sched_null() {
+        let metrics = Metrics::enabled();
+        record_sched_snapshot(&metrics, &rayon::SchedSnapshot::default());
+        assert!(metrics.snapshot().sched.is_none());
+    }
+
+    #[test]
+    fn installed_pool_lands_in_metrics() {
+        let metrics = Metrics::enabled();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            let _ = rayon::join(|| (), || ());
+            record_sched_stats(&metrics);
+        });
+        let sched = metrics.snapshot().sched.expect("sched recorded");
+        assert_eq!(sched.workers.len(), 2);
+        assert!(sched.workers.iter().any(|w| w.jobs_executed > 0));
+    }
+}

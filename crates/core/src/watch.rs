@@ -30,11 +30,12 @@
 //! trace-log write failures are already absorbed and counted by the
 //! metrics registry. The daemon's only unrecoverable input is EOF.
 
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
 use std::io::BufRead;
 use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use irma_mine::{
     BudgetGuard, ExecBudget, FrequentItemsets, ItemId, MineError, MinerConfig, SlidingWindowMiner,
@@ -416,6 +417,8 @@ where
     R: BufRead + Send,
     F: FnMut(&Emission),
 {
+    let started = Instant::now();
+    let last_emission: Cell<Option<Instant>> = Cell::new(None);
     let warmup = config.warmup.clamp(1, config.window);
     let ring: SpscRing<Vec<ItemId>> = SpscRing::with_capacity(config.ring_capacity);
     let producer_done = AtomicBool::new(false);
@@ -506,11 +509,18 @@ where
                         summary.degraded_emissions += 1;
                     }
                     *since_emit = 0;
+                    last_emission.set(Some(Instant::now()));
                     metrics.incr("watch.emissions", 1);
                     metrics.gauge(
                         "watch.window_fill",
                         miner.len() as f64 / config.window as f64,
                     );
+                    metrics.gauge("watch.uptime_seconds", started.elapsed().as_secs_f64());
+                    metrics.gauge("watch.last_emission_age_seconds", 0.0);
+                    // Scheduler counters from whichever pool serves this
+                    // loop (the installed one under `install`, the global
+                    // registry otherwise).
+                    crate::sched::record_sched_stats(metrics);
                     on_emit(&Emission {
                         seq: summary.emissions,
                         arrivals: summary.arrivals,
@@ -526,6 +536,7 @@ where
                     *since_emit = 0;
                     *cooldown = FAILURE_COOLDOWN;
                     metrics.incr("watch.emission_failures", 1);
+                    metrics.gauge("watch.uptime_seconds", started.elapsed().as_secs_f64());
                 }
             }
         };
@@ -584,6 +595,17 @@ where
         }
         summary.final_window = miner.len();
     });
+
+    // Final health gauges: how long the daemon ran and how stale its
+    // last report was at shutdown (a live scrape endpoint recomputes
+    // these from wall clocks; the snapshot file keeps the exit values).
+    metrics.gauge("watch.uptime_seconds", started.elapsed().as_secs_f64());
+    if let Some(at) = last_emission.get() {
+        metrics.gauge(
+            "watch.last_emission_age_seconds",
+            at.elapsed().as_secs_f64(),
+        );
+    }
 
     summary.garbled_lines = garbled.load(Ordering::Relaxed);
     summary.sampled_out = sampled_out.load(Ordering::Relaxed);
@@ -780,6 +802,34 @@ mod tests {
         );
         // The alternating regimes carry lift-2.0 rules.
         assert!(emissions.iter().any(|&(_, _, n)| n > 0));
+    }
+
+    #[test]
+    fn health_gauges_land_in_the_snapshot() {
+        let config = WatchConfig {
+            window: 16,
+            warmup: 4,
+            cadence: 8,
+            drift_threshold: f64::INFINITY,
+            ..WatchConfig::default()
+        };
+        let metrics = Metrics::enabled();
+        let summary = watch_feed(two_regime_feed(40), &config, &metrics, |_| ());
+        assert!(summary.emissions > 0);
+        let snapshot = metrics.snapshot();
+        let gauge = |name: &str| {
+            snapshot
+                .gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+        };
+        let uptime = gauge("watch.uptime_seconds").expect("uptime gauge");
+        assert!(uptime >= 0.0 && uptime.is_finite());
+        let age = gauge("watch.last_emission_age_seconds").expect("age gauge");
+        // The final flush emits last, so the shutdown age is tiny but
+        // never negative; it can only trail the daemon's uptime.
+        assert!((0.0..=uptime).contains(&age), "age {age}, uptime {uptime}");
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! A bounded log2-bucketed duration histogram — the storage behind
+//! [`Metrics::record`](crate::Metrics::record).
+//!
+//! The previous timer kept every raw sample (`Vec<Duration>`), which is
+//! unbounded over a daemon's lifetime; this histogram is a fixed 64
+//! buckets regardless of sample count. Bucketing is by power of two on
+//! nanoseconds:
+//!
+//! * bucket 0 holds samples of 0..=1 ns;
+//! * bucket `i` (1..=62) holds samples in `(2^(i-1), 2^i]` ns — so each
+//!   bucket's inclusive upper bound is exactly `2^i` ns, which is what
+//!   the OpenMetrics `le` label wants;
+//! * bucket 63 is the overflow bucket for samples above `2^62` ns
+//!   (~146 years — unreachable in practice, but total).
+//!
+//! `record` is O(1) (a leading-zeros count and two adds); `count`, `sum`
+//! and `max` are exact; quantiles are bucket-boundary estimates — the
+//! inclusive upper bound of the bucket holding the nearest-rank sample,
+//! so an estimate is never below the exact nearest-rank value and never
+//! more than one power-of-two boundary above it.
+
+use std::time::Duration;
+
+/// Number of buckets (fixed; see the module docs for the bucket scheme).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Index of the overflow bucket (samples above `2^62` ns).
+const OVERFLOW: usize = HISTOGRAM_BUCKETS - 1;
+
+/// A bounded log2-bucketed duration histogram. O(1) record, exact
+/// count/sum/max, bucket-boundary quantile estimates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    /// Exact sum in nanoseconds (u128: cannot overflow on real inputs).
+    sum_nanos: u128,
+    max_nanos: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_nanos: 0,
+            max_nanos: 0,
+        }
+    }
+
+    /// Bucket index for a sample of `nanos`.
+    fn index(nanos: u64) -> usize {
+        if nanos <= 1 {
+            0
+        } else {
+            // Bit length of nanos-1: the i with nanos in (2^(i-1), 2^i].
+            let i = (u64::BITS - (nanos - 1).leading_zeros()) as usize;
+            i.min(OVERFLOW)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i`; `None` for the overflow
+    /// bucket (conceptually +Inf).
+    fn upper_bound(i: usize) -> Option<Duration> {
+        (i < OVERFLOW).then(|| Duration::from_nanos(1u64 << i))
+    }
+
+    /// Records one sample. O(1).
+    pub fn record(&mut self, sample: Duration) {
+        let nanos = u64::try_from(sample.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[Self::index(nanos)] += 1;
+        self.count += 1;
+        self.sum_nanos += sample.as_nanos();
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Exact number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(u64::try_from(self.sum_nanos).unwrap_or(u64::MAX))
+    }
+
+    /// Exact largest sample (zero when empty).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
+
+    /// Bucket-boundary estimate of the `q`-quantile (nearest-rank): the
+    /// inclusive upper bound of the bucket holding the rank-`⌈q·count⌉`
+    /// sample. The exact nearest-rank value `v` satisfies
+    /// `v <= estimate < 2·v` (one log2 bucket boundary); for the
+    /// overflow bucket the exact maximum is returned instead. Zero when
+    /// the histogram is empty.
+    pub fn quantile_estimate(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Self::upper_bound(i).unwrap_or_else(|| self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Cumulative `(upper_bound, count_at_or_below)` pairs for the
+    /// finite buckets, trimmed to the populated range (first nonzero
+    /// bucket through the last nonzero finite bucket). Overflow samples
+    /// appear only in the total [`Histogram::count`] — an exporter's
+    /// `+Inf` bucket. Empty when no finite bucket is populated.
+    pub fn cumulative_buckets(&self) -> Vec<(Duration, u64)> {
+        let finite = &self.counts[..OVERFLOW];
+        let Some(first) = finite.iter().position(|&c| c > 0) else {
+            return Vec::new();
+        };
+        let last = finite.iter().rposition(|&c| c > 0).expect("nonzero seen");
+        let mut cumulative: u64 = 0;
+        (first..=last)
+            .map(|i| {
+                cumulative += self.counts[i];
+                (Self::upper_bound(i).expect("finite bucket"), cumulative)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_inclusive_powers_of_two() {
+        // Boundary sample 2^i ns lands in bucket i (inclusive bound),
+        // 2^i + 1 in bucket i + 1.
+        for i in 1..20 {
+            assert_eq!(Histogram::index(1 << i), i);
+            assert_eq!(Histogram::index((1 << i) + 1), i + 1);
+        }
+        assert_eq!(Histogram::index(0), 0);
+        assert_eq!(Histogram::index(1), 0);
+        assert_eq!(Histogram::index(u64::MAX), OVERFLOW);
+    }
+
+    #[test]
+    fn count_sum_max_are_exact() {
+        let mut h = Histogram::new();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), Duration::from_millis(5050));
+        assert_eq!(h.max(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn quantile_estimate_is_within_one_bucket_of_exact() {
+        let mut h = Histogram::new();
+        let mut samples: Vec<u64> = (1..=100).map(|i| i * 7_919).collect(); // ns
+        for &s in &samples {
+            h.record(Duration::from_nanos(s));
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let estimate = h.quantile_estimate(q).as_nanos() as u64;
+            assert!(
+                exact <= estimate,
+                "q={q}: exact {exact} > estimate {estimate}"
+            );
+            assert!(
+                estimate < 2 * exact,
+                "q={q}: estimate {estimate} >= 2x exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.quantile_estimate(0.5), Duration::ZERO);
+        assert!(h.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn cumulative_buckets_trim_and_accumulate() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_nanos(3)); // bucket 2: (2, 4]
+        h.record(Duration::from_nanos(4)); // bucket 2
+        h.record(Duration::from_nanos(100)); // bucket 7: (64, 128]
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.len(), 6, "{buckets:?}"); // buckets 2..=7
+        assert_eq!(buckets[0], (Duration::from_nanos(4), 2));
+        assert_eq!(buckets[1], (Duration::from_nanos(8), 2)); // cumulative carries
+        assert_eq!(buckets[5], (Duration::from_nanos(128), 3));
+        // Monotone non-decreasing counts, strictly increasing bounds.
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+            assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn overflow_samples_count_but_stay_out_of_finite_buckets() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_nanos(10));
+        h.record(Duration::from_secs(u64::MAX / 1_000_000_000)); // overflow bucket
+        assert_eq!(h.count(), 2);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.last().expect("finite bucket").1, 1);
+        // Overflow quantile estimates fall back to the exact max.
+        assert_eq!(h.quantile_estimate(1.0), h.max());
+    }
+
+    #[test]
+    fn storage_is_fixed_size() {
+        // The whole point: recording a million samples allocates nothing.
+        let mut h = Histogram::new();
+        for i in 0..1_000_000u64 {
+            h.record(Duration::from_nanos(i));
+        }
+        assert_eq!(h.count(), 1_000_000);
+        assert!(std::mem::size_of::<Histogram>() <= 8 * HISTOGRAM_BUCKETS + 64);
+        assert!(h.cumulative_buckets().len() <= HISTOGRAM_BUCKETS);
+    }
+}

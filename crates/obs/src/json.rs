@@ -9,6 +9,9 @@
 //!   "degraded": <bool>,
 //!   "counters": { "<name>": <u64>, ... },
 //!   "gauges":   { "<name>": <f64|null>, ... },
+//!   "sched":    null | { "injector_pushes": <u64>,
+//!                        "workers": [ { "worker": <usize>,
+//!                                       "jobs_executed": <u64>, ... } ] },
 //!   "timers":   { "<name>": { "count": <usize>, "total_ms": <f64>,
 //!                              "p50_ms": <f64>, "p95_ms": <f64>,
 //!                              "max_ms": <f64> }, ... },
@@ -17,6 +20,9 @@
 //!                   "fields": { "<name>": <u64>, ... } }, ... ]
 //! }
 //! ```
+//!
+//! `timers.p50_ms` / `timers.p95_ms` are bucket-boundary estimates from
+//! the bounded log2 histogram (count/total/max stay exact).
 //!
 //! Non-finite gauge values serialize as `null` (JSON has no NaN/inf).
 
@@ -82,6 +88,39 @@ pub(crate) fn snapshot_to_json(snapshot: &Snapshot) -> String {
             .map(|(name, value)| (name.clone(), f64_value(*value))),
         "  ",
     );
+    let sched = match &snapshot.sched {
+        None => "null".to_string(),
+        Some(sched) => {
+            let workers: Vec<String> = sched
+                .workers
+                .iter()
+                .map(|w| {
+                    format!(
+                        "{{ \"worker\": {}, \"jobs_executed\": {}, \"local_pushes\": {}, \
+                         \"steal_attempts\": {}, \"steal_successes\": {}, \"steal_empty\": {}, \
+                         \"steal_retries\": {}, \"injector_pops\": {}, \"parks\": {}, \
+                         \"wakes\": {}, \"deque_high_water\": {} }}",
+                        w.worker,
+                        w.jobs_executed,
+                        w.local_pushes,
+                        w.steal_attempts(),
+                        w.steal_successes,
+                        w.steal_empty,
+                        w.steal_retries,
+                        w.injector_pops,
+                        w.parks,
+                        w.wakes,
+                        w.deque_high_water
+                    )
+                })
+                .collect();
+            format!(
+                "{{ \"injector_pushes\": {}, \"workers\": [{}] }}",
+                sched.injector_pushes,
+                workers.join(", ")
+            )
+        }
+    };
     let timers = object(
         snapshot.timers.iter().map(|t| {
             (
@@ -124,7 +163,7 @@ pub(crate) fn snapshot_to_json(snapshot: &Snapshot) -> String {
         format!("[\n{}\n  ]", stages.join(",\n"))
     };
     format!(
-        "{{\n  \"run_id\": \"{}\",\n  \"degraded\": {},\n  \"counters\": {counters},\n  \"gauges\": {gauges},\n  \"timers\": {timers},\n  \"stages\": {stages}\n}}\n",
+        "{{\n  \"run_id\": \"{}\",\n  \"degraded\": {},\n  \"counters\": {counters},\n  \"gauges\": {gauges},\n  \"sched\": {sched},\n  \"timers\": {timers},\n  \"stages\": {stages}\n}}\n",
         escape(&snapshot.run_id),
         snapshot.degraded
     )
@@ -140,8 +179,29 @@ mod tests {
         let json = Snapshot::default().to_json();
         assert_eq!(
             json,
-            "{\n  \"run_id\": \"\",\n  \"degraded\": false,\n  \"counters\": {},\n  \"gauges\": {},\n  \"timers\": {},\n  \"stages\": []\n}\n"
+            "{\n  \"run_id\": \"\",\n  \"degraded\": false,\n  \"counters\": {},\n  \"gauges\": {},\n  \"sched\": null,\n  \"timers\": {},\n  \"stages\": []\n}\n"
         );
+    }
+
+    #[test]
+    fn sched_snapshot_serializes_workers() {
+        use crate::{Metrics, SchedStats, SchedWorker};
+        let metrics = Metrics::enabled();
+        metrics.set_sched(SchedStats {
+            injector_pushes: 3,
+            workers: vec![SchedWorker {
+                worker: 1,
+                jobs_executed: 8,
+                steal_successes: 2,
+                ..SchedWorker::default()
+            }],
+        });
+        let json = metrics.snapshot().to_json();
+        assert!(json.contains("\"injector_pushes\": 3"), "{json}");
+        assert!(json.contains("\"worker\": 1"), "{json}");
+        assert!(json.contains("\"jobs_executed\": 8"), "{json}");
+        assert!(json.contains("\"steal_attempts\": 2"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! `encode -> mine -> rules` pipeline:
 //!
 //! * [`Metrics`] — a registry of monotonic counters, last-write gauges,
-//!   and histogram-style timers (p50/p95/max over recorded samples);
+//!   and bounded log2-bucketed timer histograms ([`Histogram`]: O(1)
+//!   record, fixed memory, exact count/sum/max, bucket-boundary p50/p95
+//!   estimates);
 //! * [`Metrics::span`] — an RAII [`StageSpan`] that times one pipeline
 //!   stage and, on drop, appends a structured [`StageEvent`] (stage name,
 //!   wall time, input/output cardinalities) to the pipeline trace;
@@ -52,11 +54,14 @@
 #![warn(missing_docs)]
 
 mod event;
+mod histogram;
 mod json;
 mod openmetrics;
 mod provenance;
+pub mod serve;
 
 pub use event::EventSink;
+pub use histogram::{Histogram, HISTOGRAM_BUCKETS};
 pub use provenance::{
     GenFilter, Provenance, PruneRole, PruneStep, RuleInfo, RuleKey, RuleProvenance,
 };
@@ -96,7 +101,10 @@ impl StageEvent {
 struct Registry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
-    timers: BTreeMap<String, Vec<Duration>>,
+    timers: BTreeMap<String, Histogram>,
+    /// Last scheduler-counter snapshot pushed via [`Metrics::set_sched`]
+    /// (last-write-wins, like a gauge).
+    sched: Option<SchedStats>,
     stages: Vec<StageEvent>,
     /// Last span id handed out (ids are 1-based so `parent: 0` never
     /// appears in a trace).
@@ -128,6 +136,7 @@ impl Default for Registry {
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             timers: BTreeMap::new(),
+            sched: None,
             stages: Vec::new(),
             next_span: 0,
             open_spans: Vec::new(),
@@ -249,10 +258,23 @@ impl Metrics {
         }
     }
 
-    /// Records one duration sample into a histogram-style timer.
+    /// Records one duration sample into a bounded [`Histogram`] timer.
+    /// O(1); a timer's memory never grows with sample count.
     pub fn record(&self, name: &str, sample: Duration) {
         if let Some(mut reg) = self.lock() {
-            reg.timers.entry(name.to_string()).or_default().push(sample);
+            reg.timers
+                .entry(name.to_string())
+                .or_default()
+                .record(sample);
+        }
+    }
+
+    /// Replaces the scheduler-counter snapshot carried by the next
+    /// [`Metrics::snapshot`] (last-write-wins, like a gauge — callers
+    /// push a fresh [`SchedStats`] right before snapshotting).
+    pub fn set_sched(&self, sched: SchedStats) {
+        if let Some(mut reg) = self.lock() {
+            reg.sched = Some(sched);
         }
     }
 
@@ -340,8 +362,9 @@ impl Metrics {
             timers: reg
                 .timers
                 .iter()
-                .map(|(name, samples)| TimerStats::from_samples(name.clone(), samples))
+                .map(|(name, hist)| TimerStats::from_histogram(name.clone(), hist))
                 .collect(),
+            sched: reg.sched.clone(),
             stages: reg.stages.clone(),
             run_id: reg.run_id.clone(),
             degraded: reg.degraded || reg.write_errors > 0,
@@ -427,7 +450,7 @@ impl Drop for StageSpan {
                 wall.as_micros()
             ),
         );
-        reg.timers.entry(stage.clone()).or_default().push(wall);
+        reg.timers.entry(stage.clone()).or_default().record(wall);
         reg.stages.push(StageEvent {
             id,
             parent,
@@ -438,43 +461,88 @@ impl Drop for StageSpan {
     }
 }
 
-/// Order statistics for one timer.
+/// Summary statistics for one timer, computed from its bounded
+/// [`Histogram`]. Count, total and max are exact; p50/p95 are
+/// bucket-boundary estimates (the inclusive upper bound of the log2
+/// bucket holding the nearest-rank sample, so never below the exact
+/// value and never a full power-of-two boundary above it).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimerStats {
     /// Timer name.
     pub name: String,
-    /// Number of samples recorded.
+    /// Number of samples recorded (exact).
     pub count: usize,
-    /// Sum of all samples.
+    /// Sum of all samples (exact).
     pub total: Duration,
-    /// Median sample (nearest-rank).
+    /// Median estimate (upper bound of the nearest-rank sample's bucket).
     pub p50: Duration,
-    /// 95th-percentile sample (nearest-rank).
+    /// 95th-percentile estimate (same bucket-boundary scheme).
     pub p95: Duration,
-    /// Largest sample.
+    /// Largest sample (exact).
     pub max: Duration,
+    /// Cumulative histogram buckets, trimmed to the populated range:
+    /// `(inclusive upper bound, samples at or below it)`. The implicit
+    /// final `+Inf` bucket equals `count`.
+    pub buckets: Vec<(Duration, u64)>,
 }
 
 impl TimerStats {
-    fn from_samples(name: String, samples: &[Duration]) -> TimerStats {
-        let mut sorted: Vec<Duration> = samples.to_vec();
-        sorted.sort_unstable();
-        let nearest_rank = |q: f64| -> Duration {
-            if sorted.is_empty() {
-                return Duration::ZERO;
-            }
-            let rank = (q * sorted.len() as f64).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
-        };
+    fn from_histogram(name: String, hist: &Histogram) -> TimerStats {
         TimerStats {
             name,
-            count: sorted.len(),
-            total: sorted.iter().sum(),
-            p50: nearest_rank(0.50),
-            p95: nearest_rank(0.95),
-            max: sorted.last().copied().unwrap_or(Duration::ZERO),
+            count: hist.count() as usize,
+            total: hist.sum(),
+            p50: hist.quantile_estimate(0.50),
+            p95: hist.quantile_estimate(0.95),
+            max: hist.max(),
+            buckets: hist.cumulative_buckets(),
         }
     }
+}
+
+/// One worker's scheduler counters, as surfaced through the snapshot
+/// (`irma_sched_*` families with a `worker` label in OpenMetrics). The
+/// producer is the work-stealing runtime; `irma-obs` only carries the
+/// numbers, so this crate stays dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedWorker {
+    /// Worker index (the `worker` label value).
+    pub worker: usize,
+    /// Jobs this worker executed.
+    pub jobs_executed: u64,
+    /// Jobs pushed onto this worker's own deque.
+    pub local_pushes: u64,
+    /// Steal probes that took an element.
+    pub steal_successes: u64,
+    /// Steal probes that found the victim empty.
+    pub steal_empty: u64,
+    /// Steal probes that lost a race and re-probed.
+    pub steal_retries: u64,
+    /// Jobs taken from the shared injector.
+    pub injector_pops: u64,
+    /// Idle episodes that reached the scheduler's sleep call.
+    pub parks: u64,
+    /// Parks that actually blocked and were woken.
+    pub wakes: u64,
+    /// Maximum depth this worker's deque reached.
+    pub deque_high_water: u64,
+}
+
+impl SchedWorker {
+    /// Total steal probes: successes + empty + retries.
+    pub fn steal_attempts(&self) -> u64 {
+        self.steal_successes + self.steal_empty + self.steal_retries
+    }
+}
+
+/// A point-in-time scheduler-counter snapshot ([`Metrics::set_sched`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SchedStats {
+    /// Jobs pushed onto the shared injector (external submissions; not
+    /// attributable to a worker).
+    pub injector_pushes: u64,
+    /// Per-worker counters.
+    pub workers: Vec<SchedWorker>,
 }
 
 /// A point-in-time copy of a [`Metrics`] sink; see [`Metrics::snapshot`].
@@ -486,6 +554,9 @@ pub struct Snapshot {
     pub gauges: Vec<(String, f64)>,
     /// Timer statistics, sorted by name.
     pub timers: Vec<TimerStats>,
+    /// Scheduler counters, when the caller pushed a snapshot via
+    /// [`Metrics::set_sched`] (`None` otherwise).
+    pub sched: Option<SchedStats>,
     /// Pipeline trace: one [`StageEvent`] per completed span, in
     /// completion order.
     pub stages: Vec<StageEvent>,
@@ -630,7 +701,7 @@ mod tests {
     }
 
     #[test]
-    fn timer_percentiles_nearest_rank() {
+    fn timer_percentiles_bucket_boundary_estimates() {
         let metrics = Metrics::enabled();
         for ms in 1..=100u64 {
             metrics.record("t", Duration::from_millis(ms));
@@ -638,10 +709,22 @@ mod tests {
         let snap = metrics.snapshot();
         let t = &snap.timers[0];
         assert_eq!(t.count, 100);
-        assert_eq!(t.p50, Duration::from_millis(50));
-        assert_eq!(t.p95, Duration::from_millis(95));
+        // Exact nearest-rank p50 is 50 ms (5e7 ns, in bucket (2^25, 2^26]),
+        // so the bucket-boundary estimate is 2^26 ns; p95's exact 95 ms
+        // lands in (2^26, 2^27].
+        assert_eq!(t.p50, Duration::from_nanos(1 << 26));
+        assert_eq!(t.p95, Duration::from_nanos(1 << 27));
+        // Estimates bound the exact values from above, within one bucket.
+        assert!(t.p50 >= Duration::from_millis(50) && t.p50 < Duration::from_millis(100));
+        assert!(t.p95 >= Duration::from_millis(95) && t.p95 < Duration::from_millis(190));
+        // Count, max and total stay exact.
         assert_eq!(t.max, Duration::from_millis(100));
         assert_eq!(t.total, Duration::from_millis(5050));
+        // The cumulative buckets end at the bucket holding the max, with
+        // the full count.
+        let last = t.buckets.last().expect("populated buckets");
+        assert_eq!(last.1, 100);
+        assert!(last.0 >= t.max);
     }
 
     #[test]
@@ -649,8 +732,46 @@ mod tests {
         let metrics = Metrics::enabled();
         metrics.record("t", Duration::from_millis(7));
         let snap = metrics.snapshot();
-        assert_eq!(snap.timers[0].p50, Duration::from_millis(7));
-        assert_eq!(snap.timers[0].p95, Duration::from_millis(7));
+        // 7 ms = 7e6 ns lands in (2^22, 2^23]; both quantile estimates
+        // are that bucket's upper bound.
+        assert_eq!(snap.timers[0].p50, Duration::from_nanos(1 << 23));
+        assert_eq!(snap.timers[0].p95, Duration::from_nanos(1 << 23));
+        assert_eq!(snap.timers[0].max, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn set_sched_last_write_wins_and_lands_in_snapshot() {
+        let metrics = Metrics::enabled();
+        assert_eq!(metrics.snapshot().sched, None);
+        metrics.set_sched(SchedStats {
+            injector_pushes: 1,
+            workers: vec![SchedWorker::default()],
+        });
+        metrics.set_sched(SchedStats {
+            injector_pushes: 2,
+            workers: vec![
+                SchedWorker {
+                    worker: 0,
+                    jobs_executed: 5,
+                    steal_successes: 1,
+                    steal_empty: 2,
+                    steal_retries: 3,
+                    ..SchedWorker::default()
+                },
+                SchedWorker {
+                    worker: 1,
+                    ..SchedWorker::default()
+                },
+            ],
+        });
+        let sched = metrics.snapshot().sched.expect("sched snapshot");
+        assert_eq!(sched.injector_pushes, 2);
+        assert_eq!(sched.workers.len(), 2);
+        assert_eq!(sched.workers[0].steal_attempts(), 6);
+        // Disabled handles ignore the push.
+        let disabled = Metrics::disabled();
+        disabled.set_sched(SchedStats::default());
+        assert_eq!(disabled.snapshot().sched, None);
     }
 
     #[test]

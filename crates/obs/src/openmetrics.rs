@@ -9,15 +9,21 @@
 //! * the snapshot's degraded flag → an always-present `irma_degraded`
 //!   gauge (0/1), so dashboards can alert on best-effort answers
 //! * gauges   → `# TYPE irma_<name> gauge` + `irma_<name> <v>`
+//! * scheduler counters ([`Snapshot::sched`], when present with at least
+//!   one worker) → `irma_sched_*` families labelled `{worker="<i>"}`,
+//!   plus the unlabelled `irma_sched_injector_pushes` counter
 //! * timers   → `# TYPE irma_<name>_seconds summary` with
-//!   `quantile="0.5"` / `quantile="0.95"` samples plus `_sum` / `_count`
+//!   `quantile="0.5"` / `quantile="0.95"` samples plus `_sum` / `_count`,
+//!   and alongside it a `# TYPE irma_<name>_seconds_hist histogram` with
+//!   cumulative `_bucket{le="..."}` samples from the bounded log2
+//!   histogram (terminal `le="+Inf"` bucket == `_count`)
 //!
 //! Names are sanitized (`mine.tree_build` → `irma_mine_tree_build`); the
 //! exposition ends with the mandatory `# EOF`. Stage events carry
 //! per-occurrence fields and ordering that metric samples cannot express;
 //! they stay in the JSON/JSONL exports.
 
-use crate::Snapshot;
+use crate::{SchedWorker, Snapshot};
 
 /// Sanitizes a registry name into an OpenMetrics metric name:
 /// `irma_` prefix, every non-`[a-zA-Z0-9_]` byte folded to `_`.
@@ -65,6 +71,42 @@ pub(crate) fn snapshot_to_openmetrics(snapshot: &Snapshot) -> String {
         let name = sanitize(name);
         out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", sample(*value)));
     }
+    if let Some(sched) = snapshot.sched.as_ref().filter(|s| !s.workers.is_empty()) {
+        out.push_str(&format!(
+            "# TYPE irma_sched_injector_pushes counter\n\
+             irma_sched_injector_pushes_total {}\n",
+            sched.injector_pushes
+        ));
+        type WorkerCounter = fn(&SchedWorker) -> u64;
+        let counter_families: [(&str, WorkerCounter); 9] = [
+            ("jobs_executed", |w| w.jobs_executed),
+            ("local_pushes", |w| w.local_pushes),
+            ("steal_attempts", SchedWorker::steal_attempts),
+            ("steal_successes", |w| w.steal_successes),
+            ("steal_empty", |w| w.steal_empty),
+            ("steal_retries", |w| w.steal_retries),
+            ("injector_pops", |w| w.injector_pops),
+            ("parks", |w| w.parks),
+            ("wakes", |w| w.wakes),
+        ];
+        for (family, value_of) in counter_families {
+            out.push_str(&format!("# TYPE irma_sched_{family} counter\n"));
+            for w in &sched.workers {
+                out.push_str(&format!(
+                    "irma_sched_{family}_total{{worker=\"{}\"}} {}\n",
+                    w.worker,
+                    value_of(w)
+                ));
+            }
+        }
+        out.push_str("# TYPE irma_sched_deque_high_water gauge\n");
+        for w in &sched.workers {
+            out.push_str(&format!(
+                "irma_sched_deque_high_water{{worker=\"{}\"}} {}\n",
+                w.worker, w.deque_high_water
+            ));
+        }
+    }
     for timer in &snapshot.timers {
         let name = format!("{}_seconds", sanitize(&timer.name));
         out.push_str(&format!(
@@ -77,6 +119,24 @@ pub(crate) fn snapshot_to_openmetrics(snapshot: &Snapshot) -> String {
             sample(timer.p95.as_secs_f64()),
             sample(timer.total.as_secs_f64()),
             timer.count
+        ));
+        // The histogram view of the same timer, as its own `_hist`
+        // family (OpenMetrics forbids one name carrying two types).
+        // Buckets are cumulative; `+Inf` catches overflow samples and
+        // always equals `_count`.
+        out.push_str(&format!("# TYPE {name}_hist histogram\n"));
+        for (le, cumulative) in &timer.buckets {
+            out.push_str(&format!(
+                "{name}_hist_bucket{{le=\"{}\"}} {cumulative}\n",
+                sample(le.as_secs_f64())
+            ));
+        }
+        out.push_str(&format!(
+            "{name}_hist_bucket{{le=\"+Inf\"}} {count}\n\
+             {name}_hist_sum {}\n\
+             {name}_hist_count {count}\n",
+            sample(timer.total.as_secs_f64()),
+            count = timer.count
         ));
     }
     out.push_str("# EOF\n");
@@ -117,12 +177,119 @@ mod tests {
             text.contains("# TYPE irma_mine_mine_seconds summary\n"),
             "{text}"
         );
+        // p50's exact nearest-rank sample is 12 ms; the histogram reports
+        // its bucket's upper bound, 2^24 ns.
         assert!(
-            text.contains("irma_mine_mine_seconds{quantile=\"0.5\"} 0.012\n"),
+            text.contains("irma_mine_mine_seconds{quantile=\"0.5\"} 0.016777216\n"),
             "{text}"
         );
         assert!(text.contains("irma_mine_mine_seconds_sum 0.032"), "{text}");
         assert!(text.contains("irma_mine_mine_seconds_count 2\n"), "{text}");
+    }
+
+    #[test]
+    fn timers_also_expose_le_bucketed_histograms() {
+        let text = populated().to_openmetrics();
+        assert!(
+            text.contains("# TYPE irma_mine_mine_seconds_hist histogram\n"),
+            "{text}"
+        );
+        // 12 ms lands in (2^23, 2^24] ns, 20 ms in (2^24, 2^25]: the
+        // cumulative buckets step 1 then 2, and +Inf equals _count.
+        assert!(
+            text.contains("irma_mine_mine_seconds_hist_bucket{le=\"0.016777216\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("irma_mine_mine_seconds_hist_bucket{le=\"0.033554432\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("irma_mine_mine_seconds_hist_bucket{le=\"+Inf\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("irma_mine_mine_seconds_hist_sum 0.032"),
+            "{text}"
+        );
+        assert!(
+            text.contains("irma_mine_mine_seconds_hist_count 2\n"),
+            "{text}"
+        );
+        // Cumulative bucket counts are non-decreasing in file order.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_hist_bucket")) {
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= last, "{text}");
+            last = count;
+        }
+    }
+
+    #[test]
+    fn sched_stats_become_worker_labelled_families() {
+        use crate::{Metrics, SchedStats, SchedWorker};
+        let metrics = Metrics::enabled();
+        metrics.set_sched(SchedStats {
+            injector_pushes: 4,
+            workers: vec![
+                SchedWorker {
+                    worker: 0,
+                    jobs_executed: 10,
+                    local_pushes: 7,
+                    steal_successes: 2,
+                    steal_empty: 5,
+                    steal_retries: 1,
+                    injector_pops: 3,
+                    parks: 6,
+                    wakes: 4,
+                    deque_high_water: 9,
+                },
+                SchedWorker {
+                    worker: 1,
+                    jobs_executed: 1,
+                    ..SchedWorker::default()
+                },
+            ],
+        });
+        let text = metrics.snapshot().to_openmetrics();
+        assert!(
+            text.contains("irma_sched_injector_pushes_total 4\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE irma_sched_jobs_executed counter\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("irma_sched_jobs_executed_total{worker=\"0\"} 10\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("irma_sched_jobs_executed_total{worker=\"1\"} 1\n"),
+            "{text}"
+        );
+        // steal_attempts is the derived sum of the three outcomes.
+        assert!(
+            text.contains("irma_sched_steal_attempts_total{worker=\"0\"} 8\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("irma_sched_deque_high_water{worker=\"0\"} 9\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("irma_sched_parks_total{worker=\"0\"} 6\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn sched_without_workers_is_omitted() {
+        use crate::{Metrics, SchedStats};
+        let metrics = Metrics::enabled();
+        metrics.set_sched(SchedStats::default());
+        let text = metrics.snapshot().to_openmetrics();
+        assert!(!text.contains("irma_sched_"), "{text}");
     }
 
     #[test]
@@ -142,7 +309,8 @@ mod tests {
                     .unwrap()
                     .trim_end_matches("_total")
                     .trim_end_matches("_sum")
-                    .trim_end_matches("_count");
+                    .trim_end_matches("_count")
+                    .trim_end_matches("_bucket");
                 assert!(
                     declared.contains(sample_name),
                     "sample {line:?} before its # TYPE"

@@ -1,0 +1,364 @@
+//! A minimal embedded HTTP/1.1 scrape endpoint (`irma watch --listen`).
+//!
+//! Hand-rolled on `std::net::TcpListener` — the workspace builds
+//! offline, so no hyper/axum. The server exists to let Prometheus-style
+//! collectors scrape a live daemon, which shapes everything about it:
+//!
+//! * **GET only, two-ish routes** — the handler callback maps a path to
+//!   a body (`/metrics`, `/healthz` in the CLI); anything else is 404.
+//! * **Connection cap** ([`ScrapeOptions::max_connections`]) — each
+//!   connection is served by a short-lived thread; when the cap is
+//!   reached new connections get an immediate `503 Retry-After` instead
+//!   of queueing, so a scrape storm cannot pile up threads.
+//! * **Read/write deadlines** ([`ScrapeOptions::read_timeout`]) — a
+//!   client that connects and then stalls (slow-loris) holds a slot for
+//!   at most the deadline, not forever; request heads are capped at 8
+//!   KiB for the same reason.
+//! * **Connection: close** — one request per connection. Scrapers poll
+//!   on the order of seconds; keep-alive buys nothing and complicates
+//!   the cap accounting.
+//!
+//! Responses carry `Content-Length` and the server half-closes after
+//! writing, so well-behaved clients never block on EOF.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Largest request head (request line + headers) the server reads.
+const MAX_REQUEST_HEAD: usize = 8 * 1024;
+
+/// A route response from the handler callback.
+#[derive(Debug, Clone)]
+pub struct ScrapeResponse {
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The response body.
+    pub body: String,
+}
+
+/// The routing callback: path → response, or `None` for 404. Called on
+/// a per-connection thread, so it must be `Send + Sync` and should stay
+/// quick (it holds one of the capped connection slots while it runs).
+pub type ScrapeHandler = Arc<dyn Fn(&str) -> Option<ScrapeResponse> + Send + Sync>;
+
+/// Tunables for [`ScrapeServer::start_with`].
+#[derive(Debug, Clone)]
+pub struct ScrapeOptions {
+    /// Connections served concurrently before new ones get 503.
+    pub max_connections: usize,
+    /// Per-connection read and write deadline.
+    pub read_timeout: Duration,
+}
+
+impl Default for ScrapeOptions {
+    fn default() -> ScrapeOptions {
+        ScrapeOptions {
+            max_connections: 8,
+            read_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The embedded scrape server; listening from [`ScrapeServer::start`]
+/// until drop.
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ScrapeServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScrapeServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ScrapeServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// serves `handler` with default limits until the server is dropped.
+    pub fn start<A: ToSocketAddrs>(
+        addr: A,
+        handler: ScrapeHandler,
+    ) -> std::io::Result<ScrapeServer> {
+        ScrapeServer::start_with(addr, handler, ScrapeOptions::default())
+    }
+
+    /// [`ScrapeServer::start`] with explicit limits.
+    pub fn start_with<A: ToSocketAddrs>(
+        addr: A,
+        handler: ScrapeHandler,
+        options: ScrapeOptions,
+    ) -> std::io::Result<ScrapeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = thread::Builder::new()
+            .name("irma-scrape".to_string())
+            .spawn(move || accept_loop(listener, handler, options, accept_shutdown))?;
+        Ok(ScrapeServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The actually-bound address (resolves `:0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection to
+        // ourselves; if that fails the loop is already dying.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    handler: ScrapeHandler,
+    options: ScrapeOptions,
+    shutdown: Arc<AtomicBool>,
+) {
+    let active = Arc::new(AtomicUsize::new(0));
+    let rejecting = Arc::new(AtomicUsize::new(0));
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(options.read_timeout));
+        let _ = stream.set_write_timeout(Some(options.read_timeout));
+        // Claim a serving slot; over the cap, a (separately capped)
+        // rejector thread answers 503 — it must read the request head
+        // before closing, or the unread bytes turn the close into a TCP
+        // reset and the client never sees the 503. Past both caps the
+        // connection is simply dropped (a storm earns resets).
+        if active.fetch_add(1, Ordering::AcqRel) >= options.max_connections {
+            active.fetch_sub(1, Ordering::AcqRel);
+            if rejecting.fetch_add(1, Ordering::AcqRel) >= options.max_connections {
+                rejecting.fetch_sub(1, Ordering::AcqRel);
+                continue;
+            }
+            let slot = Arc::clone(&rejecting);
+            let spawned = thread::Builder::new()
+                .name("irma-scrape-reject".to_string())
+                .spawn(move || {
+                    reject_connection(stream);
+                    slot.fetch_sub(1, Ordering::AcqRel);
+                });
+            if spawned.is_err() {
+                rejecting.fetch_sub(1, Ordering::AcqRel);
+            }
+            continue;
+        }
+        let handler = Arc::clone(&handler);
+        let slot = Arc::clone(&active);
+        let spawned = thread::Builder::new()
+            .name("irma-scrape-conn".to_string())
+            .spawn(move || {
+                serve_connection(stream, &handler);
+                slot.fetch_sub(1, Ordering::AcqRel);
+            });
+        if spawned.is_err() {
+            active.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Reads one request head (bounded; deadline from the socket timeout).
+/// Returns the request line, or `None` on any read failure.
+fn read_request_head(stream: &TcpStream) -> Option<String> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    let mut head = (&mut reader).take(MAX_REQUEST_HEAD as u64);
+    if head.read_line(&mut request_line).is_err() {
+        return None;
+    }
+    // Drain the headers (bounded by the same take) so the client sees
+    // the response rather than a reset mid-send.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match head.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => return None,
+        }
+    }
+    Some(request_line)
+}
+
+/// Over-cap path: drain the request, answer 503, close.
+fn reject_connection(stream: TcpStream) {
+    if read_request_head(&stream).is_none() {
+        return;
+    }
+    let mut stream = stream;
+    let _ = stream.write_all(
+        b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\
+          Content-Length: 0\r\nConnection: close\r\n\r\n",
+    );
+}
+
+/// Reads one request head and writes one response. Any read error
+/// (timeout included) just drops the connection.
+fn serve_connection(stream: TcpStream, handler: &ScrapeHandler) {
+    let Some(request_line) = read_request_head(&stream) else {
+        return;
+    };
+    let mut stream = stream;
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        let _ = stream.write_all(
+            b"HTTP/1.1 405 Method Not Allowed\r\nAllow: GET\r\n\
+              Content-Length: 0\r\nConnection: close\r\n\r\n",
+        );
+        return;
+    }
+    // Ignore any query string: /metrics?foo=1 still scrapes.
+    let path = path.split('?').next().unwrap_or("");
+    match handler(path) {
+        Some(response) => {
+            let head = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n",
+                response.content_type,
+                response.body.len()
+            );
+            let _ = stream
+                .write_all(head.as_bytes())
+                .and_then(|_| stream.write_all(response.body.as_bytes()));
+        }
+        None => {
+            let body = "not found\n";
+            let head = format!(
+                "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n",
+                body.len()
+            );
+            let _ = stream
+                .write_all(head.as_bytes())
+                .and_then(|_| stream.write_all(body.as_bytes()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_handler() -> ScrapeHandler {
+        Arc::new(|path| match path {
+            "/metrics" => Some(ScrapeResponse {
+                content_type: "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                body: "# TYPE irma_up gauge\nirma_up 1\n# EOF\n".to_string(),
+            }),
+            "/healthz" => Some(ScrapeResponse {
+                content_type: "application/json",
+                body: "{\"status\":\"ok\"}".to_string(),
+            }),
+            _ => None,
+        })
+    }
+
+    fn request(addr: SocketAddr, head: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(head.as_bytes()).expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    }
+
+    #[test]
+    fn serves_metrics_and_healthz() {
+        let server = ScrapeServer::start("127.0.0.1:0", test_handler()).expect("bind");
+        let addr = server.local_addr();
+        let metrics = request(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+        assert!(
+            metrics.contains("application/openmetrics-text"),
+            "{metrics}"
+        );
+        assert!(metrics.ends_with("# EOF\n"), "{metrics}");
+        let health = request(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        // Query strings are ignored for routing.
+        let q = request(addr, "GET /metrics?window=5 HTTP/1.1\r\n\r\n");
+        assert!(q.starts_with("HTTP/1.1 200 OK\r\n"), "{q}");
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_non_get_is_405() {
+        let server = ScrapeServer::start("127.0.0.1:0", test_handler()).expect("bind");
+        let addr = server.local_addr();
+        let missing = request(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let post = request(addr, "POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+    }
+
+    #[test]
+    fn over_cap_connections_get_503_and_slots_recover() {
+        let server = ScrapeServer::start_with(
+            "127.0.0.1:0",
+            test_handler(),
+            ScrapeOptions {
+                max_connections: 1,
+                read_timeout: Duration::from_millis(200),
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        // A slow-loris client: connects, sends nothing, holds the slot.
+        let idle = TcpStream::connect(addr).expect("idle connect");
+        // Give the accept loop a beat to claim the slot for it.
+        thread::sleep(Duration::from_millis(50));
+        let rejected = request(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(rejected.starts_with("HTTP/1.1 503"), "{rejected}");
+        // After the read deadline evicts the idler, requests flow again.
+        thread::sleep(Duration::from_millis(400));
+        let served = request(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(served.starts_with("HTTP/1.1 200"), "{served}");
+        drop(idle);
+    }
+
+    #[test]
+    fn drop_stops_the_listener() {
+        let server = ScrapeServer::start("127.0.0.1:0", test_handler()).expect("bind");
+        let addr = server.local_addr();
+        drop(server);
+        // The port is released (or at least no longer accepts + serves).
+        let refused = TcpStream::connect(addr)
+            .map(|mut s| {
+                let _ = s.write_all(b"GET /metrics HTTP/1.1\r\n\r\n");
+                let mut buf = String::new();
+                s.set_read_timeout(Some(Duration::from_millis(200)))
+                    .unwrap();
+                s.read_to_string(&mut buf).map(|_| buf).unwrap_or_default()
+            })
+            .unwrap_or_default();
+        assert!(
+            !refused.contains("200 OK"),
+            "server still serving: {refused}"
+        );
+    }
+}

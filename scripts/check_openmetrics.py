@@ -9,7 +9,13 @@ Checks on the OpenMetrics file:
   `# TYPE` line (TYPE-before-samples);
 * no metric family is announced twice (no duplicate names);
 * summary suffixes (`_sum`, `_count`) and counter totals (`_total`)
-  resolve to their family name;
+  resolve to their family name (worker-labelled scheduler families like
+  `irma_sched_steal_successes_total{worker="0"}` included);
+* every sample value parses as a number;
+* every histogram family is coherent: `_bucket` samples carry an `le`
+  label, `le` bounds are strictly increasing with `+Inf` last, cumulative
+  counts are non-decreasing, the `+Inf` bucket equals `_count`, and
+  `_sum` is present;
 * the exposition ends with exactly one `# EOF` line and nothing after it.
 
 Checks on the trace log (when given): every line parses as a JSON object
@@ -20,7 +26,11 @@ span, and each run closes all its spans before the next run starts.
 """
 
 import json
+import math
+import re
 import sys
+
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
 
 
 def fail(msg: str) -> None:
@@ -36,6 +46,47 @@ def family_of(name: str) -> str:
     return name
 
 
+def parse_sample(line: str) -> tuple[str, dict[str, str], str]:
+    """Splits a sample line into (name, labels, raw value)."""
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        labels_raw, _, value_raw = rest.partition("}")
+        return name, dict(LABEL_RE.findall(labels_raw)), value_raw.strip()
+    name, _, value_raw = line.partition(" ")
+    return name, {}, value_raw.strip()
+
+
+def check_histogram(path: str, family: str, hist: dict) -> None:
+    """One histogram family's le-bucket coherence."""
+    buckets = hist["buckets"]
+    if not buckets:
+        fail(f"{path}: histogram {family} has no _bucket samples")
+    for (n_a, le_a, _), (n_b, le_b, _) in zip(buckets, buckets[1:]):
+        if not le_a < le_b:
+            fail(
+                f"{path}:{n_b}: histogram {family} le bounds not strictly "
+                f"increasing ({le_a} then {le_b})"
+            )
+    last_n, last_le, last_count = buckets[-1]
+    if last_le != math.inf:
+        fail(f"{path}:{last_n}: histogram {family} must end with an le=\"+Inf\" bucket")
+    for (n_a, _, c_a), (n_b, _, c_b) in zip(buckets, buckets[1:]):
+        if c_b < c_a:
+            fail(
+                f"{path}:{n_b}: histogram {family} cumulative counts "
+                f"decrease ({c_a} then {c_b})"
+            )
+    if hist["count"] is None:
+        fail(f"{path}: histogram {family} has no _count sample")
+    if last_count != hist["count"]:
+        fail(
+            f"{path}: histogram {family} +Inf bucket {last_count} != "
+            f"_count {hist['count']}"
+        )
+    if hist["sum"] is None:
+        fail(f"{path}: histogram {family} has no _sum sample")
+
+
 def check_openmetrics(path: str) -> int:
     with open(path, encoding="utf-8") as f:
         lines = f.read().splitlines()
@@ -47,6 +98,7 @@ def check_openmetrics(path: str) -> int:
         fail(f"{path}: '# EOF' must appear exactly once")
 
     declared: dict[str, str] = {}
+    histograms: dict[str, dict] = {}
     samples = 0
     for n, line in enumerate(lines[:-1], start=1):
         if not line:
@@ -62,17 +114,43 @@ def check_openmetrics(path: str) -> int:
                 declared[name] = kind
             continue
         # Sample line: <name>[{labels}] <value>
-        name = line.split("{", 1)[0].split(" ", 1)[0]
+        name, labels, value_raw = parse_sample(line)
         family = family_of(name)
         if family not in declared:
             fail(
                 f"{path}:{n}: sample {name!r} has no preceding "
                 f"'# TYPE {family} ...' line"
             )
+        try:
+            value = float(value_raw)
+        except ValueError:
+            fail(f"{path}:{n}: sample value {value_raw!r} is not a number")
+        if declared[family] == "histogram":
+            hist = histograms.setdefault(
+                family, {"buckets": [], "sum": None, "count": None}
+            )
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    fail(f"{path}:{n}: histogram sample {name!r} has no le label")
+                le_raw = labels["le"]
+                le = math.inf if le_raw == "+Inf" else float(le_raw)
+                hist["buckets"].append((n, le, value))
+            elif name.endswith("_sum"):
+                hist["sum"] = value
+            elif name.endswith("_count"):
+                hist["count"] = value
+            else:
+                fail(f"{path}:{n}: unexpected histogram sample {name!r}")
         samples += 1
     if samples == 0:
         fail(f"{path}: no sample lines")
-    print(f"ok: {path}: {len(declared)} families, {samples} samples, EOF terminated")
+    for family, hist in histograms.items():
+        check_histogram(path, family, hist)
+    tail = f", {len(histograms)} histograms checked" if histograms else ""
+    print(
+        f"ok: {path}: {len(declared)} families, {samples} samples, "
+        f"EOF terminated{tail}"
+    )
     return samples
 
 

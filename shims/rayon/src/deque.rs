@@ -162,9 +162,16 @@ impl<T: FlatWords + Send> ChaseLev<T> {
 
     /// Whether the deque is (momentarily) empty. Advisory only.
     pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Momentary element count. Advisory only (concurrent thieves may
+    /// move `top` between the two loads); exact when called by the owner
+    /// with no thieves active.
+    pub fn len(&self) -> usize {
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Relaxed);
-        b <= t
+        (b - t).max(0) as usize
     }
 
     /// Owner-only: pushes `value` at the bottom (LIFO end).

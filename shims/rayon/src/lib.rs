@@ -30,7 +30,7 @@ pub mod iter;
 pub mod pool;
 
 pub use iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
-pub use pool::{current_thread_index, join};
+pub use pool::{current_thread_index, join, SchedSnapshot, WorkerSchedStats};
 
 use pool::Registry;
 
@@ -61,11 +61,30 @@ pub fn current_num_threads() -> usize {
     current_registry().width()
 }
 
+/// Shim-only extension: snapshots the scheduler counters of the pool
+/// that parallel operations started from this thread schedule into (the
+/// installed pool on a [`ThreadPool::install`] thread, this worker's own
+/// pool on a pool thread, the global pool otherwise).
+pub fn sched_stats() -> SchedSnapshot {
+    current_registry().sched_stats()
+}
+
 /// Builder mirroring `rayon::ThreadPoolBuilder`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ThreadPoolBuilder {
     num_threads: Option<usize>,
     jitter: u64,
+    telemetry: bool,
+}
+
+impl Default for ThreadPoolBuilder {
+    fn default() -> ThreadPoolBuilder {
+        ThreadPoolBuilder {
+            num_threads: None,
+            jitter: 0,
+            telemetry: true,
+        }
+    }
 }
 
 /// Error type for [`ThreadPoolBuilder::build`] (construction cannot
@@ -103,6 +122,14 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Shim-only extension: enables or disables the per-worker scheduler
+    /// counters (enabled by default). Disabling exists so the telemetry
+    /// overhead itself can be benchmarked; production pools leave it on.
+    pub fn telemetry(mut self, enabled: bool) -> ThreadPoolBuilder {
+        self.telemetry = enabled;
+        self
+    }
+
     /// Builds the pool, spawning its worker threads.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let width = self.num_threads.unwrap_or_else(|| {
@@ -111,7 +138,7 @@ impl ThreadPoolBuilder {
                 .unwrap_or(1)
         });
         Ok(ThreadPool {
-            registry: Registry::new(width, self.jitter),
+            registry: Registry::new(width, self.jitter, self.telemetry),
         })
     }
 }
@@ -141,6 +168,11 @@ impl ThreadPool {
     /// The pool's width.
     pub fn current_num_threads(&self) -> usize {
         self.registry.width()
+    }
+
+    /// Shim-only extension: snapshots this pool's scheduler counters.
+    pub fn sched_stats(&self) -> SchedSnapshot {
+        self.registry.sched_stats()
     }
 }
 

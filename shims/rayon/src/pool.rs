@@ -205,21 +205,132 @@ impl EventCounter {
 
     /// Sleeps until the next publish, unless one happened since
     /// `snapshot` was taken — then returns immediately so the caller
-    /// rescans.
+    /// rescans. Returns whether it actually blocked on the condvar
+    /// (telemetry: parks that waited vs parks aborted by the re-check).
     ///
     /// Registration order matters: `sleepers` is incremented *before*
     /// the epoch re-check. A producer that bumps the epoch after our
     /// re-check therefore observes `sleepers > 0` and notifies; a
     /// producer that bumped before is caught by the re-check. Either
     /// way the wakeup cannot be lost.
-    fn sleep(&self, snapshot: u64) {
+    fn sleep(&self, snapshot: u64) -> bool {
         let guard = self.mutex.lock().expect("eventcount lock");
         self.sleepers.fetch_add(1, Ordering::SeqCst);
-        if self.epoch.load(Ordering::SeqCst) == snapshot {
+        let waited = if self.epoch.load(Ordering::SeqCst) == snapshot {
             // Spurious wakeups are fine: the caller loops and rescans.
             let _guard = self.condvar.wait(guard).expect("eventcount wait");
-        }
+            true
+        } else {
+            false
+        };
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        waited
+    }
+}
+
+/// Per-worker scheduler counters, one cache line each so a worker's
+/// relaxed increments never contend with its neighbours' (no false
+/// sharing on the hot fork path). All fields are monotone counters
+/// except `deque_high_water`, a monotone running maximum written only by
+/// the owning worker.
+#[repr(align(128))]
+struct WorkerStats {
+    jobs_executed: AtomicU64,
+    local_pushes: AtomicU64,
+    steal_successes: AtomicU64,
+    steal_empty: AtomicU64,
+    steal_retries: AtomicU64,
+    injector_pops: AtomicU64,
+    parks: AtomicU64,
+    wakes: AtomicU64,
+    deque_high_water: AtomicU64,
+}
+
+impl WorkerStats {
+    fn new() -> WorkerStats {
+        WorkerStats {
+            jobs_executed: AtomicU64::new(0),
+            local_pushes: AtomicU64::new(0),
+            steal_successes: AtomicU64::new(0),
+            steal_empty: AtomicU64::new(0),
+            steal_retries: AtomicU64::new(0),
+            injector_pops: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
+            deque_high_water: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Point-in-time copy of one worker's scheduler counters.
+///
+/// Counter semantics:
+/// * `jobs_executed` — jobs this worker ran (counted immediately before
+///   execution, so by the time a parallel operation completes every one
+///   of its jobs has been counted);
+/// * `local_pushes` — jobs pushed onto this worker's own deque (`join`
+///   right-hand sides);
+/// * `steal_successes` / `steal_empty` / `steal_retries` — per-victim
+///   probe outcomes (one of the three per probe; attempts are their sum);
+/// * `injector_pops` — jobs taken from the shared injector;
+/// * `parks` — idle episodes that reached the eventcount sleep call;
+/// * `wakes` — the subset of parks that actually blocked on the condvar
+///   and were woken (`parks - wakes` = sleeps aborted by the epoch
+///   re-check, i.e. lost-wakeup near-misses);
+/// * `deque_high_water` — deepest this worker's own deque has been.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerSchedStats {
+    /// Jobs this worker executed.
+    pub jobs_executed: u64,
+    /// Jobs pushed onto this worker's own deque.
+    pub local_pushes: u64,
+    /// Steal probes that took an element.
+    pub steal_successes: u64,
+    /// Steal probes that found the victim empty.
+    pub steal_empty: u64,
+    /// Steal probes that lost a race and re-probed.
+    pub steal_retries: u64,
+    /// Jobs taken from the shared injector.
+    pub injector_pops: u64,
+    /// Idle episodes that reached the sleep call.
+    pub parks: u64,
+    /// Parks that actually blocked and were woken.
+    pub wakes: u64,
+    /// Maximum depth of this worker's own deque.
+    pub deque_high_water: u64,
+}
+
+impl WorkerSchedStats {
+    /// Total steal probes: successes + empty + retries.
+    pub fn steal_attempts(&self) -> u64 {
+        self.steal_successes + self.steal_empty + self.steal_retries
+    }
+}
+
+/// Point-in-time snapshot of a pool's scheduler counters
+/// ([`crate::ThreadPool::sched_stats`] / [`crate::sched_stats`]).
+///
+/// A sequential (width ≤ 1) or telemetry-disabled pool reports an empty
+/// `workers` list. Between parallel operations the counters conserve
+/// work: [`SchedSnapshot::jobs_executed`] equals
+/// [`SchedSnapshot::jobs_submitted`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SchedSnapshot {
+    /// Jobs pushed onto the shared injector (external submissions).
+    pub injector_pushes: u64,
+    /// Per-worker counters; index = worker id.
+    pub workers: Vec<WorkerSchedStats>,
+}
+
+impl SchedSnapshot {
+    /// Jobs executed across all workers.
+    pub fn jobs_executed(&self) -> u64 {
+        self.workers.iter().map(|w| w.jobs_executed).sum()
+    }
+
+    /// Jobs submitted: injector pushes plus every worker's local pushes.
+    pub fn jobs_submitted(&self) -> u64 {
+        self.injector_pushes + self.workers.iter().map(|w| w.local_pushes).sum::<u64>()
     }
 }
 
@@ -236,9 +347,33 @@ struct Shared {
     terminate: AtomicBool,
     /// Steal-order fuzzing seed; 0 disables jitter.
     jitter: u64,
+    /// Per-worker telemetry; empty when telemetry is disabled (so the
+    /// hot-path gate is a slice bounds check, not a branch on a flag).
+    stats: Box<[WorkerStats]>,
+    /// External submissions; counted here (not per worker) because the
+    /// pushing thread is outside the pool.
+    injector_pushes: AtomicU64,
 }
 
 impl Shared {
+    /// Worker `index`'s telemetry counters; `None` when telemetry is
+    /// disabled (the `stats` slice is then empty).
+    #[inline]
+    fn stat(&self, index: usize) -> Option<&WorkerStats> {
+        self.stats.get(index)
+    }
+
+    /// Records `index` running a job. Counted *before* execution so that
+    /// when a parallel operation completes (every job's `done` flag set,
+    /// inside execution) all of its jobs are already counted — that is
+    /// what makes executed == submitted hold between operations.
+    #[inline]
+    fn count_executed(&self, index: usize) {
+        if let Some(s) = self.stat(index) {
+            s.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Pops the bottom of worker `index`'s own deque (LIFO). Must only
     /// be called from worker `index` itself.
     fn pop_local(&self, index: usize) -> Option<JobRef> {
@@ -249,6 +384,15 @@ impl Shared {
     /// Must only be called from worker `index` itself.
     fn push_local(&self, index: usize, job: JobRef) {
         self.deques[index].push(job);
+        if let Some(s) = self.stat(index) {
+            s.local_pushes.fetch_add(1, Ordering::Relaxed);
+            // Owner-only writer, so a load + plain store is a race-free
+            // running maximum (no RMW on the fork hot path).
+            let depth = self.deques[index].len() as u64;
+            if depth > s.deque_high_water.load(Ordering::Relaxed) {
+                s.deque_high_water.store(depth, Ordering::Relaxed);
+            }
+        }
         self.sleep.publish();
     }
 
@@ -260,6 +404,9 @@ impl Shared {
     /// we know of.
     fn steal(&self, thief: usize, start: usize) -> Option<JobRef> {
         if let Some(job) = self.injector.lock().expect("injector lock").pop_front() {
+            if let Some(s) = self.stat(thief) {
+                s.injector_pops.fetch_add(1, Ordering::Relaxed);
+            }
             return Some(job);
         }
         let n = self.deques.len();
@@ -270,9 +417,24 @@ impl Shared {
             }
             loop {
                 match self.deques[victim].steal() {
-                    Steal::Success(job) => return Some(job),
-                    Steal::Retry => continue,
-                    Steal::Empty => break,
+                    Steal::Success(job) => {
+                        if let Some(s) = self.stat(thief) {
+                            s.steal_successes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Some(job);
+                    }
+                    Steal::Retry => {
+                        if let Some(s) = self.stat(thief) {
+                            s.steal_retries.fetch_add(1, Ordering::Relaxed);
+                        }
+                        continue;
+                    }
+                    Steal::Empty => {
+                        if let Some(s) = self.stat(thief) {
+                            s.steal_empty.fetch_add(1, Ordering::Relaxed);
+                        }
+                        break;
+                    }
                 }
             }
         }
@@ -280,6 +442,9 @@ impl Shared {
     }
 
     fn push_injected(&self, job: JobRef) {
+        if !self.stats.is_empty() {
+            self.injector_pushes.fetch_add(1, Ordering::Relaxed);
+        }
         self.injector.lock().expect("injector lock").push_back(job);
         self.sleep.publish();
     }
@@ -354,13 +519,21 @@ fn worker_main(shared: Arc<Shared>, index: usize, registry: Arc<Registry>) {
                 .or_else(|| shared.steal(index, start))
         });
         if let Some(job) = found {
+            shared.count_executed(index);
             unsafe { job.run() };
             continue;
         }
         if shared.terminate.load(Ordering::Acquire) {
             break;
         }
-        shared.sleep.sleep(snapshot);
+        if let Some(s) = shared.stat(index) {
+            s.parks.fetch_add(1, Ordering::Relaxed);
+        }
+        if shared.sleep.sleep(snapshot) {
+            if let Some(s) = shared.stat(index) {
+                s.wakes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -385,16 +558,20 @@ impl std::fmt::Debug for Registry {
 impl Registry {
     /// Builds a registry of `width` cooperating threads. Width 0/1 is a
     /// sequential registry: no threads are spawned and every operation
-    /// runs inline on the caller.
-    pub(crate) fn new(width: usize, jitter: u64) -> Arc<Registry> {
+    /// runs inline on the caller. `telemetry` controls whether the
+    /// per-worker scheduler counters are maintained.
+    pub(crate) fn new(width: usize, jitter: u64, telemetry: bool) -> Arc<Registry> {
         let width = width.max(1);
         let spawn = if width > 1 { width } else { 0 };
+        let tracked = if telemetry { spawn } else { 0 };
         let shared = Arc::new(Shared {
             deques: (0..spawn).map(|_| ChaseLev::new()).collect(),
             injector: Mutex::new(VecDeque::new()),
             sleep: EventCounter::new(),
             terminate: AtomicBool::new(false),
             jitter,
+            stats: (0..tracked).map(|_| WorkerStats::new()).collect(),
+            injector_pushes: AtomicU64::new(0),
         });
         let registry = Arc::new(Registry {
             shared: Arc::clone(&shared),
@@ -418,6 +595,31 @@ impl Registry {
 
     pub(crate) fn width(&self) -> usize {
         self.width
+    }
+
+    /// Snapshots the scheduler counters (relaxed loads; each worker's
+    /// counters are individually coherent, cross-worker totals are exact
+    /// whenever the pool is quiescent between parallel operations).
+    pub(crate) fn sched_stats(&self) -> SchedSnapshot {
+        SchedSnapshot {
+            injector_pushes: self.shared.injector_pushes.load(Ordering::Relaxed),
+            workers: self
+                .shared
+                .stats
+                .iter()
+                .map(|s| WorkerSchedStats {
+                    jobs_executed: s.jobs_executed.load(Ordering::Relaxed),
+                    local_pushes: s.local_pushes.load(Ordering::Relaxed),
+                    steal_successes: s.steal_successes.load(Ordering::Relaxed),
+                    steal_empty: s.steal_empty.load(Ordering::Relaxed),
+                    steal_retries: s.steal_retries.load(Ordering::Relaxed),
+                    injector_pops: s.injector_pops.load(Ordering::Relaxed),
+                    parks: s.parks.load(Ordering::Relaxed),
+                    wakes: s.wakes.load(Ordering::Relaxed),
+                    deque_high_water: s.deque_high_water.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
     }
 
     /// Runs `op` on a pool worker and blocks until it completes. If the
@@ -477,7 +679,7 @@ pub(crate) fn global_registry() -> &'static Arc<Registry> {
         let width = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        Registry::new(width, 0)
+        Registry::new(width, 0, true)
     })
 }
 
@@ -548,7 +750,10 @@ where
                 .or_else(|| shared.steal(index, start))
         });
         match next {
-            Some(job) => unsafe { job.run() },
+            Some(job) => {
+                shared.count_executed(index);
+                unsafe { job.run() }
+            }
             None => thread::yield_now(),
         }
     }
@@ -558,5 +763,77 @@ where
         (Ok(ra), Ok(rb)) => (ra, rb),
         (Err(payload), _) => std::panic::resume_unwind(payload),
         (_, Err(payload)) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ThreadPoolBuilder;
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = crate::join(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+
+    #[test]
+    fn counters_conserve_work_between_operations() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool builds");
+        for round in 0..3 {
+            assert_eq!(pool.install(|| fib(16)), 987);
+            let stats = pool.sched_stats();
+            assert_eq!(stats.workers.len(), 4);
+            assert_eq!(
+                stats.jobs_executed(),
+                stats.jobs_submitted(),
+                "round {round}: executed != submitted"
+            );
+        }
+        let stats = pool.sched_stats();
+        assert!(stats.jobs_executed() > 0, "fib(16) forks at least once");
+        assert!(
+            stats.injector_pushes > 0,
+            "install migrates via the injector"
+        );
+        assert!(
+            stats.workers.iter().any(|w| w.deque_high_water > 0),
+            "some worker's deque held pending work"
+        );
+        for w in &stats.workers {
+            assert!(w.wakes <= w.parks, "a wake implies a park");
+            assert_eq!(
+                w.steal_attempts(),
+                w.steal_successes + w.steal_empty + w.steal_retries
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_off_reports_no_workers() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .telemetry(false)
+            .build()
+            .expect("pool builds");
+        assert_eq!(pool.install(|| fib(12)), 144);
+        let stats = pool.sched_stats();
+        assert!(stats.workers.is_empty());
+        assert_eq!(stats.injector_pushes, 0);
+        assert_eq!(stats.jobs_executed(), 0);
+    }
+
+    #[test]
+    fn sequential_pool_snapshot_is_empty() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool builds");
+        assert_eq!(pool.install(|| fib(10)), 55);
+        assert!(pool.sched_stats().workers.is_empty());
     }
 }
