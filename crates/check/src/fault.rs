@@ -325,6 +325,216 @@ pub fn base_spec() -> EncoderSpec {
     ])
 }
 
+/// A socket-level client misbehaviour for chaos-testing an HTTP server.
+///
+/// Each variant is one way a real network peer goes wrong. The drivers
+/// ([`run_socket_fault`]) execute them against a live address and report
+/// what came back; they know nothing about the server under test, so the
+/// suite in `tests/chaos_serve.rs` owns all assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocketFault {
+    /// Dribble a request head a few bytes at a time with pauses, then
+    /// hang up before finishing it (the slow-loris shape, bounded).
+    SlowLoris {
+        /// Bytes sent per dribble.
+        chunk: usize,
+        /// Pause between dribbles, in milliseconds.
+        pause_ms: u64,
+        /// Dribbles before hanging up.
+        rounds: usize,
+    },
+    /// Declare a `Content-Length` and disconnect mid-body.
+    MidBodyDisconnect {
+        /// Declared body length.
+        declared: usize,
+        /// Bytes actually sent before the hangup.
+        sent: usize,
+    },
+    /// Send a valid request but read only a prefix of the response and
+    /// slam the connection shut.
+    PartialResponseRead {
+        /// Response bytes to read before closing.
+        read_bytes: usize,
+    },
+    /// Send seeded binary junk where a request line belongs.
+    GarbageRequestLine {
+        /// Junk length in bytes.
+        len: usize,
+    },
+    /// POST a body larger than the server's configured cap (the body is
+    /// fully sent; the server should answer 413 from the declared
+    /// length without reading it all).
+    OversizedBody {
+        /// Body size to declare and send.
+        bytes: usize,
+    },
+    /// Send a request head past the 8 KiB cap (expects 431 back).
+    OversizedHead {
+        /// Padding-header value length.
+        padding: usize,
+    },
+}
+
+impl SocketFault {
+    /// Derives one socket fault from a seed, covering every variant
+    /// across consecutive seeds.
+    pub fn from_seed(seed: u64) -> SocketFault {
+        let mut rng = FaultRng::new(seed ^ 0x50c4_e7fa);
+        match rng.below(6) {
+            0 => SocketFault::SlowLoris {
+                chunk: 1 + rng.below(4) as usize,
+                pause_ms: 5 + rng.below(20),
+                rounds: 2 + rng.below(4) as usize,
+            },
+            1 => SocketFault::MidBodyDisconnect {
+                declared: 256 + rng.below(1024) as usize,
+                sent: rng.below(128) as usize,
+            },
+            2 => SocketFault::PartialResponseRead {
+                read_bytes: 1 + rng.below(16) as usize,
+            },
+            3 => SocketFault::GarbageRequestLine {
+                len: 1 + rng.below(512) as usize,
+            },
+            4 => SocketFault::OversizedBody {
+                bytes: 2048 + rng.below(2048) as usize,
+            },
+            _ => SocketFault::OversizedHead {
+                padding: 9 * 1024 + rng.below(4096) as usize,
+            },
+        }
+    }
+}
+
+/// What a socket-fault driver observed from the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocketOutcome {
+    /// The server answered with this HTTP status.
+    Status(u16),
+    /// The connection closed with no (parseable) status — fine for
+    /// faults where the client hung up first.
+    Dropped,
+    /// The connection could not even be established.
+    ConnectFailed,
+}
+
+fn parse_status(response: &[u8]) -> Option<u16> {
+    let text = std::str::from_utf8(response.get(..response.len().min(64))?).ok()?;
+    let mut words = text.split_whitespace();
+    if !words.next()?.starts_with("HTTP/1.") {
+        return None;
+    }
+    words.next()?.parse().ok()
+}
+
+fn read_status(stream: &mut std::net::TcpStream) -> SocketOutcome {
+    use std::io::Read;
+    let mut buf = Vec::new();
+    match stream.read_to_end(&mut buf) {
+        Ok(_) | Err(_) => {}
+    }
+    match parse_status(&buf) {
+        Some(status) => SocketOutcome::Status(status),
+        None => SocketOutcome::Dropped,
+    }
+}
+
+/// Executes one [`SocketFault`] against a live server and reports what
+/// came back. Every driver bounds its own runtime (socket timeouts plus
+/// finite writes), so a wedged server shows up as a test timeout at the
+/// suite level, not a hang here.
+pub fn run_socket_fault(addr: std::net::SocketAddr, fault: &SocketFault) -> SocketOutcome {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return SocketOutcome::ConnectFailed;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    match fault {
+        SocketFault::SlowLoris {
+            chunk,
+            pause_ms,
+            rounds,
+        } => {
+            let head = b"POST /v1/analyze HTTP/1.1\r\nhost: chaos\r\ncontent-length: 64\r\n";
+            let mut sent = 0;
+            for _ in 0..*rounds {
+                if sent >= head.len() {
+                    break;
+                }
+                let end = (sent + chunk).min(head.len());
+                if stream.write_all(&head[sent..end]).is_err() {
+                    return SocketOutcome::Dropped;
+                }
+                sent = end;
+                std::thread::sleep(Duration::from_millis(*pause_ms));
+            }
+            // Hang up with the head unfinished.
+            SocketOutcome::Dropped
+        }
+        SocketFault::MidBodyDisconnect { declared, sent } => {
+            let head = format!(
+                "POST /v1/analyze HTTP/1.1\r\nhost: chaos\r\ncontent-length: {declared}\r\n\r\n"
+            );
+            if stream.write_all(head.as_bytes()).is_err() {
+                return SocketOutcome::Dropped;
+            }
+            let body = vec![b'x'; (*sent).min(*declared)];
+            let _ = stream.write_all(&body);
+            // Close with the body short; the server must drop cleanly.
+            SocketOutcome::Dropped
+        }
+        SocketFault::PartialResponseRead { read_bytes } => {
+            if stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nhost: chaos\r\n\r\n")
+                .is_err()
+            {
+                return SocketOutcome::Dropped;
+            }
+            let mut buf = vec![0u8; *read_bytes];
+            let _ = stream.read_exact(&mut buf);
+            // Drop with (most of) the response unread.
+            SocketOutcome::Dropped
+        }
+        SocketFault::GarbageRequestLine { len } => {
+            let mut rng = FaultRng::new(*len as u64 ^ 0x6a5b);
+            let junk: Vec<u8> = (0..*len).map(|_| (rng.below(256)) as u8).collect();
+            if stream.write_all(&junk).is_err() {
+                return SocketOutcome::Dropped;
+            }
+            if stream.write_all(b"\r\n\r\n").is_err() {
+                return SocketOutcome::Dropped;
+            }
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            read_status(&mut stream)
+        }
+        SocketFault::OversizedBody { bytes } => {
+            let head = format!(
+                "POST /v1/analyze HTTP/1.1\r\nhost: chaos\r\ncontent-length: {bytes}\r\n\r\n"
+            );
+            if stream.write_all(head.as_bytes()).is_err() {
+                return SocketOutcome::Dropped;
+            }
+            let body = vec![b'a'; *bytes];
+            let _ = stream.write_all(&body);
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            read_status(&mut stream)
+        }
+        SocketFault::OversizedHead { padding } => {
+            let head = format!(
+                "GET /healthz HTTP/1.1\r\nhost: chaos\r\nx-pad: {}\r\n\r\n",
+                "p".repeat(*padding)
+            );
+            if stream.write_all(head.as_bytes()).is_err() {
+                return SocketOutcome::Dropped;
+            }
+            read_status(&mut stream)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +611,43 @@ mod tests {
         assert_eq!(w.write(b"cd").unwrap(), 2);
         assert!(w.write(b"e").is_err());
         assert!(w.flush().is_ok());
+    }
+
+    #[test]
+    fn socket_faults_cover_every_variant_and_stay_deterministic() {
+        let faults: Vec<SocketFault> = (0..200).map(SocketFault::from_seed).collect();
+        assert!(faults
+            .iter()
+            .any(|f| matches!(f, SocketFault::SlowLoris { .. })));
+        assert!(faults
+            .iter()
+            .any(|f| matches!(f, SocketFault::MidBodyDisconnect { .. })));
+        assert!(faults
+            .iter()
+            .any(|f| matches!(f, SocketFault::PartialResponseRead { .. })));
+        assert!(faults
+            .iter()
+            .any(|f| matches!(f, SocketFault::GarbageRequestLine { .. })));
+        assert!(faults
+            .iter()
+            .any(|f| matches!(f, SocketFault::OversizedBody { .. })));
+        assert!(faults
+            .iter()
+            .any(|f| matches!(f, SocketFault::OversizedHead { .. })));
+        for seed in 0..50 {
+            assert_eq!(SocketFault::from_seed(seed), SocketFault::from_seed(seed));
+        }
+    }
+
+    #[test]
+    fn status_parser_reads_the_first_line_only() {
+        assert_eq!(
+            parse_status(b"HTTP/1.1 503 Service Unavailable\r\n"),
+            Some(503)
+        );
+        assert_eq!(parse_status(b"HTTP/1.0 200 OK\r\nbody"), Some(200));
+        assert_eq!(parse_status(b"not http at all"), None);
+        assert_eq!(parse_status(b""), None);
     }
 
     #[test]

@@ -174,6 +174,30 @@ pub enum Command {
         /// Worker threads for the mining pool (default: one per core).
         threads: Option<usize>,
     },
+    /// `irma serve [--listen ADDR] [--workers N] [--queue-depth N]
+    ///  [--cache-entries N] [--budget-itemsets N] [--budget-tree-mb N]
+    ///  [--default-deadline DUR] [--max-deadline DUR] [--threads N]` —
+    /// the multi-tenant rule-serving HTTP API.
+    Serve {
+        /// Bind address (`HOST:PORT`, port 0 for ephemeral).
+        listen: String,
+        /// HTTP worker threads.
+        workers: usize,
+        /// Bounded connection-queue depth (503 past it).
+        queue_depth: usize,
+        /// Result-cache capacity, in entries.
+        cache_entries: usize,
+        /// Cap on mined itemsets per request before the ladder kicks in.
+        budget_itemsets: Option<u64>,
+        /// Cap on estimated FP-tree memory per request, in MiB.
+        budget_tree_mb: Option<u64>,
+        /// Deadline when the client sends no `x-irma-timeout-ms` header.
+        default_deadline: Duration,
+        /// Hard cap on client-requested deadlines.
+        max_deadline: Duration,
+        /// Worker threads for the mining pool (default: one per core).
+        threads: Option<usize>,
+    },
     /// `irma trace <input.jsonl|-> [--out FILE]` — convert a JSONL trace
     /// log (`--trace-log` output) into Chrome `trace_event` JSON for
     /// chrome://tracing / Perfetto.
@@ -554,6 +578,86 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     .transpose()?,
             })
         }
+        "serve" => {
+            let (positional, flags) = split_flags(rest)?;
+            if !positional.is_empty() {
+                return Err(ParseError(format!(
+                    "unexpected argument `{}`",
+                    positional[0]
+                )));
+            }
+            known_flags(
+                &flags,
+                &[
+                    "listen",
+                    "workers",
+                    "queue-depth",
+                    "cache-entries",
+                    "budget-itemsets",
+                    "budget-tree-mb",
+                    "default-deadline",
+                    "max-deadline",
+                    "threads",
+                ],
+            )?;
+            let listen = match flags.get("listen") {
+                Some(raw) if raw.contains(':') => raw.clone(),
+                Some(raw) => {
+                    return Err(ParseError(format!(
+                        "invalid value for --listen: `{raw}` (need HOST:PORT, \
+                         e.g. 127.0.0.1:9185 or 127.0.0.1:0 for an ephemeral port)"
+                    )))
+                }
+                None => "127.0.0.1:9185".to_string(),
+            };
+            Ok(Command::Serve {
+                listen,
+                workers: match get_parse(&flags, "workers", 2)? {
+                    0 => return Err(ParseError("--workers must be >= 1".to_string())),
+                    n => n,
+                },
+                queue_depth: match get_parse(&flags, "queue-depth", 32)? {
+                    0 => return Err(ParseError("--queue-depth must be >= 1".to_string())),
+                    n => n,
+                },
+                cache_entries: get_parse(&flags, "cache-entries", 64)?,
+                budget_itemsets: flags
+                    .get("budget-itemsets")
+                    .map(|raw| {
+                        raw.parse().map_err(|_| {
+                            ParseError(format!("invalid value for --budget-itemsets: `{raw}`"))
+                        })
+                    })
+                    .transpose()?,
+                budget_tree_mb: flags
+                    .get("budget-tree-mb")
+                    .map(|raw| {
+                        raw.parse().map_err(|_| {
+                            ParseError(format!("invalid value for --budget-tree-mb: `{raw}`"))
+                        })
+                    })
+                    .transpose()?,
+                default_deadline: match flags.get("default-deadline") {
+                    Some(raw) => parse_duration(raw)
+                        .map_err(|e| ParseError(format!("invalid --default-deadline: {e}")))?,
+                    None => Duration::from_secs(5),
+                },
+                max_deadline: match flags.get("max-deadline") {
+                    Some(raw) => parse_duration(raw)
+                        .map_err(|e| ParseError(format!("invalid --max-deadline: {e}")))?,
+                    None => Duration::from_secs(30),
+                },
+                threads: flags
+                    .get("threads")
+                    .map(|raw| match raw.parse() {
+                        Ok(n) if n >= 1 => Ok(n),
+                        _ => Err(ParseError(format!(
+                            "invalid value for --threads: `{raw}` (need an integer >= 1)"
+                        ))),
+                    })
+                    .transpose()?,
+            })
+        }
         "trace" => {
             let (positional, flags) = split_flags(rest)?;
             known_flags(&flags, &["out"])?;
@@ -665,6 +769,26 @@ EXIT CODES:
       scheduler families — and GET /healthz serves a small JSON health
       document (uptime, degraded flag, seconds since the last emission).
       --listen implies metrics collection even without --metrics.
+  irma serve [--listen ADDR] [--workers N] [--queue-depth N]
+             [--cache-entries N] [--budget-itemsets N] [--budget-tree-mb N]
+             [--default-deadline DUR] [--max-deadline DUR] [--threads N]
+      Run the multi-tenant rule-serving HTTP API (default
+      127.0.0.1:9185; port 0 picks an ephemeral one, printed on stderr).
+      POST /v1/analyze takes a CSV body (or `fp:<fingerprint>` to replay
+      a cached dataset) plus query parameters (trace=, algorithm=,
+      min_support=, max_len=, min_lift=, min_confidence=, keyword=,
+      top=) and returns mined rules as JSON; GET /v1/explain/{rule}?fp=F
+      explains one rule from cached provenance; GET /metrics and
+      GET /healthz expose the runtime counters. Tenants identify with
+      the x-irma-tenant header (default `anonymous`): each gets a
+      token-bucket rate limit and a failure circuit breaker (429 +
+      Retry-After when over). Analyses run under the same budgets as
+      `analyze`, with a per-request deadline from x-irma-timeout-ms
+      (clamped to --max-deadline): a degraded success is HTTP 200 with
+      degraded:true — the HTTP mirror of exit code 4 — and budget
+      exhaustion is 503/504. Full-fidelity results are cached (LRU,
+      --cache-entries) keyed by dataset fingerprint + normalized config.
+      SIGTERM/SIGINT drain in-flight requests and exit 0.
   irma trace <input.jsonl|-> [--out FILE]
       Convert a JSONL trace log (the --trace-log output of analyze or
       watch) into Chrome trace_event JSON: spans become slices on
@@ -995,6 +1119,73 @@ mod tests {
         assert!(parse(&argv("watch pai --window 0")).is_err());
         assert!(parse(&argv("watch pai --bogus 1")).is_err());
         assert!(parse(&argv("watch --feed feed.txt")).is_ok());
+    }
+
+    #[test]
+    fn parses_serve_with_defaults() {
+        match parse(&argv("serve")).unwrap() {
+            Command::Serve {
+                listen,
+                workers,
+                queue_depth,
+                cache_entries,
+                budget_itemsets,
+                default_deadline,
+                max_deadline,
+                threads,
+                ..
+            } => {
+                assert_eq!(listen, "127.0.0.1:9185");
+                assert_eq!(workers, 2);
+                assert_eq!(queue_depth, 32);
+                assert_eq!(cache_entries, 64);
+                assert_eq!(budget_itemsets, None);
+                assert_eq!(default_deadline, Duration::from_secs(5));
+                assert_eq!(max_deadline, Duration::from_secs(30));
+                assert_eq!(threads, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_serve_tuning() {
+        let cmd = parse(&argv(
+            "serve --listen 127.0.0.1:0 --workers 4 --queue-depth 8 \
+             --cache-entries 16 --budget-itemsets 100000 --max-deadline 10s",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                listen,
+                workers,
+                queue_depth,
+                cache_entries,
+                budget_itemsets,
+                max_deadline,
+                ..
+            } => {
+                assert_eq!(listen, "127.0.0.1:0");
+                assert_eq!(workers, 4);
+                assert_eq!(queue_depth, 8);
+                assert_eq!(cache_entries, 16);
+                assert_eq!(budget_itemsets, Some(100_000));
+                assert_eq!(max_deadline, Duration::from_secs(10));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("serve --listen noport")).is_err());
+        assert!(parse(&argv("serve --workers 0")).is_err());
+        assert!(parse(&argv("serve --queue-depth 0")).is_err());
+        assert!(parse(&argv("serve stray")).is_err());
+        assert!(parse(&argv("serve --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn usage_documents_serve() {
+        assert!(USAGE.contains("irma serve"));
+        assert!(USAGE.contains("x-irma-tenant"));
+        assert!(USAGE.contains("x-irma-timeout-ms"));
     }
 
     #[test]

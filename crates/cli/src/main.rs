@@ -4,6 +4,7 @@
 //! subcommand is deterministic per `--seed`.
 
 mod args;
+mod signals;
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -446,6 +447,12 @@ fn run(command: Command) -> Result<Outcome, Failure> {
             deadline,
             threads,
         } => {
+            // Handlers go in before feed setup: synthesizing a large
+            // trace can take seconds, and a SIGTERM landing in that
+            // window must still drain instead of hitting the default
+            // disposition.
+            let shutdown = signals::install();
+
             // --listen implies live metrics: the scrape endpoint serves
             // the same registry the snapshot file would.
             let mut metrics = if metrics_path.is_some() || listen.is_some() {
@@ -502,6 +509,7 @@ fn run(command: Command) -> Result<Outcome, Failure> {
             };
 
             let config = WatchConfig {
+                shutdown: Some(shutdown),
                 window,
                 warmup: warmup.unwrap_or_else(|| (window / 2).max(1)),
                 miner: MinerConfig {
@@ -652,6 +660,64 @@ fn run(command: Command) -> Result<Outcome, Failure> {
             } else {
                 Ok(Outcome::Success)
             }
+        }
+        Command::Serve {
+            listen,
+            workers,
+            queue_depth,
+            cache_entries,
+            budget_itemsets,
+            budget_tree_mb,
+            default_deadline,
+            max_deadline,
+            threads,
+        } => {
+            let shutdown = signals::install();
+            let metrics = Metrics::enabled();
+            let config = irma_serve::ServeConfig {
+                workers,
+                queue_depth,
+                cache_entries,
+                default_budget: ExecBudget {
+                    max_itemsets: budget_itemsets,
+                    max_tree_bytes: budget_tree_mb.map(|mb| mb.saturating_mul(1 << 20)),
+                    deadline: None,
+                    panic_after_emits: None,
+                },
+                default_deadline,
+                max_deadline,
+                ..irma_serve::ServeConfig::default()
+            };
+            // --threads pins the mining pool the request handlers mine
+            // on; otherwise the global registry (one worker per core)
+            // serves every request.
+            let pool = threads
+                .map(|n| {
+                    rayon::ThreadPoolBuilder::new()
+                        .num_threads(n)
+                        .build()
+                        .map_err(|e| format!("building {n}-thread mining pool: {e}"))
+                })
+                .transpose()?;
+            let serve = || -> Result<(), String> {
+                let server = irma_serve::Server::start(listen.as_str(), config, metrics.clone())
+                    .map_err(|e| format!("binding serve endpoint {listen}: {e}"))?;
+                // CI and scripts parse this line for the ephemeral
+                // port; keep its shape stable (same as `watch --listen`).
+                eprintln!("listening on http://{}", server.local_addr());
+                while !shutdown.load(Ordering::Relaxed) {
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+                eprintln!("shutdown signal received; draining in-flight requests");
+                server.shutdown();
+                Ok(())
+            };
+            match pool {
+                Some(pool) => pool.install(serve)?,
+                None => serve()?,
+            }
+            eprintln!("serve done");
+            Ok(Outcome::Success)
         }
         Command::Trace { input, out } => {
             let jsonl = if input == "-" {

@@ -1,0 +1,69 @@
+//! SIGTERM/SIGINT handling for the long-running subcommands.
+//!
+//! Hand-rolled (no `libc`/`signal-hook` dependency, per the workspace's
+//! from-scratch policy): the raw `signal(2)` symbol from the platform C
+//! library installs a handler that only performs atomic stores, which is
+//! async-signal-safe. The daemon loops poll the returned flag and drain
+//! cleanly — glibc's `signal` gives BSD (`SA_RESTART`) semantics, so
+//! blocked reads are *not* interrupted; shutdown relies on the consumers
+//! checking the flag between work items, which both `irma watch` and
+//! `irma serve` do.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::Arc;
+
+/// Points at the `AtomicBool` inside the [`install`]-returned `Arc`
+/// (kept alive forever by a leaked clone), so the signal handler can
+/// reach it with nothing but atomic loads and stores.
+static FLAG_PTR: AtomicPtr<AtomicBool> = AtomicPtr::new(std::ptr::null_mut());
+
+#[cfg(unix)]
+mod imp {
+    use super::{Ordering, FLAG_PTR};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: atomic load + atomic store.
+        let flag = FLAG_PTR.load(Ordering::Acquire);
+        if !flag.is_null() {
+            unsafe { (*flag).store(true, Ordering::Release) };
+        }
+    }
+
+    pub fn install_handlers() {
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// Non-unix builds run without signal-driven shutdown (ctrl-C still
+    /// terminates the process the default way).
+    pub fn install_handlers() {}
+}
+
+/// Installs the SIGTERM/SIGINT handlers (idempotent) and returns the
+/// flag they set. The flag's backing allocation is leaked once so the
+/// handler can never observe a dangling pointer.
+pub fn install() -> Arc<AtomicBool> {
+    static INSTALL: std::sync::OnceLock<Arc<AtomicBool>> = std::sync::OnceLock::new();
+    Arc::clone(INSTALL.get_or_init(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        // Leak one clone: the pointer stays valid for the process
+        // lifetime regardless of what callers drop.
+        let leaked: *const AtomicBool = Arc::as_ptr(&flag);
+        std::mem::forget(Arc::clone(&flag));
+        FLAG_PTR.store(leaked.cast_mut(), Ordering::Release);
+        imp::install_handlers();
+        flag
+    }))
+}

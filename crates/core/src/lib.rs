@@ -28,6 +28,7 @@ pub mod chrome_trace;
 pub mod experiments;
 pub mod export;
 pub mod fault;
+pub mod fingerprint;
 pub mod insights;
 pub mod predict;
 pub mod report;
@@ -43,6 +44,7 @@ pub use fault::{
     try_analyze, try_analyze_csv, try_analyze_traced, try_analyze_traced_hooked, Degradation,
     DegradationStep, PipelineError, StageHooks, MAX_DEGRADATION_RETRIES,
 };
+pub use fingerprint::{config_cache_key, dataset_fingerprint};
 pub use predict::{
     failure_prediction, prediction_experiment, PredictionExperiment, PredictionResult,
 };

@@ -35,7 +35,8 @@ use std::io::BufRead;
 use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use irma_mine::{
     BudgetGuard, ExecBudget, FrequentItemsets, ItemId, MineError, MinerConfig, SlidingWindowMiner,
@@ -261,6 +262,11 @@ pub struct WatchConfig {
     pub top: usize,
     /// Feed ring capacity (rounded up to a power of two).
     pub ring_capacity: usize,
+    /// Cooperative shutdown flag (e.g. set from a SIGTERM handler). When
+    /// it flips to `true` the mining loop stops admitting arrivals,
+    /// flushes a final emission, and returns — even if the feed producer
+    /// is still blocked reading a quiet source.
+    pub shutdown: Option<Arc<AtomicBool>>,
 }
 
 impl Default for WatchConfig {
@@ -278,6 +284,7 @@ impl Default for WatchConfig {
             keyword: None,
             top: 5,
             ring_capacity: 1_024,
+            shutdown: None,
         }
     }
 }
@@ -402,11 +409,27 @@ fn select_rules(rules: Vec<Rule>, config: &WatchConfig, metrics: &Metrics) -> Ve
     kept
 }
 
+/// Feed-side state shared between the producer thread and the mining
+/// loop. `Arc`-held (not scope-borrowed) so the mining loop can return
+/// on a shutdown request even while the producer is still blocked
+/// reading a quiet feed — the straggler exits on its next line (or EOF)
+/// when it observes `consumer_stopped`, and the `Arc` keeps this state
+/// alive until then.
+struct FeedShared {
+    ring: SpscRing<Vec<ItemId>>,
+    producer_done: AtomicBool,
+    consumer_stopped: AtomicBool,
+    garbled: AtomicU64,
+    sampled_out: AtomicU64,
+    backpressure_waits: AtomicU64,
+}
+
 /// Runs the streaming daemon over `feed` until EOF (or
-/// [`WatchConfig::max_arrivals`]), invoking `on_emit` for every
-/// successful re-emission. See the module docs for the architecture;
-/// this function never panics on bad input — garbled lines, budget
-/// trips, and worker panics all degrade into counters.
+/// [`WatchConfig::max_arrivals`], or [`WatchConfig::shutdown`] flips),
+/// invoking `on_emit` for every successful re-emission. See the module
+/// docs for the architecture; this function never panics on bad input —
+/// garbled lines, budget trips, and worker panics all degrade into
+/// counters.
 pub fn watch_feed<R, F>(
     feed: R,
     config: &WatchConfig,
@@ -414,38 +437,45 @@ pub fn watch_feed<R, F>(
     mut on_emit: F,
 ) -> WatchSummary
 where
-    R: BufRead + Send,
+    R: BufRead + Send + 'static,
     F: FnMut(&Emission),
 {
     let started = Instant::now();
     let last_emission: Cell<Option<Instant>> = Cell::new(None);
     let warmup = config.warmup.clamp(1, config.window);
-    let ring: SpscRing<Vec<ItemId>> = SpscRing::with_capacity(config.ring_capacity);
-    let producer_done = AtomicBool::new(false);
-    let consumer_stopped = AtomicBool::new(false);
-    let garbled = AtomicU64::new(0);
-    let sampled_out = AtomicU64::new(0);
-    let backpressure_waits = AtomicU64::new(0);
+    let shared = Arc::new(FeedShared {
+        ring: SpscRing::with_capacity(config.ring_capacity),
+        producer_done: AtomicBool::new(false),
+        consumer_stopped: AtomicBool::new(false),
+        garbled: AtomicU64::new(0),
+        sampled_out: AtomicU64::new(0),
+        backpressure_waits: AtomicU64::new(0),
+    });
+    let shutdown_requested = || {
+        config
+            .shutdown
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+    };
 
     let mut summary = WatchSummary::default();
 
-    std::thread::scope(|scope| {
-        {
-            let (ring, producer_done, consumer_stopped) =
-                (&ring, &producer_done, &consumer_stopped);
-            let (garbled, sampled_out, backpressure_waits) =
-                (&garbled, &sampled_out, &backpressure_waits);
-            scope.spawn(move || {
+    let producer = {
+        let shared = Arc::clone(&shared);
+        let metrics = metrics.clone();
+        std::thread::Builder::new()
+            .name("irma-watch-feed".to_string())
+            .spawn(move || {
                 let mut sampler = AdaptiveSampler::new();
                 let mut last_keep_every = sampler.keep_every();
                 'feed: for line in feed.lines() {
-                    if consumer_stopped.load(Ordering::Relaxed) {
+                    if shared.consumer_stopped.load(Ordering::Relaxed) {
                         break;
                     }
                     let Ok(line) = line else {
                         // An I/O error mid-feed is indistinguishable from
                         // a truncated record: count it, stop reading.
-                        garbled.fetch_add(1, Ordering::Relaxed);
+                        shared.garbled.fetch_add(1, Ordering::Relaxed);
                         break;
                     };
                     let line = line.trim();
@@ -453,12 +483,12 @@ where
                         continue;
                     }
                     let Some(txn) = parse_line(line) else {
-                        garbled.fetch_add(1, Ordering::Relaxed);
+                        shared.garbled.fetch_add(1, Ordering::Relaxed);
                         continue;
                     };
-                    let occupancy = ring.len() as f64 / ring.capacity() as f64;
+                    let occupancy = shared.ring.len() as f64 / shared.ring.capacity() as f64;
                     if !sampler.admit(occupancy) {
-                        sampled_out.fetch_add(1, Ordering::Relaxed);
+                        shared.sampled_out.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
                     if sampler.keep_every() != last_keep_every {
@@ -467,23 +497,25 @@ where
                     }
                     let mut pending = txn;
                     loop {
-                        match ring.push(pending) {
+                        match shared.ring.push(pending) {
                             Ok(()) => break,
                             Err(back) => {
-                                if consumer_stopped.load(Ordering::Relaxed) {
+                                if shared.consumer_stopped.load(Ordering::Relaxed) {
                                     break 'feed;
                                 }
                                 pending = back;
-                                backpressure_waits.fetch_add(1, Ordering::Relaxed);
+                                shared.backpressure_waits.fetch_add(1, Ordering::Relaxed);
                                 std::thread::yield_now();
                             }
                         }
                     }
                 }
-                producer_done.store(true, Ordering::Release);
-            });
-        }
+                shared.producer_done.store(true, Ordering::Release);
+            })
+            .expect("spawning watch feed producer")
+    };
 
+    {
         let mut miner = SlidingWindowMiner::new(config.window, config.miner.clone())
             .with_metrics(metrics.clone());
         let first_guard = BudgetGuard::new(&config.budget);
@@ -543,13 +575,17 @@ where
 
         'mine: loop {
             let txn = loop {
-                if let Some(txn) = ring.pop() {
+                if let Some(txn) = shared.ring.pop() {
                     break txn;
                 }
-                if producer_done.load(Ordering::Acquire) {
+                if shutdown_requested() {
+                    shared.consumer_stopped.store(true, Ordering::Relaxed);
+                    break 'mine;
+                }
+                if shared.producer_done.load(Ordering::Acquire) {
                     // `producer_done` is stored after the final push, so
                     // one more pop after observing it drains stragglers.
-                    match ring.pop() {
+                    match shared.ring.pop() {
                         Some(txn) => break txn,
                         None => break 'mine,
                     }
@@ -560,9 +596,13 @@ where
             summary.arrivals += 1;
             since_emit += 1;
             cooldown = cooldown.saturating_sub(1);
+            if shutdown_requested() {
+                shared.consumer_stopped.store(true, Ordering::Relaxed);
+                break;
+            }
             if let Some(max) = config.max_arrivals {
                 if summary.arrivals >= max {
-                    consumer_stopped.store(true, Ordering::Relaxed);
+                    shared.consumer_stopped.store(true, Ordering::Relaxed);
                     break;
                 }
             }
@@ -594,7 +634,22 @@ where
             );
         }
         summary.final_window = miner.len();
-    });
+    }
+
+    // Join the producer when it has finished (the common EOF path, where
+    // the counters below are then exact). After a shutdown request it
+    // gets a short grace period to notice `consumer_stopped`; a producer
+    // still blocked on a quiet feed is left detached — it exits on its
+    // next line or EOF, and the `Arc` keeps the shared state alive.
+    let grace = Instant::now();
+    while !shared.producer_done.load(Ordering::Acquire)
+        && grace.elapsed() < Duration::from_millis(200)
+    {
+        std::thread::yield_now();
+    }
+    if shared.producer_done.load(Ordering::Acquire) {
+        let _ = producer.join();
+    }
 
     // Final health gauges: how long the daemon ran and how stale its
     // last report was at shutdown (a live scrape endpoint recomputes
@@ -607,9 +662,9 @@ where
         );
     }
 
-    summary.garbled_lines = garbled.load(Ordering::Relaxed);
-    summary.sampled_out = sampled_out.load(Ordering::Relaxed);
-    summary.backpressure_waits = backpressure_waits.load(Ordering::Relaxed);
+    summary.garbled_lines = shared.garbled.load(Ordering::Relaxed);
+    summary.sampled_out = shared.sampled_out.load(Ordering::Relaxed);
+    summary.backpressure_waits = shared.backpressure_waits.load(Ordering::Relaxed);
     if summary.arrivals > 0 {
         metrics.incr("watch.arrivals", summary.arrivals);
     }
@@ -897,6 +952,64 @@ mod tests {
             |_| {},
         );
         assert_eq!(summary.arrivals, 200);
+    }
+
+    #[test]
+    fn shutdown_flag_stops_a_blocked_feed_and_flushes() {
+        // A reader that yields a few records and then blocks forever —
+        // the shape of a quiet stdin. Without the detached producer the
+        // daemon could never return: joining the producer would wait on
+        // a read that never completes.
+        struct QuietFeed {
+            lines: Vec<u8>,
+            served: usize,
+            unblock: Arc<AtomicBool>,
+        }
+        impl std::io::Read for QuietFeed {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.served < self.lines.len() {
+                    let n = buf.len().min(self.lines.len() - self.served);
+                    buf[..n].copy_from_slice(&self.lines[self.served..self.served + n]);
+                    self.served += n;
+                    return Ok(n);
+                }
+                while !self.unblock.load(Ordering::Relaxed) {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                Ok(0)
+            }
+        }
+        let unblock = Arc::new(AtomicBool::new(false));
+        let feed = std::io::BufReader::new(QuietFeed {
+            lines: b"0,1\n2,3\n0,1\n2,3\n0,1\n2,3\n0,1\n2,3\n".to_vec(),
+            served: 0,
+            unblock: Arc::clone(&unblock),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let config = WatchConfig {
+            window: 16,
+            warmup: 4,
+            cadence: 0,
+            drift_threshold: f64::INFINITY,
+            shutdown: Some(Arc::clone(&shutdown)),
+            ..WatchConfig::default()
+        };
+        let trigger = Arc::clone(&shutdown);
+        let stopper = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            trigger.store(true, Ordering::Relaxed);
+        });
+        let mut emitted_at = Vec::new();
+        let summary = watch_feed(feed, &config, &Metrics::disabled(), |e: &Emission| {
+            emitted_at.push(e.arrivals)
+        });
+        stopper.join().unwrap();
+        // All buffered records were consumed and the shutdown still got
+        // its final flush emission over the full window.
+        assert_eq!(summary.arrivals, 8, "summary: {summary:?}");
+        assert_eq!(emitted_at.last(), Some(&8), "emissions: {emitted_at:?}");
+        assert_eq!(summary.final_window, 8);
+        unblock.store(true, Ordering::Relaxed);
     }
 
     #[test]

@@ -29,7 +29,180 @@ use std::thread;
 use std::time::Duration;
 
 /// Largest request head (request line + headers) the server reads.
-const MAX_REQUEST_HEAD: usize = 8 * 1024;
+pub const MAX_REQUEST_HEAD: usize = 8 * 1024;
+
+/// A parsed HTTP/1.1 request head: request line plus headers.
+///
+/// Produced by [`read_head`]; shared by the scrape endpoint here and the
+/// full serving layer in `irma-serve`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestHead {
+    /// Request method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Request target (path plus optional query string), as sent.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+}
+
+impl RequestHead {
+    /// Case-insensitive header lookup (first match wins).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The path with any query string stripped.
+    pub fn route(&self) -> &str {
+        self.path.split('?').next().unwrap_or("")
+    }
+
+    /// The query string (without the `?`), if any.
+    pub fn query(&self) -> Option<&str> {
+        self.path.split_once('?').map(|(_, q)| q)
+    }
+}
+
+/// Why [`read_head`] could not produce a [`RequestHead`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadError {
+    /// The head exceeded [`MAX_REQUEST_HEAD`] before the blank line —
+    /// answer `431 Request Header Fields Too Large`.
+    TooLarge,
+    /// The client closed (or stalled past the deadline) mid-head — just
+    /// drop the connection.
+    Closed,
+}
+
+/// Reads one bounded request head from `reader`.
+///
+/// Distinguishes cap exhaustion ([`HeadError::TooLarge`]) from an early
+/// close ([`HeadError::Closed`]): when a `read_line` comes back empty or
+/// unterminated *and* the [`MAX_REQUEST_HEAD`] budget is spent, the head
+/// was truncated by the cap, not by the client. Callers must answer the
+/// former with `431` — silently closing leaves the unread bytes to turn
+/// the close into a TCP reset. Body bytes already pulled into `reader`'s
+/// buffer stay there for the caller to consume.
+pub fn read_head<R: BufRead>(reader: &mut R) -> Result<RequestHead, HeadError> {
+    let mut head = reader.take(MAX_REQUEST_HEAD as u64);
+    let mut request_line = String::new();
+    match head.read_line(&mut request_line) {
+        Ok(0) => return Err(HeadError::Closed),
+        Ok(_) if !request_line.ends_with('\n') => {
+            return Err(if head.limit() == 0 {
+                HeadError::TooLarge
+            } else {
+                HeadError::Closed
+            });
+        }
+        Ok(_) => {}
+        Err(_) => return Err(HeadError::Closed),
+    }
+    let mut headers = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match head.read_line(&mut line) {
+            Ok(0) => {
+                return Err(if head.limit() == 0 {
+                    HeadError::TooLarge
+                } else {
+                    HeadError::Closed
+                });
+            }
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => {
+                if !line.ends_with('\n') {
+                    return Err(if head.limit() == 0 {
+                        HeadError::TooLarge
+                    } else {
+                        HeadError::Closed
+                    });
+                }
+                if let Some((name, value)) = line.split_once(':') {
+                    headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+                }
+            }
+            Err(_) => return Err(HeadError::Closed),
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    Ok(RequestHead {
+        method,
+        path,
+        headers,
+    })
+}
+
+/// Writes one `Connection: close` HTTP/1.1 response with Content-Length.
+///
+/// `extra_headers` are emitted verbatim after Content-Type (e.g.
+/// `("Retry-After", "1".to_string())`). Write errors are swallowed: the
+/// peer may already be gone, and one response is all it was getting.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|_| stream.write_all(body.as_bytes()));
+}
+
+/// Answers `431 Request Header Fields Too Large` for a head that blew
+/// the [`MAX_REQUEST_HEAD`] cap.
+///
+/// The client's surplus bytes are still queued in our receive buffer;
+/// closing with them unread sends a TCP reset that can clobber the
+/// response in flight. So after writing the 431, drain the remainder —
+/// bounded by 64 KiB and a short deadline, so a client that streams
+/// forever still earns its reset.
+pub fn write_too_large(stream: &mut TcpStream) {
+    write_response(
+        stream,
+        431,
+        "Request Header Fields Too Large",
+        "text/plain",
+        &[],
+        "request head exceeds 8 KiB\n",
+    );
+    let previous = stream.read_timeout().ok().flatten();
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut sink = [0u8; 4096];
+    let mut drained = 0usize;
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                drained += n;
+                if drained >= 64 * 1024 {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = stream.set_read_timeout(previous);
+}
 
 /// A route response from the handler callback.
 #[derive(Debug, Clone)]
@@ -179,83 +352,66 @@ fn accept_loop(
     }
 }
 
-/// Reads one request head (bounded; deadline from the socket timeout).
-/// Returns the request line, or `None` on any read failure.
-fn read_request_head(stream: &TcpStream) -> Option<String> {
-    let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    let mut head = (&mut reader).take(MAX_REQUEST_HEAD as u64);
-    if head.read_line(&mut request_line).is_err() {
-        return None;
-    }
-    // Drain the headers (bounded by the same take) so the client sees
-    // the response rather than a reset mid-send.
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match head.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) if line == "\r\n" || line == "\n" => break,
-            Ok(_) => continue,
-            Err(_) => return None,
-        }
-    }
-    Some(request_line)
-}
-
-/// Over-cap path: drain the request, answer 503, close.
+/// Over-cap path: drain the request head, answer 503, close. A head
+/// that blows the cap earns 431 instead; an early close just drops.
 fn reject_connection(stream: TcpStream) {
-    if read_request_head(&stream).is_none() {
-        return;
-    }
     let mut stream = stream;
-    let _ = stream.write_all(
-        b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\
-          Content-Length: 0\r\nConnection: close\r\n\r\n",
-    );
+    match read_head(&mut BufReader::new(&stream)) {
+        Ok(_) => write_response(
+            &mut stream,
+            503,
+            "Service Unavailable",
+            "text/plain",
+            &[("Retry-After", "1".to_string())],
+            "",
+        ),
+        Err(HeadError::TooLarge) => write_too_large(&mut stream),
+        Err(HeadError::Closed) => {}
+    }
 }
 
-/// Reads one request head and writes one response. Any read error
-/// (timeout included) just drops the connection.
+/// Reads one request head and writes one response. An early close or a
+/// stalled read (timeout) just drops the connection; an oversized head
+/// gets 431 so the close is clean on both sides.
 fn serve_connection(stream: TcpStream, handler: &ScrapeHandler) {
-    let Some(request_line) = read_request_head(&stream) else {
-        return;
-    };
     let mut stream = stream;
-    let mut parts = request_line.split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    if method != "GET" {
-        let _ = stream.write_all(
-            b"HTTP/1.1 405 Method Not Allowed\r\nAllow: GET\r\n\
-              Content-Length: 0\r\nConnection: close\r\n\r\n",
+    let head = match read_head(&mut BufReader::new(&stream)) {
+        Ok(head) => head,
+        Err(HeadError::TooLarge) => {
+            write_too_large(&mut stream);
+            return;
+        }
+        Err(HeadError::Closed) => return,
+    };
+    if head.method != "GET" {
+        write_response(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            &[("Allow", "GET".to_string())],
+            "",
         );
         return;
     }
     // Ignore any query string: /metrics?foo=1 still scrapes.
-    let path = path.split('?').next().unwrap_or("");
-    match handler(path) {
-        Some(response) => {
-            let head = format!(
-                "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\n\
-                 Connection: close\r\n\r\n",
-                response.content_type,
-                response.body.len()
-            );
-            let _ = stream
-                .write_all(head.as_bytes())
-                .and_then(|_| stream.write_all(response.body.as_bytes()));
-        }
-        None => {
-            let body = "not found\n";
-            let head = format!(
-                "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\n\
-                 Content-Length: {}\r\nConnection: close\r\n\r\n",
-                body.len()
-            );
-            let _ = stream
-                .write_all(head.as_bytes())
-                .and_then(|_| stream.write_all(body.as_bytes()));
-        }
+    match handler(head.route()) {
+        Some(response) => write_response(
+            &mut stream,
+            200,
+            "OK",
+            response.content_type,
+            &[],
+            &response.body,
+        ),
+        None => write_response(
+            &mut stream,
+            404,
+            "Not Found",
+            "text/plain",
+            &[],
+            "not found\n",
+        ),
     }
 }
 
@@ -339,6 +495,49 @@ mod tests {
         let served = request(addr, "GET /metrics HTTP/1.1\r\n\r\n");
         assert!(served.starts_with("HTTP/1.1 200"), "{served}");
         drop(idle);
+    }
+
+    #[test]
+    fn oversized_header_gets_431_not_a_reset() {
+        let server = ScrapeServer::start("127.0.0.1:0", test_handler()).expect("bind");
+        let addr = server.local_addr();
+        // A single header value larger than the whole 8 KiB head cap:
+        // the old reader treated cap exhaustion as a clean end-of-head
+        // and answered 200 while unread bytes were still in flight.
+        let huge = format!(
+            "GET /metrics HTTP/1.1\r\nX-Padding: {}\r\n\r\n",
+            "a".repeat(MAX_REQUEST_HEAD)
+        );
+        let response = request(addr, &huge);
+        assert!(response.starts_with("HTTP/1.1 431"), "{response}");
+        // The slot is released and normal requests still flow.
+        let served = request(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(served.starts_with("HTTP/1.1 200"), "{served}");
+    }
+
+    #[test]
+    fn read_head_distinguishes_truncation_from_early_close() {
+        use std::io::Cursor;
+        // Clean head parses with lowercased header names.
+        let mut ok =
+            Cursor::new(b"POST /v1/x?q=1 HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc".to_vec());
+        let head = read_head(&mut ok).expect("clean head");
+        assert_eq!(head.method, "POST");
+        assert_eq!(head.route(), "/v1/x");
+        assert_eq!(head.query(), Some("q=1"));
+        assert_eq!(head.header("content-length"), Some("3"));
+        assert_eq!(head.header("Content-Length"), Some("3"));
+        // Body bytes stay in the reader for the caller.
+        let mut body = String::new();
+        ok.read_to_string(&mut body).unwrap();
+        assert_eq!(body, "abc");
+        // EOF before the blank line, under the cap: early close.
+        let mut closed = Cursor::new(b"GET / HTTP/1.1\r\nHost: x\r\n".to_vec());
+        assert_eq!(read_head(&mut closed), Err(HeadError::Closed));
+        // Cap spent before the blank line: truncation.
+        let mut big = Vec::from(&b"GET / HTTP/1.1\r\nX-Pad: "[..]);
+        big.resize(MAX_REQUEST_HEAD + 64, b'a');
+        assert_eq!(read_head(&mut Cursor::new(big)), Err(HeadError::TooLarge));
     }
 
     #[test]

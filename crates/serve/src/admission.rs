@@ -1,0 +1,173 @@
+//! Per-tenant admission control: token-bucket rate limiting plus a
+//! consecutive-failure circuit breaker.
+//!
+//! Both mechanisms live in one [`TenantState`] so a single map lookup
+//! decides admission. The bucket shapes *rate* (a well-behaved tenant
+//! bursting briefly is fine; a hot loop is not); the breaker sheds
+//! *repeat offenders* — a tenant whose requests keep failing server-side
+//! (budget exhaustion, worker panics) is cooled down entirely instead of
+//! burning mining capacity on requests that will fail again.
+
+use std::time::{Duration, Instant};
+
+/// Admission verdict for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Run it.
+    Ok,
+    /// Token bucket empty: `429` with this `Retry-After` (seconds).
+    RateLimited(u64),
+    /// Circuit breaker open: `429` with this `Retry-After` (seconds).
+    BreakerOpen(u64),
+}
+
+/// Knobs for [`TenantState::admit`] / [`TenantState::record_outcome`].
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Token-bucket refill rate (requests per second).
+    pub rate_per_sec: f64,
+    /// Token-bucket capacity (burst size).
+    pub burst: f64,
+    /// Consecutive server-side failures that open the breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker sheds the tenant.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            rate_per_sec: 20.0,
+            burst: 8.0,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Rate/failure state for one tenant.
+#[derive(Debug)]
+pub struct TenantState {
+    tokens: f64,
+    last_refill: Instant,
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+}
+
+impl TenantState {
+    /// A fresh tenant starts with a full bucket and a closed breaker.
+    pub fn new(config: &AdmissionConfig, now: Instant) -> TenantState {
+        TenantState {
+            tokens: config.burst,
+            last_refill: now,
+            consecutive_failures: 0,
+            open_until: None,
+        }
+    }
+
+    /// Decides whether a request from this tenant runs now.
+    pub fn admit(&mut self, config: &AdmissionConfig, now: Instant) -> Admit {
+        if let Some(until) = self.open_until {
+            if now < until {
+                let secs = (until - now).as_secs_f64().ceil().max(1.0) as u64;
+                return Admit::BreakerOpen(secs);
+            }
+            // Cooldown served: close the breaker, forgive the streak.
+            self.open_until = None;
+            self.consecutive_failures = 0;
+        }
+        let elapsed = now.saturating_duration_since(self.last_refill);
+        self.tokens = (self.tokens + elapsed.as_secs_f64() * config.rate_per_sec).min(config.burst);
+        self.last_refill = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Admit::Ok
+        } else {
+            let deficit = 1.0 - self.tokens;
+            let secs = (deficit / config.rate_per_sec.max(f64::MIN_POSITIVE))
+                .ceil()
+                .max(1.0) as u64;
+            Admit::RateLimited(secs)
+        }
+    }
+
+    /// Records the outcome of an admitted request. `server_failure`
+    /// means a 5xx-class response (the server did work and failed);
+    /// client errors and successes both close the failure streak — a
+    /// tenant sending garbage wastes little and is already rate-shaped.
+    pub fn record_outcome(&mut self, server_failure: bool, config: &AdmissionConfig, now: Instant) {
+        if server_failure {
+            self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+            if self.consecutive_failures >= config.breaker_threshold {
+                self.open_until = Some(now + config.breaker_cooldown);
+            }
+        } else {
+            self.consecutive_failures = 0;
+        }
+    }
+
+    /// Whether the breaker is currently open at `now`.
+    pub fn breaker_open(&self, now: Instant) -> bool {
+        self.open_until.is_some_and(|until| now < until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AdmissionConfig {
+        AdmissionConfig {
+            rate_per_sec: 10.0,
+            burst: 2.0,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn bucket_admits_burst_then_limits_then_refills() {
+        let config = config();
+        let t0 = Instant::now();
+        let mut tenant = TenantState::new(&config, t0);
+        assert_eq!(tenant.admit(&config, t0), Admit::Ok);
+        assert_eq!(tenant.admit(&config, t0), Admit::Ok);
+        assert!(matches!(tenant.admit(&config, t0), Admit::RateLimited(_)));
+        // 100 ms refills one token at 10 req/s.
+        let t1 = t0 + Duration::from_millis(150);
+        assert_eq!(tenant.admit(&config, t1), Admit::Ok);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_cools_down() {
+        let config = config();
+        let t0 = Instant::now();
+        let mut tenant = TenantState::new(&config, t0);
+        for _ in 0..3 {
+            assert_eq!(tenant.admit(&config, t0), Admit::Ok);
+            tenant.record_outcome(true, &config, t0);
+            // Keep the bucket from interfering with the breaker test.
+            tenant.tokens = config.burst;
+        }
+        assert!(tenant.breaker_open(t0));
+        let verdict = tenant.admit(&config, t0);
+        assert!(matches!(verdict, Admit::BreakerOpen(secs) if secs >= 1));
+        // After the cooldown the breaker closes and the streak resets.
+        let t1 = t0 + Duration::from_secs(6);
+        assert_eq!(tenant.admit(&config, t1), Admit::Ok);
+        assert!(!tenant.breaker_open(t1));
+        assert_eq!(tenant.consecutive_failures, 0);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let config = config();
+        let t0 = Instant::now();
+        let mut tenant = TenantState::new(&config, t0);
+        tenant.record_outcome(true, &config, t0);
+        tenant.record_outcome(true, &config, t0);
+        tenant.record_outcome(false, &config, t0);
+        tenant.record_outcome(true, &config, t0);
+        assert!(!tenant.breaker_open(t0), "streak must reset on success");
+    }
+}

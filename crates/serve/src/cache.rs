@@ -1,0 +1,156 @@
+//! LRU result cache keyed by *(dataset fingerprint, normalized config)*.
+//!
+//! Entries hold the pre-rendered analyze payload plus the catalog and
+//! provenance needed to answer `GET /v1/explain/{rule}` later — the
+//! explain endpoint only works over cached analyses, which is exactly
+//! the workflow (analyze once, interrogate the survivors).
+//!
+//! Only full-fidelity results are cached: a degraded analysis reflects
+//! the budget that produced it, and serving it to a tenant with a
+//! roomier budget would silently downgrade their answer. The cache key
+//! correspondingly excludes the budget (see
+//! [`irma_core::fingerprint::config_cache_key`]).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use irma_mine::ItemCatalog;
+use irma_obs::Provenance;
+
+/// One cached analysis.
+#[derive(Debug)]
+pub struct CacheEntry {
+    /// The rendered response payload (everything but the `cached` flag).
+    pub payload: String,
+    /// Item catalog for label resolution in explain.
+    pub catalog: ItemCatalog,
+    /// Pruning provenance for explain rendering.
+    pub provenance: Provenance,
+}
+
+/// Bounded LRU over `(fingerprint, config_key)`, with a secondary
+/// fingerprint index pointing at the most recently inserted entry for
+/// each dataset (what `explain?fp=...` resolves against).
+#[derive(Debug)]
+pub struct ResultCache {
+    cap: usize,
+    map: HashMap<(String, String), Arc<CacheEntry>>,
+    /// LRU order; front = least recently used.
+    order: VecDeque<(String, String)>,
+    by_fp: HashMap<String, (String, String)>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `cap` entries (minimum 1).
+    pub fn new(cap: usize) -> ResultCache {
+        ResultCache {
+            cap: cap.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            by_fp: HashMap::new(),
+        }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn touch(&mut self, key: &(String, String)) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            self.order.remove(pos);
+            self.order.push_back(key.clone());
+        }
+    }
+
+    /// Looks up an exact (fingerprint, config) entry, refreshing its LRU
+    /// position.
+    pub fn get(&mut self, fingerprint: &str, config_key: &str) -> Option<Arc<CacheEntry>> {
+        let key = (fingerprint.to_string(), config_key.to_string());
+        let entry = self.map.get(&key).cloned()?;
+        self.touch(&key);
+        Some(entry)
+    }
+
+    /// The most recent entry for a fingerprint under any config (the
+    /// explain path — provenance and catalog are what matter there).
+    pub fn latest_for_fp(&mut self, fingerprint: &str) -> Option<Arc<CacheEntry>> {
+        let key = self.by_fp.get(fingerprint)?.clone();
+        let entry = self.map.get(&key).cloned()?;
+        self.touch(&key);
+        Some(entry)
+    }
+
+    /// Inserts an entry, evicting the least recently used past the cap.
+    pub fn insert(&mut self, fingerprint: &str, config_key: &str, entry: CacheEntry) {
+        let key = (fingerprint.to_string(), config_key.to_string());
+        if self.map.insert(key.clone(), Arc::new(entry)).is_none() {
+            self.order.push_back(key.clone());
+        } else {
+            self.touch(&key);
+        }
+        self.by_fp.insert(fingerprint.to_string(), key);
+        while self.map.len() > self.cap {
+            let Some(victim) = self.order.pop_front() else {
+                break;
+            };
+            self.map.remove(&victim);
+            if self.by_fp.get(&victim.0) == Some(&victim) {
+                self.by_fp.remove(&victim.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(tag: &str) -> CacheEntry {
+        CacheEntry {
+            payload: tag.to_string(),
+            catalog: ItemCatalog::new(),
+            provenance: Provenance::disabled(),
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest_untouched_entry() {
+        let mut cache = ResultCache::new(2);
+        cache.insert("fp1", "a", entry("1a"));
+        cache.insert("fp2", "a", entry("2a"));
+        // Touch fp1 so fp2 is the LRU victim.
+        assert!(cache.get("fp1", "a").is_some());
+        cache.insert("fp3", "a", entry("3a"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("fp2", "a").is_none(), "LRU entry must be gone");
+        assert!(cache.get("fp1", "a").is_some());
+        assert!(cache.get("fp3", "a").is_some());
+        // The fingerprint index follows the eviction.
+        assert!(cache.latest_for_fp("fp2").is_none());
+    }
+
+    #[test]
+    fn fingerprint_index_tracks_most_recent_config() {
+        let mut cache = ResultCache::new(4);
+        cache.insert("fp1", "a", entry("old"));
+        cache.insert("fp1", "b", entry("new"));
+        assert_eq!(cache.latest_for_fp("fp1").unwrap().payload, "new");
+        // Exact lookups still reach both configs.
+        assert_eq!(cache.get("fp1", "a").unwrap().payload, "old");
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_without_growing() {
+        let mut cache = ResultCache::new(2);
+        cache.insert("fp1", "a", entry("v1"));
+        cache.insert("fp1", "a", entry("v2"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get("fp1", "a").unwrap().payload, "v2");
+    }
+}

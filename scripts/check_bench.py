@@ -1,13 +1,19 @@
 #!/usr/bin/env python3
-"""Gate a fresh mining-bench run against the committed baseline.
+"""Gate a fresh bench run against the committed baseline.
 
 Usage: check_bench.py BASELINE_JSON FRESH_JSON [--tolerance FRAC]
 
-Both files are `irma-bench/mining/v2` documents written by
-`cargo bench -p irma-bench --bench mining` (the committed baseline lives
-at the repository root as BENCH_6.json).
+Two document schemas are understood, dispatched on the JSON `schema`
+field (both files must carry the same one):
 
-Checks, in decreasing order of strictness:
+* `irma-bench/mining/v2` — written by
+  `cargo bench -p irma-bench --bench mining`; committed baseline
+  BENCH_6.json at the repository root.
+* `irma-bench/serve/v1` — written by
+  `cargo bench -p irma-bench --bench serve`; committed baseline
+  BENCH_9.json at the repository root.
+
+Mining checks, in decreasing order of strictness:
 
 * **Grid completeness.** Each document declares its own
   `scales` x `miners` x `threads` grid; every cell must carry either a
@@ -36,13 +42,33 @@ Cells in the baseline's grid but outside the fresh run's declared grid
 are merely noted: scale and thread sweeps are environment-tunable
 (IRMA_BENCH_SCALES, ...), and smoke runs deliberately measure a subset.
 
+Serve checks mirror the same philosophy:
+
+* **Grid completeness.** Every `clients` x `modes` x `paths` cell must
+  be measured or carry an explicit `skipped` record (1-core hosts
+  declare-skip the multi-client cells rather than dropping them).
+
+* **Every request succeeded.** A measured cell's `ok` must equal its
+  `requests` — a lost or non-200 response under closed-loop load is a
+  robustness bug, not noise, and is checked host-independently.
+
+* **Throughput and p95 latency, same-host only.** Fresh `rps` may fall
+  below baseline by at most `--tolerance`, and fresh `p95_ms` may exceed
+  it by at most the same fraction — only when `host_cores` matches.
+
 Exit code 0 on pass, 1 on any failure, 2 on usage/parse errors.
 """
 
 import json
 import sys
 
-SCHEMA = "irma-bench/mining/v2"
+MINING_SCHEMA = "irma-bench/mining/v2"
+SERVE_SCHEMA = "irma-bench/serve/v1"
+
+REQUIRED_FIELDS = {
+    MINING_SCHEMA: ("host_cores", "scales", "miners", "threads"),
+    SERVE_SCHEMA: ("host_cores", "clients", "modes", "paths", "requests_per_client"),
+}
 
 # miner -> required width-4 speedup (vs the same run's width-1 best).
 SPEEDUP_FLOORS = {"fpgrowth": 2.5, "eclat": 2.5, "apriori": 1.5}
@@ -56,25 +82,37 @@ def fail_usage(msg: str) -> None:
     sys.exit(2)
 
 
+# schema -> (per-row key fields, document-level grid axis fields).
+KEYS = {
+    MINING_SCHEMA: (("scale", "miner", "threads"), ("scales", "miners", "threads")),
+    SERVE_SCHEMA: (("clients", "mode", "path"), ("clients", "modes", "paths")),
+}
+
+
 def load(path: str) -> dict:
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail_usage(f"reading {path}: {e}")
-    if doc.get("schema") != SCHEMA:
-        fail_usage(f"{path}: unexpected schema {doc.get('schema')!r} (want {SCHEMA!r})")
-    for field in ("host_cores", "scales", "miners", "threads"):
+    schema = doc.get("schema")
+    if schema not in REQUIRED_FIELDS:
+        fail_usage(
+            f"{path}: unexpected schema {schema!r} "
+            f"(want one of {sorted(REQUIRED_FIELDS)})"
+        )
+    for field in REQUIRED_FIELDS[schema]:
         if field not in doc:
             fail_usage(f"{path}: missing required field {field!r}")
     return doc
 
 
 def split_rows(doc: dict) -> tuple[dict, dict]:
-    """Returns (measured, skipped), both keyed by (scale, miner, threads)."""
+    """Returns (measured, skipped), both keyed by the schema's key fields."""
+    key_fields, _ = KEYS[doc["schema"]]
     measured, skipped = {}, {}
     for row in doc.get("results", []):
-        key = (row["scale"], row["miner"], row["threads"])
+        key = tuple(row[f] for f in key_fields)
         if "skipped" in row:
             skipped[key] = row["skipped"]
         else:
@@ -83,31 +121,34 @@ def split_rows(doc: dict) -> tuple[dict, dict]:
 
 
 def grid(doc: dict) -> set:
-    return {
-        (scale, miner, threads)
-        for scale in doc["scales"]
-        for miner in doc["miners"]
-        for threads in doc["threads"]
-    }
+    _, axes = KEYS[doc["schema"]]
+    cells = {()}
+    for axis in axes:
+        cells = {cell + (value,) for cell in cells for value in doc[axis]}
+    return cells
 
 
-def label(key: tuple) -> str:
-    scale, miner, threads = key
-    return f"{miner} @ {scale} jobs, {threads} thread(s)"
+def label(key: tuple, schema: str) -> str:
+    if schema == MINING_SCHEMA:
+        scale, miner, threads = key
+        return f"{miner} @ {scale} jobs, {threads} thread(s)"
+    clients, mode, path = key
+    return f"{mode}/{path} @ {clients} client(s)"
 
 
 def check_grid(name: str, doc: dict, measured: dict, skipped: dict, failures: list) -> None:
+    schema = doc["schema"]
     for key in sorted(grid(doc)):
         if key in measured and key in skipped:
-            failures.append(f"{name}: {label(key)}: both measured and skipped")
+            failures.append(f"{name}: {label(key, schema)}: both measured and skipped")
         elif key not in measured and key not in skipped:
             failures.append(
-                f"{name}: {label(key)}: undeclared missing cell "
+                f"{name}: {label(key, schema)}: undeclared missing cell "
                 "(no measurement, no skipped record)"
             )
     for key in sorted(set(measured) | set(skipped)):
         if key not in grid(doc):
-            failures.append(f"{name}: {label(key)}: row outside the declared grid")
+            failures.append(f"{name}: {label(key, schema)}: row outside the declared grid")
 
 
 def check_speedup(doc: dict, measured: dict, failures: list) -> None:
@@ -153,6 +194,70 @@ def check_speedup(doc: dict, measured: dict, failures: list) -> None:
             )
 
 
+def compare_mining(
+    key: tuple, base: dict, new: dict, same_host: bool, tolerance: float, failures: list
+) -> None:
+    name = label(key, MINING_SCHEMA)
+    if new["itemsets"] != base["itemsets"]:
+        failures.append(
+            f"{name}: itemset count changed "
+            f"{base['itemsets']} -> {new['itemsets']} (correctness, not noise)"
+        )
+        return
+    if not same_host:
+        print(f"ok: {name}: itemsets exact ({new['itemsets']}); wall skipped")
+        return
+    limit = base["best_wall_s"] * (1.0 + tolerance)
+    verdict = "ok" if new["best_wall_s"] <= limit else "REGRESSION"
+    print(
+        f"{verdict}: {name}: {new['best_wall_s']:.4f}s vs baseline "
+        f"{base['best_wall_s']:.4f}s (limit {limit:.4f}s)"
+    )
+    if new["best_wall_s"] > limit:
+        failures.append(
+            f"{name}: {new['best_wall_s']:.4f}s exceeds baseline "
+            f"{base['best_wall_s']:.4f}s by more than {tolerance:.0%}"
+        )
+
+
+def check_serve_success(key: tuple, row: dict, failures: list) -> None:
+    """Host-independent: closed-loop load must not lose a single request."""
+    name = label(key, SERVE_SCHEMA)
+    if row["ok"] != row["requests"]:
+        failures.append(
+            f"{name}: only {row['ok']}/{row['requests']} requests returned 200 "
+            "(robustness, not noise)"
+        )
+
+
+def compare_serve(
+    key: tuple, base: dict, new: dict, same_host: bool, tolerance: float, failures: list
+) -> None:
+    name = label(key, SERVE_SCHEMA)
+    if not same_host:
+        print(f"ok: {name}: all {new['ok']} requests succeeded; timing skipped")
+        return
+    rps_floor = base["rps"] / (1.0 + tolerance)
+    p95_limit = base["p95_ms"] * (1.0 + tolerance)
+    rps_ok = new["rps"] >= rps_floor
+    p95_ok = new["p95_ms"] <= p95_limit
+    verdict = "ok" if rps_ok and p95_ok else "REGRESSION"
+    print(
+        f"{verdict}: {name}: {new['rps']:.1f} req/s (floor {rps_floor:.1f}), "
+        f"p95 {new['p95_ms']:.3f} ms (limit {p95_limit:.3f})"
+    )
+    if not rps_ok:
+        failures.append(
+            f"{name}: throughput {new['rps']:.1f} req/s below baseline "
+            f"{base['rps']:.1f} by more than {tolerance:.0%}"
+        )
+    if not p95_ok:
+        failures.append(
+            f"{name}: p95 {new['p95_ms']:.3f} ms exceeds baseline "
+            f"{base['p95_ms']:.3f} ms by more than {tolerance:.0%}"
+        )
+
+
 def main(argv: list[str]) -> int:
     tolerance = 0.10
     paths = []
@@ -174,6 +279,12 @@ def main(argv: list[str]) -> int:
 
     base_doc = load(paths[0])
     fresh_doc = load(paths[1])
+    schema = base_doc["schema"]
+    if fresh_doc["schema"] != schema:
+        fail_usage(
+            f"schema mismatch: {paths[0]} is {schema!r}, "
+            f"{paths[1]} is {fresh_doc['schema']!r}"
+        )
     base_measured, base_skipped = split_rows(base_doc)
     fresh_measured, fresh_skipped = split_rows(fresh_doc)
     if not fresh_measured:
@@ -185,49 +296,41 @@ def main(argv: list[str]) -> int:
 
     same_host = base_doc["host_cores"] == fresh_doc["host_cores"]
     if not same_host:
+        what = "Itemset counts" if schema == MINING_SCHEMA else "Success counts"
         print(
-            f"NOTICE: wall-time comparison SKIPPED — baseline host has "
+            f"NOTICE: timing comparison SKIPPED — baseline host has "
             f"{base_doc['host_cores']} core(s), fresh host {fresh_doc['host_cores']}; "
-            "cross-host wall times are not comparable. Itemset counts are still exact."
+            f"cross-host timings are not comparable. {what} are still exact."
         )
 
     compared = 0
     for key in sorted(fresh_measured):
         if key not in base_measured:
             if key in base_skipped:
-                print(f"note: {label(key)}: skipped in baseline ({base_skipped[key]})")
+                print(f"note: {label(key, schema)}: skipped in baseline ({base_skipped[key]})")
             else:
-                print(f"note: {label(key)}: not in baseline")
+                print(f"note: {label(key, schema)}: not in baseline")
             continue
         base, new = base_measured[key], fresh_measured[key]
         compared += 1
-        if new["itemsets"] != base["itemsets"]:
-            failures.append(
-                f"{label(key)}: itemset count changed "
-                f"{base['itemsets']} -> {new['itemsets']} (correctness, not noise)"
-            )
-            continue
-        if not same_host:
-            print(f"ok: {label(key)}: itemsets exact ({new['itemsets']}); wall skipped")
-            continue
-        limit = base["best_wall_s"] * (1.0 + tolerance)
-        verdict = "ok" if new["best_wall_s"] <= limit else "REGRESSION"
-        print(
-            f"{verdict}: {label(key)}: {new['best_wall_s']:.4f}s vs baseline "
-            f"{base['best_wall_s']:.4f}s (limit {limit:.4f}s)"
-        )
-        if new["best_wall_s"] > limit:
-            failures.append(
-                f"{label(key)}: {new['best_wall_s']:.4f}s exceeds baseline "
-                f"{base['best_wall_s']:.4f}s by more than {tolerance:.0%}"
-            )
+        if schema == MINING_SCHEMA:
+            compare_mining(key, base, new, same_host, tolerance, failures)
+        else:
+            compare_serve(key, base, new, same_host, tolerance, failures)
     for key in sorted(set(base_measured) - set(fresh_measured) - set(fresh_skipped)):
-        print(f"note: {label(key)}: not re-measured")
+        print(f"note: {label(key, schema)}: not re-measured")
     for key in sorted(fresh_skipped):
         if key in base_measured:
-            print(f"note: {label(key)}: measured in baseline, skipped fresh ({fresh_skipped[key]})")
+            print(
+                f"note: {label(key, schema)}: measured in baseline, "
+                f"skipped fresh ({fresh_skipped[key]})"
+            )
 
-    check_speedup(fresh_doc, fresh_measured, failures)
+    if schema == MINING_SCHEMA:
+        check_speedup(fresh_doc, fresh_measured, failures)
+    else:
+        for key in sorted(fresh_measured):
+            check_serve_success(key, fresh_measured[key], failures)
 
     if compared == 0:
         failures.append("no overlapping measured rows between baseline and fresh run")

@@ -5,4 +5,5 @@ pub use irma_mine as mine;
 pub use irma_obs as obs;
 pub use irma_prep as prep;
 pub use irma_rules as rules;
+pub use irma_serve as serve;
 pub use irma_synth as synth;
