@@ -14,11 +14,14 @@
 //! * [`oracle`] — brute-force reference implementations, deliberately
 //!   written in the most obvious way possible (enumerate every itemset
 //!   mask, count by scanning);
+//! * [`flat_prune`] — the pre-trie all-pairs pruning implementation,
+//!   preserved as the byte-identical oracle for the trie-driven prune;
 //! * [`fault`] — seeded fault-injection plans ([`fault::FaultPlan`]) for
 //!   the chaos suite: corrupted CSV text, injected stage panics, forced
 //!   budget trips, and failing trace-log writers;
 //! * `tests/` — the property suites themselves: `differential` (miners vs
 //!   oracle vs each other), `rule_invariants`, `prune_invariants`,
+//!   `rule_trie` (trie-driven prune vs the flat oracle, byte-identical),
 //!   `binning_invariants`, `roundtrip` (CSV + sacct), `regressions`
 //!   (deterministic locks on previously found bugs), and `chaos` (the
 //!   fault-tolerance contract of `irma_core::try_analyze`).
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod flat_prune;
 pub mod generators;
 pub mod oracle;
 

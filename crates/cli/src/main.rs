@@ -389,6 +389,14 @@ fn run(command: Command) -> Result<Outcome, Failure> {
                 "trace: {trace}  keyword: {keyword}  C_lift={:.2}  C_supp={:.2}",
                 config.prune.c_lift, config.prune.c_supp
             );
+            // Resolve the generated rule (if any) via a trie walk rather
+            // than scanning the flat export.
+            if let Some(rule) = analysis.find_rule(&ante, &cons) {
+                println!(
+                    "rule: supp={:.4}  conf={:.4}  lift={:.4}",
+                    rule.support, rule.confidence, rule.lift
+                );
+            }
             match provenance.render_explain(&ante, &cons, &labeler) {
                 Some(text) => print!("{text}"),
                 None => println!(

@@ -265,6 +265,16 @@ pub fn try_analyze_traced_hooked(
 ) -> Result<Analysis, PipelineError> {
     let mut root = metrics.span("core.analyze");
 
+    // Validate the pruning margins up front: keyword pruning runs as a
+    // later query against the returned `Analysis`, and by then the
+    // infallible `prune_rules_traced` path would panic instead of
+    // reporting a typed error.
+    if let Err(error) = config.prune.validate() {
+        return Err(PipelineError::Rules(format!(
+            "invalid prune params: {error}"
+        )));
+    }
+
     // Encode once — its cost does not depend on the mining knobs, so the
     // ladder never needs to redo it.
     let encoded = catch_unwind(AssertUnwindSafe(|| {
@@ -351,10 +361,12 @@ pub fn try_analyze_traced_hooked(
     if let Some(d) = &degradation {
         root.field("degradation_steps", d.steps.len() as u64);
     }
+    let rule_trie = irma_rules::RuleTrie::over_antecedents(&rules);
     Ok(Analysis {
         encoded,
         frequent,
         rules,
+        rule_trie,
         config: AnalysisConfig {
             miner,
             ..config.clone()
@@ -548,6 +560,16 @@ mod tests {
         config.miner.min_support = -0.5;
         let err = try_analyze(&frame, &spec, &config).unwrap_err();
         assert_eq!(err.stage(), "mine");
+    }
+
+    #[test]
+    fn invalid_prune_params_are_a_rules_error() {
+        let (frame, spec) = tiny_frame();
+        let mut config = base_config();
+        config.prune.c_lift = 0.5;
+        let err = try_analyze(&frame, &spec, &config).unwrap_err();
+        assert_eq!(err.stage(), "rules");
+        assert!(err.to_string().contains(">= 1"), "{err}");
     }
 
     #[test]

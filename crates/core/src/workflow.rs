@@ -10,7 +10,7 @@ use irma_data::Frame;
 use irma_mine::{Algorithm, ExecBudget, FrequentItemsets, ItemId, MinerConfig};
 use irma_obs::{Metrics, Provenance};
 use irma_prep::{encode_with, Encoded, EncoderSpec};
-use irma_rules::{generate_rules_traced, KeywordAnalysis, PruneParams, Rule, RuleConfig};
+use irma_rules::{generate_rules_traced, KeywordAnalysis, PruneParams, Rule, RuleConfig, RuleTrie};
 
 /// Every knob of the paper's workflow.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -39,6 +39,10 @@ pub struct Analysis {
     pub frequent: FrequentItemsets,
     /// All rules passing the generation thresholds (pre-pruning).
     pub rules: Vec<Rule>,
+    /// Shared-prefix index over `rules` (keyed by sorted antecedent):
+    /// resolves `(antecedent, consequent)` lookups for explain-style
+    /// queries without scanning the flat export.
+    pub rule_trie: RuleTrie,
     /// The configuration that produced this analysis (with the miner
     /// knobs actually used — relaxed ones if the degradation ladder ran).
     pub config: AnalysisConfig,
@@ -85,10 +89,12 @@ pub fn analyze_traced(
     let rules = generate_rules_traced(&frequent, &config.rules, metrics, provenance);
     root.field("jobs", encoded.db.len() as u64);
     root.field("rules", rules.len() as u64);
+    let rule_trie = RuleTrie::over_antecedents(&rules);
     Analysis {
         encoded,
         frequent,
         rules,
+        rule_trie,
         config: config.clone(),
         degradation: None,
     }
@@ -153,6 +159,15 @@ impl Analysis {
     /// Number of transactions analysed.
     pub fn n_jobs(&self) -> usize {
         self.encoded.db.len()
+    }
+
+    /// Resolves one rule by exact `(antecedent, consequent)` item ids via
+    /// a [`RuleTrie`] walk instead of a linear scan. Both sides must be
+    /// sorted ascending (the canonical [`irma_mine::Itemset`] order).
+    pub fn find_rule(&self, antecedent: &[ItemId], consequent: &[ItemId]) -> Option<&Rule> {
+        self.rule_trie
+            .find(&self.rules, antecedent, consequent)
+            .map(|idx| &self.rules[idx])
     }
 
     /// Suggests analysis keywords: items ranked by the strongest rule

@@ -37,13 +37,15 @@ mod compare;
 mod generate;
 mod prune;
 mod rule;
+mod trie;
 
 pub use analysis::KeywordAnalysis;
 pub use classify::{Evaluation, RuleClassifier};
 pub use compare::{compare_rules, label_rules, LabeledRule, RuleComparison};
 pub use generate::{generate_rules, generate_rules_traced, generate_rules_with, RuleConfig};
 pub use prune::{
-    prune_rules, prune_rules_traced, prune_rules_with, PruneCondition, PruneOutcome, PruneParams,
-    PruneRecord,
+    prune_rules, prune_rules_traced, prune_rules_with, try_prune_rules_traced, InvalidPruneParams,
+    PruneCondition, PruneOutcome, PruneParams, PruneRecord,
 };
 pub use rule::{Rule, RuleRole};
+pub use trie::RuleTrie;

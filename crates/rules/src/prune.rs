@@ -12,13 +12,32 @@
 //! evaluated against the original rule set and losers are marked, so a
 //! rule dominated by an (itself dominated) rule is still removed. This
 //! makes the outcome order-independent and deterministic.
+//!
+//! ## Execution strategy
+//!
+//! Conditions 1/4 compare rules sharing a consequent, 2/3 rules sharing
+//! an antecedent — and within a group only *properly nested* varying
+//! sides ever interact. Instead of testing all `O(g²)` pairs per group,
+//! each grouping builds one [`RuleTrie`] per group over the varying side
+//! and discovers exactly the nested pairs with subset/superset walks
+//! ([`GroupPlan`]); the two conditions of a grouping then reuse the same
+//! pair list. Groups partition the rules, so they are evaluated in
+//! parallel through the rayon shim; each group's verdicts are buffered
+//! ([`PairEvent`]) and replayed sequentially in canonical group order,
+//! which keeps the kept set, the `PruneRecord` sequence, and the
+//! provenance chains byte-identical to the flat all-pairs implementation
+//! (retained in `irma-check` as the differential oracle) at any pool
+//! width.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 
 use irma_mine::{ItemId, Itemset};
 use irma_obs::{Metrics, Provenance};
+use rayon::prelude::*;
 
 use crate::rule::{Rule, RuleRole};
+use crate::trie::RuleTrie;
 
 /// Relaxation parameters for the four pruning conditions.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,16 +60,47 @@ impl Default for PruneParams {
 
 impl PruneParams {
     /// Validates that both margins are at least 1.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.c_lift < 1.0 || self.c_supp < 1.0 {
-            return Err(format!(
-                "C_lift and C_supp must be >= 1 (got {}, {})",
-                self.c_lift, self.c_supp
-            ));
+    pub fn validate(&self) -> Result<(), InvalidPruneParams> {
+        // `>= 1.0` is false for NaN, so negating it rejects NaN margins
+        // alongside sub-1 ones.
+        let below = |x: f64| {
+            !matches!(
+                x.partial_cmp(&1.0),
+                Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+            )
+        };
+        if below(self.c_lift) || below(self.c_supp) {
+            return Err(InvalidPruneParams {
+                c_lift: self.c_lift,
+                c_supp: self.c_supp,
+            });
         }
         Ok(())
     }
 }
+
+/// Rejected pruning margins: `C_lift` and `C_supp` must both be `>= 1`
+/// (NaN margins are rejected too). Routed through
+/// `PipelineError::Rules` by the fallible pipeline entry points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidPruneParams {
+    /// The rejected lift margin.
+    pub c_lift: f64,
+    /// The rejected support margin.
+    pub c_supp: f64,
+}
+
+impl fmt::Display for InvalidPruneParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "C_lift and C_supp must be >= 1 (got {}, {})",
+            self.c_lift, self.c_supp
+        )
+    }
+}
+
+impl std::error::Error for InvalidPruneParams {}
 
 /// Which of the paper's four conditions removed a rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -159,6 +209,13 @@ pub fn prune_rules_with(
 /// winner/loser edge (including marking-chain echoes on already-dead
 /// rules), the branch and margin that decided it, undecided comparisons,
 /// and each relevant rule's final verdict land in `provenance`.
+///
+/// # Panics
+///
+/// Panics on invalid [`PruneParams`], matching the infallible paper-path
+/// contract of [`irma_core::analyze`-style] entry points; use
+/// [`try_prune_rules_traced`] (or `irma_core::try_analyze`, which
+/// validates up front) for typed errors instead.
 pub fn prune_rules_traced(
     rules: &[Rule],
     keyword: ItemId,
@@ -166,6 +223,24 @@ pub fn prune_rules_traced(
     metrics: &Metrics,
     provenance: &Provenance,
 ) -> PruneOutcome {
+    match try_prune_rules_traced(rules, keyword, params, metrics, provenance) {
+        Ok(outcome) => outcome,
+        Err(error) => panic!("invalid prune params: {error}"),
+    }
+}
+
+/// [`prune_rules_traced`] with typed parameter validation: invalid
+/// margins return [`InvalidPruneParams`] instead of panicking (the PR-4
+/// failure model; `irma_core::try_analyze` maps it into
+/// `PipelineError::Rules`).
+pub fn try_prune_rules_traced(
+    rules: &[Rule],
+    keyword: ItemId,
+    params: &PruneParams,
+    metrics: &Metrics,
+    provenance: &Provenance,
+) -> Result<PruneOutcome, InvalidPruneParams> {
+    params.validate()?;
     let mut span = metrics.span("rules.prune");
     let outcome = prune_rules_inner(rules, keyword, params, provenance);
     span.field("rules_in", outcome.total() as u64);
@@ -177,7 +252,7 @@ pub fn prune_rules_traced(
             metrics.incr(&format!("prune.{}", condition.metric_name()), removed);
         }
     }
-    outcome
+    Ok(outcome)
 }
 
 fn prune_rules_inner(
@@ -186,8 +261,6 @@ fn prune_rules_inner(
     params: &PruneParams,
     provenance: &Provenance,
 ) -> PruneOutcome {
-    params.validate().expect("invalid prune params");
-
     let mut relevant: Vec<Rule> = rules
         .iter()
         .filter(|r| r.role(keyword) != RuleRole::Unrelated)
@@ -199,15 +272,27 @@ fn prune_rules_inner(
             .then_with(|| a.consequent.cmp(&b.consequent))
     });
 
+    // Nested-pair discovery depends only on the grouping, not on the
+    // condition, so each plan is built once and shared by its two
+    // conditions (1/4 share the consequent grouping, 2/3 the antecedent
+    // grouping).
+    let by_consequent = GroupPlan::build(&relevant, Grouping::ByConsequent);
+    let by_antecedent = GroupPlan::build(&relevant, Grouping::ByAntecedent);
+
     let mut alive = vec![true; relevant.len()];
     let mut pruned: Vec<PruneRecord> = Vec::new();
 
     for condition in PruneCondition::all() {
+        let plan = match condition {
+            PruneCondition::Condition1 | PruneCondition::Condition4 => &by_consequent,
+            PruneCondition::Condition2 | PruneCondition::Condition3 => &by_antecedent,
+        };
         apply_condition(
             condition,
             &relevant,
             keyword,
             params,
+            plan,
             &mut alive,
             &mut pruned,
             provenance,
@@ -220,125 +305,254 @@ fn prune_rules_inner(
         }
     }
 
+    // Move the survivors out of `relevant` instead of cloning them a
+    // second time: each kept rule is cloned exactly once, when the
+    // keyword filter built `relevant`.
     let kept: Vec<Rule> = relevant
-        .iter()
-        .zip(&alive)
-        .filter(|(_, &a)| a)
-        .map(|(r, _)| r.clone())
+        .into_iter()
+        .zip(alive)
+        .filter(|&(_, is_alive)| is_alive)
+        .map(|(rule, _)| rule)
         .collect();
     PruneOutcome { kept, pruned }
 }
 
-/// Groups rule indices by a side and applies one condition within groups.
+/// Which side two rules of a group share (the other side varies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Grouping {
+    /// Equal consequents, nested antecedents (conditions 1 and 4).
+    ByConsequent,
+    /// Equal antecedents, nested consequents (conditions 2 and 3).
+    ByAntecedent,
+}
+
+impl Grouping {
+    fn key(self, rule: &Rule) -> &Itemset {
+        match self {
+            Grouping::ByConsequent => &rule.consequent,
+            Grouping::ByAntecedent => &rule.antecedent,
+        }
+    }
+
+    fn varying(self, rule: &Rule) -> &Itemset {
+        match self {
+            Grouping::ByConsequent => &rule.antecedent,
+            Grouping::ByAntecedent => &rule.consequent,
+        }
+    }
+}
+
+/// One properly nested pair: `short`'s varying side is strictly contained
+/// in `long`'s. Indices point into the sorted `relevant` slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NestedPair {
+    short: u32,
+    long: u32,
+}
+
+/// The pre-computed comparison schedule for one grouping: per group (in
+/// canonical key order), exactly the nested pairs a condition can
+/// compare, in the flat oracle's `(i asc, j > i asc)` enumeration order.
+#[derive(Debug)]
+struct GroupPlan {
+    groups: Vec<Vec<NestedPair>>,
+}
+
+impl GroupPlan {
+    fn build(rules: &[Rule], grouping: Grouping) -> GroupPlan {
+        let mut by_key: HashMap<&Itemset, Vec<u32>> = HashMap::new();
+        for (i, rule) in rules.iter().enumerate() {
+            by_key.entry(grouping.key(rule)).or_default().push(i as u32);
+        }
+        let mut ordered: Vec<(&Itemset, Vec<u32>)> = by_key.into_iter().collect();
+        ordered.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        let members: Vec<Vec<u32>> = ordered.into_iter().map(|(_, m)| m).collect();
+        let groups: Vec<Vec<NestedPair>> = members
+            .par_iter()
+            .map(|members| nested_pairs(rules, members, grouping))
+            .collect();
+        GroupPlan { groups }
+    }
+}
+
+/// Discovers a group's nested pairs via trie walks instead of all-pairs
+/// subset tests: one shared-prefix trie over the members' varying sides,
+/// then per anchor one subset walk + one superset walk, keeping only
+/// later members so each unordered pair surfaces exactly once, at the
+/// anchor position the flat oracle would visit it.
+fn nested_pairs(rules: &[Rule], members: &[u32], grouping: Grouping) -> Vec<NestedPair> {
+    if members.len() < 2 {
+        return Vec::new();
+    }
+    let trie = RuleTrie::from_sides(
+        members
+            .iter()
+            .map(|&i| grouping.varying(&rules[i as usize]).items()),
+    );
+    let mut pairs = Vec::new();
+    let mut subs: Vec<u32> = Vec::new();
+    let mut sups: Vec<u32> = Vec::new();
+    // (position, partner-is-superset) — sorted so partners come in the
+    // oracle's ascending-j order.
+    let mut partners: Vec<(u32, bool)> = Vec::new();
+    for (pos, &i) in members.iter().enumerate() {
+        let query = grouping.varying(&rules[i as usize]).items();
+        subs.clear();
+        sups.clear();
+        partners.clear();
+        trie.proper_subsets_of(query, &mut subs);
+        trie.proper_supersets_of(query, &mut sups);
+        let pos = pos as u32;
+        partners.extend(subs.iter().filter(|&&p| p > pos).map(|&p| (p, false)));
+        partners.extend(sups.iter().filter(|&&p| p > pos).map(|&p| (p, true)));
+        partners.sort_unstable();
+        for &(p, partner_is_superset) in &partners {
+            let j = members[p as usize];
+            pairs.push(if partner_is_superset {
+                NestedPair { short: i, long: j }
+            } else {
+                NestedPair { short: j, long: i }
+            });
+        }
+    }
+    pairs
+}
+
+/// One buffered verdict from a group's evaluation, replayed sequentially.
+#[derive(Debug)]
+enum PairEvent {
+    /// A condition fired; recorded in provenance (echo edges included).
+    /// Only emitted when a provenance recorder is attached.
+    Decision {
+        winner: u32,
+        loser: u32,
+        branch: &'static str,
+        margin: f64,
+        detail: String,
+        effective: bool,
+    },
+    /// The loser was still alive: mark it dead and emit a `PruneRecord`.
+    Death { loser: u32, winner: u32 },
+    /// The condition applied but neither branch fired. Only emitted when
+    /// a provenance recorder is attached.
+    Undecided { short: u32, long: u32 },
+}
+
+/// Evaluates one condition over a pre-computed group plan.
+///
+/// Groups partition the rules of a grouping, so their evaluations are
+/// independent and run in parallel; the buffered events are then replayed
+/// in canonical group order, making the output independent of pool width
+/// and steal order.
 #[allow(clippy::too_many_arguments)]
 fn apply_condition(
     condition: PruneCondition,
     rules: &[Rule],
     keyword: ItemId,
     params: &PruneParams,
+    plan: &GroupPlan,
     alive: &mut [bool],
     pruned: &mut Vec<PruneRecord>,
     provenance: &Provenance,
 ) {
-    // Conditions 1 and 4 compare rules sharing a consequent; 2 and 3 share
-    // an antecedent.
-    let group_by_consequent = matches!(
-        condition,
-        PruneCondition::Condition1 | PruneCondition::Condition4
-    );
-    let mut groups: HashMap<&Itemset, Vec<usize>> = HashMap::new();
-    for (i, rule) in rules.iter().enumerate() {
-        let key = if group_by_consequent {
-            &rule.consequent
-        } else {
-            &rule.antecedent
-        };
-        groups.entry(key).or_default().push(i);
-    }
-    let mut ordered_groups: Vec<(&Itemset, Vec<usize>)> = groups.into_iter().collect();
-    ordered_groups.sort_unstable_by(|a, b| a.0.cmp(b.0));
-
-    for (_, members) in ordered_groups {
-        for (a_pos, &i) in members.iter().enumerate() {
-            for &j in &members[a_pos + 1..] {
-                // Establish nesting: `short` has the varying side strictly
-                // contained in `long`'s.
-                let (short, long) = if group_by_consequent {
-                    if rules[i]
-                        .antecedent
-                        .is_proper_subset_of(&rules[j].antecedent)
-                    {
-                        (i, j)
-                    } else if rules[j]
-                        .antecedent
-                        .is_proper_subset_of(&rules[i].antecedent)
-                    {
-                        (j, i)
-                    } else {
-                        continue;
-                    }
-                } else if rules[i]
-                    .consequent
-                    .is_proper_subset_of(&rules[j].consequent)
-                {
-                    (i, j)
-                } else if rules[j]
-                    .consequent
-                    .is_proper_subset_of(&rules[i].consequent)
-                {
-                    (j, i)
-                } else {
-                    continue;
-                };
-
-                match decide(condition, &rules[short], &rules[long], keyword, params) {
-                    Verdict::Prune(decision) => {
-                        let (loser_idx, winner_idx) = if decision.loser == Loser::Short {
-                            (short, long)
-                        } else {
-                            (long, short)
-                        };
-                        if provenance.is_enabled() {
-                            provenance.record_decision(
-                                condition.number(),
-                                decision.branch,
-                                decision.margin,
-                                &render_detail(
-                                    condition,
-                                    &decision,
-                                    &rules[short],
-                                    &rules[long],
-                                    params,
-                                ),
-                                &rules[winner_idx].provenance_info(),
-                                &rules[loser_idx].provenance_info(),
-                                alive[loser_idx],
-                            );
-                        }
-                        // Marking semantics: the winner prunes even if it was
-                        // itself pruned earlier; record each loss once.
-                        if alive[loser_idx] {
-                            alive[loser_idx] = false;
-                            pruned.push(PruneRecord {
-                                rule: rules[loser_idx].clone(),
-                                condition,
-                                dominated_by: rules[winner_idx].key(),
-                            });
-                        }
-                    }
-                    Verdict::Undecided => {
-                        if provenance.is_enabled() {
-                            provenance.record_undecided(
-                                &rules[short].provenance_info(),
-                                &rules[long].provenance_info(),
-                            );
-                        }
-                    }
-                    Verdict::NotApplicable => {}
+    let record = provenance.is_enabled();
+    let snapshot: &[bool] = alive;
+    let outcomes: Vec<Vec<PairEvent>> = plan
+        .groups
+        .par_iter()
+        .map(|pairs| evaluate_group(condition, rules, keyword, params, pairs, snapshot, record))
+        .collect();
+    for events in outcomes {
+        for event in events {
+            match event {
+                PairEvent::Decision {
+                    winner,
+                    loser,
+                    branch,
+                    margin,
+                    detail,
+                    effective,
+                } => {
+                    provenance.record_decision(
+                        condition.number(),
+                        branch,
+                        margin,
+                        &detail,
+                        &rules[winner as usize].provenance_info(),
+                        &rules[loser as usize].provenance_info(),
+                        effective,
+                    );
+                }
+                PairEvent::Death { loser, winner } => {
+                    alive[loser as usize] = false;
+                    pruned.push(PruneRecord {
+                        rule: rules[loser as usize].clone(),
+                        condition,
+                        dominated_by: rules[winner as usize].key(),
+                    });
+                }
+                PairEvent::Undecided { short, long } => {
+                    provenance.record_undecided(
+                        &rules[short as usize].provenance_info(),
+                        &rules[long as usize].provenance_info(),
+                    );
                 }
             }
         }
     }
+}
+
+/// Runs one condition over one group's nested pairs against a snapshot of
+/// the condition-start liveness. A rule can only be killed by a member of
+/// its own group (for this condition), so the group-local `dead` overlay
+/// reproduces the flat oracle's in-place `alive` mutations exactly.
+fn evaluate_group(
+    condition: PruneCondition,
+    rules: &[Rule],
+    keyword: ItemId,
+    params: &PruneParams,
+    pairs: &[NestedPair],
+    alive: &[bool],
+    record: bool,
+) -> Vec<PairEvent> {
+    let mut events = Vec::new();
+    let mut dead: HashSet<u32> = HashSet::new();
+    for &NestedPair { short, long } in pairs {
+        let (short_rule, long_rule) = (&rules[short as usize], &rules[long as usize]);
+        match decide(condition, short_rule, long_rule, keyword, params) {
+            Verdict::Prune(decision) => {
+                let (loser, winner) = if decision.loser == Loser::Short {
+                    (short, long)
+                } else {
+                    (long, short)
+                };
+                let loser_alive = alive[loser as usize] && !dead.contains(&loser);
+                if record {
+                    events.push(PairEvent::Decision {
+                        winner,
+                        loser,
+                        branch: decision.branch,
+                        margin: decision.margin,
+                        detail: render_detail(condition, &decision, short_rule, long_rule, params),
+                        effective: loser_alive,
+                    });
+                }
+                // Marking semantics: the winner prunes even if it was
+                // itself pruned earlier; record each loss once.
+                if loser_alive {
+                    dead.insert(loser);
+                    events.push(PairEvent::Death { loser, winner });
+                }
+            }
+            Verdict::Undecided => {
+                if record {
+                    events.push(PairEvent::Undecided { short, long });
+                }
+            }
+            Verdict::NotApplicable => {}
+        }
+    }
+    events
 }
 
 /// Which of the nested pair a condition removes.
@@ -636,6 +850,16 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_rules_are_not_nested_pairs() {
+        // Equal varying sides are not proper subsets of each other, so
+        // exact duplicates pass through untouched.
+        let r1 = mk(&[1, 2], &[KW], 0.2, 3.0);
+        let out = prune_rules(&[r1.clone(), r1.clone()], KW, &PruneParams::default());
+        assert_eq!(out.kept, vec![r1.clone(), r1]);
+        assert!(out.pruned.is_empty());
+    }
+
+    #[test]
     fn metrics_record_per_condition_counts() {
         // Condition 1 removes one rule (see the first test above) and
         // condition 4 removes one from an unrelated family.
@@ -710,12 +934,39 @@ mod tests {
     }
 
     #[test]
-    fn invalid_params_rejected() {
+    fn invalid_params_rejected_with_typed_error() {
         let params = PruneParams {
             c_lift: 0.5,
             c_supp: 1.5,
         };
-        assert!(params.validate().is_err());
+        let error = params.validate().unwrap_err();
+        assert_eq!(error.c_lift, 0.5);
+        assert_eq!(error.c_supp, 1.5);
+        assert!(error.to_string().contains(">= 1"), "{error}");
+        // NaN margins cannot sneak past the comparison either.
+        let nan = PruneParams {
+            c_lift: f64::NAN,
+            c_supp: 1.5,
+        };
+        assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn try_prune_returns_typed_error_instead_of_panicking() {
+        let r1 = mk(&[1], &[KW], 0.2, 3.0);
+        let params = PruneParams {
+            c_lift: 1.5,
+            c_supp: 0.0,
+        };
+        let error = try_prune_rules_traced(
+            &[r1],
+            KW,
+            &params,
+            &Metrics::disabled(),
+            &Provenance::disabled(),
+        )
+        .unwrap_err();
+        assert_eq!(error.c_supp, 0.0);
     }
 
     #[test]

@@ -513,6 +513,8 @@ fn run_analysis(
                     payload: payload.clone(),
                     catalog: analysis.encoded.catalog.clone(),
                     provenance,
+                    rules: analysis.rules.clone(),
+                    trie: analysis.rule_trie.clone(),
                 },
             );
         }
@@ -700,14 +702,22 @@ fn handle_explain(shared: &Shared, head: &RequestHead) -> Reply {
         }
     };
     let labeler = |id: u32| entry.catalog.label(id).to_string();
+    // Rule metrics resolve via the cached trie index (no linear scan of
+    // the flat rule export). A provenance chain can exist for a candidate
+    // that the generation thresholds later dropped, so this is `null`able.
+    let metrics_json = match entry.find_rule(&ante, &cons) {
+        Some(rule) => render_rule(rule, &entry.catalog),
+        None => "null".to_string(),
+    };
     match entry.provenance.render_explain(&ante, &cons, &labeler) {
         Some(explanation) => Reply::json(
             200,
             "OK",
             format!(
-                "{{\"rule\":\"{}\",\"fingerprint\":\"{}\",\"explanation\":\"{}\"}}\n",
+                "{{\"rule\":\"{}\",\"fingerprint\":\"{}\",\"metrics\":{},\"explanation\":\"{}\"}}\n",
                 json_escape(rule_spec.trim()),
                 json_escape(fp),
+                metrics_json,
                 json_escape(&explanation)
             ),
         ),

@@ -1,21 +1,29 @@
 //! LRU result cache keyed by *(dataset fingerprint, normalized config)*.
 //!
-//! Entries hold the pre-rendered analyze payload plus the catalog and
-//! provenance needed to answer `GET /v1/explain/{rule}` later — the
-//! explain endpoint only works over cached analyses, which is exactly
-//! the workflow (analyze once, interrogate the survivors).
+//! Entries hold the pre-rendered analyze payload plus the rule set, its
+//! trie index, the catalog, and the provenance needed to answer
+//! `GET /v1/explain/{rule}` later — the explain endpoint only works over
+//! cached analyses, which is exactly the workflow (analyze once,
+//! interrogate the survivors).
 //!
 //! Only full-fidelity results are cached: a degraded analysis reflects
 //! the budget that produced it, and serving it to a tenant with a
 //! roomier budget would silently downgrade their answer. The cache key
 //! correspondingly excludes the budget (see
 //! [`irma_core::fingerprint::config_cache_key`]).
+//!
+//! Recency is tracked with per-entry access stamps from a monotone
+//! counter: a hit bumps one `u64` (O(1)) instead of splicing a shared
+//! order list (the old scheme scanned a `VecDeque` on every touch);
+//! eviction scans for the minimum stamp, which is O(n) only when the
+//! cache is actually past its cap.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use irma_mine::ItemCatalog;
 use irma_obs::Provenance;
+use irma_rules::{Rule, RuleTrie};
 
 /// One cached analysis.
 #[derive(Debug)]
@@ -26,6 +34,20 @@ pub struct CacheEntry {
     pub catalog: ItemCatalog,
     /// Pruning provenance for explain rendering.
     pub provenance: Provenance,
+    /// The generated rules (pre-pruning), for explain metric lookups.
+    pub rules: Vec<Rule>,
+    /// Shared-prefix index over `rules`; explain resolves exact
+    /// `(antecedent, consequent)` rules via trie walk, not linear scan.
+    pub trie: RuleTrie,
+}
+
+impl CacheEntry {
+    /// Resolves a rule by exact sorted `(antecedent, consequent)` ids.
+    pub fn find_rule(&self, antecedent: &[u32], consequent: &[u32]) -> Option<&Rule> {
+        self.trie
+            .find(&self.rules, antecedent, consequent)
+            .map(|idx| &self.rules[idx])
+    }
 }
 
 /// Bounded LRU over `(fingerprint, config_key)`, with a secondary
@@ -34,10 +56,16 @@ pub struct CacheEntry {
 #[derive(Debug)]
 pub struct ResultCache {
     cap: usize,
-    map: HashMap<(String, String), Arc<CacheEntry>>,
-    /// LRU order; front = least recently used.
-    order: VecDeque<(String, String)>,
+    map: HashMap<(String, String), Slot>,
+    /// Monotone access clock; higher stamp = more recently used.
+    clock: u64,
     by_fp: HashMap<String, (String, String)>,
+}
+
+#[derive(Debug)]
+struct Slot {
+    entry: Arc<CacheEntry>,
+    stamp: u64,
 }
 
 impl ResultCache {
@@ -46,7 +74,7 @@ impl ResultCache {
         ResultCache {
             cap: cap.max(1),
             map: HashMap::new(),
-            order: VecDeque::new(),
+            clock: 0,
             by_fp: HashMap::new(),
         }
     }
@@ -61,42 +89,50 @@ impl ResultCache {
         self.map.is_empty()
     }
 
-    fn touch(&mut self, key: &(String, String)) {
-        if let Some(pos) = self.order.iter().position(|k| k == key) {
-            self.order.remove(pos);
-            self.order.push_back(key.clone());
-        }
+    fn next_stamp(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
     }
 
     /// Looks up an exact (fingerprint, config) entry, refreshing its LRU
     /// position.
     pub fn get(&mut self, fingerprint: &str, config_key: &str) -> Option<Arc<CacheEntry>> {
         let key = (fingerprint.to_string(), config_key.to_string());
-        let entry = self.map.get(&key).cloned()?;
-        self.touch(&key);
-        Some(entry)
+        let stamp = self.next_stamp();
+        let slot = self.map.get_mut(&key)?;
+        slot.stamp = stamp;
+        Some(slot.entry.clone())
     }
 
     /// The most recent entry for a fingerprint under any config (the
     /// explain path — provenance and catalog are what matter there).
     pub fn latest_for_fp(&mut self, fingerprint: &str) -> Option<Arc<CacheEntry>> {
         let key = self.by_fp.get(fingerprint)?.clone();
-        let entry = self.map.get(&key).cloned()?;
-        self.touch(&key);
-        Some(entry)
+        let stamp = self.next_stamp();
+        let slot = self.map.get_mut(&key)?;
+        slot.stamp = stamp;
+        Some(slot.entry.clone())
     }
 
     /// Inserts an entry, evicting the least recently used past the cap.
     pub fn insert(&mut self, fingerprint: &str, config_key: &str, entry: CacheEntry) {
         let key = (fingerprint.to_string(), config_key.to_string());
-        if self.map.insert(key.clone(), Arc::new(entry)).is_none() {
-            self.order.push_back(key.clone());
-        } else {
-            self.touch(&key);
-        }
+        let stamp = self.next_stamp();
+        self.map.insert(
+            key.clone(),
+            Slot {
+                entry: Arc::new(entry),
+                stamp,
+            },
+        );
         self.by_fp.insert(fingerprint.to_string(), key);
         while self.map.len() > self.cap {
-            let Some(victim) = self.order.pop_front() else {
+            let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.stamp)
+                .map(|(key, _)| key.clone())
+            else {
                 break;
             };
             self.map.remove(&victim);
@@ -116,6 +152,8 @@ mod tests {
             payload: tag.to_string(),
             catalog: ItemCatalog::new(),
             provenance: Provenance::disabled(),
+            rules: Vec::new(),
+            trie: RuleTrie::default(),
         }
     }
 
@@ -152,5 +190,54 @@ mod tests {
         cache.insert("fp1", "a", entry("v2"));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.get("fp1", "a").unwrap().payload, "v2");
+    }
+
+    #[test]
+    fn eviction_order_follows_interleaved_touches() {
+        // Fill to cap, then touch entries in a scrambled order through
+        // both lookup paths; the victim must always be the entry whose
+        // last touch is oldest, across repeated evictions.
+        let mut cache = ResultCache::new(3);
+        cache.insert("fp1", "a", entry("1"));
+        cache.insert("fp2", "a", entry("2"));
+        cache.insert("fp3", "a", entry("3"));
+        // Recency (old -> new) after these touches: fp3, fp1, fp2.
+        assert!(cache.get("fp1", "a").is_some());
+        assert!(cache.latest_for_fp("fp2").is_some());
+        cache.insert("fp4", "a", entry("4"));
+        assert!(cache.get("fp3", "a").is_none(), "fp3 had the oldest touch");
+        // Recency now: fp1, fp2, fp4. Touch fp1 via the fp index, making
+        // fp2 the next victim.
+        assert!(cache.latest_for_fp("fp1").is_some());
+        cache.insert("fp5", "a", entry("5"));
+        assert!(cache.get("fp2", "a").is_none(), "fp2 had the oldest touch");
+        assert!(cache.get("fp1", "a").is_some());
+        assert!(cache.get("fp4", "a").is_some());
+        assert!(cache.get("fp5", "a").is_some());
+    }
+
+    #[test]
+    fn find_rule_resolves_via_trie() {
+        use irma_mine::Itemset;
+        let rule = Rule {
+            antecedent: Itemset::from_items([1, 3]),
+            consequent: Itemset::from_items([2]),
+            support_count: 10,
+            support: 0.1,
+            confidence: 0.5,
+            lift: 2.0,
+        };
+        let rules = vec![rule.clone()];
+        let trie = RuleTrie::over_antecedents(&rules);
+        let entry = CacheEntry {
+            payload: String::new(),
+            catalog: ItemCatalog::new(),
+            provenance: Provenance::disabled(),
+            rules,
+            trie,
+        };
+        assert_eq!(entry.find_rule(&[1, 3], &[2]), Some(&rule));
+        assert!(entry.find_rule(&[1], &[2]).is_none());
+        assert!(entry.find_rule(&[1, 3], &[4]).is_none());
     }
 }

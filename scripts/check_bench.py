@@ -3,7 +3,7 @@
 
 Usage: check_bench.py BASELINE_JSON FRESH_JSON [--tolerance FRAC]
 
-Two document schemas are understood, dispatched on the JSON `schema`
+Three document schemas are understood, dispatched on the JSON `schema`
 field (both files must carry the same one):
 
 * `irma-bench/mining/v2` — written by
@@ -12,6 +12,9 @@ field (both files must carry the same one):
 * `irma-bench/serve/v1` — written by
   `cargo bench -p irma-bench --bench serve`; committed baseline
   BENCH_9.json at the repository root.
+* `irma-bench/rules/v1` — written by
+  `cargo bench -p irma-bench --bench rules`; committed baseline
+  BENCH_10.json at the repository root.
 
 Mining checks, in decreasing order of strictness:
 
@@ -56,6 +59,29 @@ Serve checks mirror the same philosophy:
   below baseline by at most `--tolerance`, and fresh `p95_ms` may exceed
   it by at most the same fraction — only when `host_cores` matches.
 
+Rules checks:
+
+* **Grid completeness.** Every `scales` x `impls` x `threads` cell must
+  be measured or carry an explicit `skipped` record (the flat oracle
+  declare-skips width > 1 and scales past IRMA_BENCH_RULES_FLAT_CAP).
+
+* **Kept/pruned counts are exact.** The synthetic rule set is a
+  deterministic function of scale and pruning is deterministic, so both
+  counts must match the baseline exactly, host-independently.
+
+* **Wall time is bounded, same-host only** (as for mining).
+
+* **Flat-vs-trie speedup floor, within-document.** Any document — the
+  baseline included — that measures both `flat` and `trie` at width 1
+  for a scale >= 100000 must show trie at least 10x faster. Both cells
+  come from one host, so this gate never depends on who runs it; the
+  committed BENCH_10.json always carries the qualifying pair.
+
+* **Width-4 trie speedup floor, >=4-core hosts only.** When the fresh
+  host reports >= 4 cores and measured trie widths 1 and 4, the largest
+  such scale must show >= 1.5x (independent prune groups parallelize).
+  On narrower hosts the gate is skipped with a loud notice.
+
 Exit code 0 on pass, 1 on any failure, 2 on usage/parse errors.
 """
 
@@ -64,16 +90,25 @@ import sys
 
 MINING_SCHEMA = "irma-bench/mining/v2"
 SERVE_SCHEMA = "irma-bench/serve/v1"
+RULES_SCHEMA = "irma-bench/rules/v1"
 
 REQUIRED_FIELDS = {
     MINING_SCHEMA: ("host_cores", "scales", "miners", "threads"),
     SERVE_SCHEMA: ("host_cores", "clients", "modes", "paths", "requests_per_client"),
+    RULES_SCHEMA: ("host_cores", "scales", "impls", "threads"),
 }
 
 # miner -> required width-4 speedup (vs the same run's width-1 best).
 SPEEDUP_FLOORS = {"fpgrowth": 2.5, "eclat": 2.5, "apriori": 1.5}
 SPEEDUP_MIN_CORES = 4
 SPEEDUP_WIDTH = 4
+
+# Trie prune must beat the flat oracle by this factor at qualifying
+# scales (within one document, so host-independent).
+RULES_FLAT_FLOOR = 10.0
+RULES_FLAT_MIN_SCALE = 100_000
+# Width-4 trie prune speedup floor (vs width 1), >=4-core hosts only.
+RULES_WIDTH_FLOOR = 1.5
 
 
 def fail_usage(msg: str) -> None:
@@ -86,6 +121,7 @@ def fail_usage(msg: str) -> None:
 KEYS = {
     MINING_SCHEMA: (("scale", "miner", "threads"), ("scales", "miners", "threads")),
     SERVE_SCHEMA: (("clients", "mode", "path"), ("clients", "modes", "paths")),
+    RULES_SCHEMA: (("scale", "impl", "threads"), ("scales", "impls", "threads")),
 }
 
 
@@ -132,6 +168,9 @@ def label(key: tuple, schema: str) -> str:
     if schema == MINING_SCHEMA:
         scale, miner, threads = key
         return f"{miner} @ {scale} jobs, {threads} thread(s)"
+    if schema == RULES_SCHEMA:
+        scale, impl, threads = key
+        return f"{impl} prune @ {scale} rules, {threads} thread(s)"
     clients, mode, path = key
     return f"{mode}/{path} @ {clients} client(s)"
 
@@ -217,6 +256,109 @@ def compare_mining(
         failures.append(
             f"{name}: {new['best_wall_s']:.4f}s exceeds baseline "
             f"{base['best_wall_s']:.4f}s by more than {tolerance:.0%}"
+        )
+
+
+def compare_rules(
+    key: tuple, base: dict, new: dict, same_host: bool, tolerance: float, failures: list
+) -> None:
+    name = label(key, RULES_SCHEMA)
+    if (new["kept"], new["pruned"]) != (base["kept"], base["pruned"]):
+        failures.append(
+            f"{name}: kept/pruned changed "
+            f"{base['kept']}/{base['pruned']} -> {new['kept']}/{new['pruned']} "
+            "(correctness, not noise)"
+        )
+        return
+    if not same_host:
+        print(f"ok: {name}: kept/pruned exact ({new['kept']}/{new['pruned']}); wall skipped")
+        return
+    limit = base["best_wall_s"] * (1.0 + tolerance)
+    verdict = "ok" if new["best_wall_s"] <= limit else "REGRESSION"
+    print(
+        f"{verdict}: {name}: {new['best_wall_s']:.4f}s vs baseline "
+        f"{base['best_wall_s']:.4f}s (limit {limit:.4f}s)"
+    )
+    if new["best_wall_s"] > limit:
+        failures.append(
+            f"{name}: {new['best_wall_s']:.4f}s exceeds baseline "
+            f"{base['best_wall_s']:.4f}s by more than {tolerance:.0%}"
+        )
+
+
+def check_rules_flat_speedup(name: str, doc: dict, measured: dict, failures: list) -> None:
+    """Within-document flat-vs-trie floor: both cells share one host, so
+    the gate is machine-independent and applies to the baseline too."""
+    gated = False
+    for scale in sorted(doc["scales"]):
+        if scale < RULES_FLAT_MIN_SCALE:
+            continue
+        flat = measured.get((scale, "flat", 1))
+        trie = measured.get((scale, "trie", 1))
+        if flat is None or trie is None:
+            continue
+        gated = True
+        speedup = (
+            flat["best_wall_s"] / trie["best_wall_s"]
+            if trie["best_wall_s"] > 0
+            else float("inf")
+        )
+        verdict = "ok" if speedup >= RULES_FLAT_FLOOR else "FAIL"
+        print(
+            f"{verdict}: {name}: flat-vs-trie @ {scale} rules: "
+            f"{speedup:.2f}x (floor {RULES_FLAT_FLOOR}x)"
+        )
+        if speedup < RULES_FLAT_FLOOR:
+            failures.append(
+                f"{name}: trie prune only {speedup:.2f}x faster than flat at "
+                f"{scale} rules (floor {RULES_FLAT_FLOOR}x)"
+            )
+    if not gated:
+        print(
+            f"NOTICE: {name}: flat-vs-trie gate not armed — no scale >= "
+            f"{RULES_FLAT_MIN_SCALE} with both width-1 impls measured."
+        )
+
+
+def check_rules_width_speedup(doc: dict, measured: dict, failures: list) -> None:
+    cores = doc["host_cores"]
+    if cores < SPEEDUP_MIN_CORES:
+        print(
+            f"NOTICE: width-{SPEEDUP_WIDTH} trie gate SKIPPED — fresh host reports "
+            f"{cores} core(s), needs >= {SPEEDUP_MIN_CORES}. Width response cannot "
+            "be demonstrated here; rerun on a wider host to arm this gate."
+        )
+        return
+    if SPEEDUP_WIDTH not in doc["threads"] or 1 not in doc["threads"]:
+        print(
+            f"NOTICE: width-{SPEEDUP_WIDTH} trie gate SKIPPED — fresh run lacks "
+            f"widths 1 and {SPEEDUP_WIDTH} (threads = {doc['threads']})."
+        )
+        return
+    scales = [
+        s
+        for s in doc["scales"]
+        if (s, "trie", 1) in measured and (s, "trie", SPEEDUP_WIDTH) in measured
+    ]
+    if not scales:
+        print(
+            f"NOTICE: width-{SPEEDUP_WIDTH} trie gate: no measured "
+            f"width-1/width-{SPEEDUP_WIDTH} trie pair"
+        )
+        return
+    scale = max(scales)
+    base = measured[(scale, "trie", 1)]["best_wall_s"]
+    wide = measured[(scale, "trie", SPEEDUP_WIDTH)]["best_wall_s"]
+    speedup = base / wide if wide > 0 else float("inf")
+    verdict = "ok" if speedup >= RULES_WIDTH_FLOOR else "FAIL"
+    print(
+        f"{verdict}: width gate: trie @ {scale} rules: "
+        f"{speedup:.2f}x at width {SPEEDUP_WIDTH} (floor {RULES_WIDTH_FLOOR}x)"
+    )
+    if speedup < RULES_WIDTH_FLOOR:
+        failures.append(
+            f"trie @ {scale} rules: width-{SPEEDUP_WIDTH} speedup {speedup:.2f}x "
+            f"below required {RULES_WIDTH_FLOOR}x on a {cores}-core host"
         )
 
 
@@ -315,6 +457,8 @@ def main(argv: list[str]) -> int:
         compared += 1
         if schema == MINING_SCHEMA:
             compare_mining(key, base, new, same_host, tolerance, failures)
+        elif schema == RULES_SCHEMA:
+            compare_rules(key, base, new, same_host, tolerance, failures)
         else:
             compare_serve(key, base, new, same_host, tolerance, failures)
     for key in sorted(set(base_measured) - set(fresh_measured) - set(fresh_skipped)):
@@ -328,6 +472,10 @@ def main(argv: list[str]) -> int:
 
     if schema == MINING_SCHEMA:
         check_speedup(fresh_doc, fresh_measured, failures)
+    elif schema == RULES_SCHEMA:
+        check_rules_flat_speedup("baseline", base_doc, base_measured, failures)
+        check_rules_flat_speedup("fresh", fresh_doc, fresh_measured, failures)
+        check_rules_width_speedup(fresh_doc, fresh_measured, failures)
     else:
         for key in sorted(fresh_measured):
             check_serve_success(key, fresh_measured[key], failures)
